@@ -1,0 +1,43 @@
+//! Criterion benches for the analytic resource models: every table/figure
+//! driver should be cheap enough to sweep interactively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eft_vqa::fidelity::{conventional_fidelity_best_factory, pqec_fidelity, Workload};
+use eft_vqa::sweeps::{fig4_rows, fig5_grid, fig6_rows};
+use eftq_circuit::AnsatzKind;
+use eftq_layout::layouts::LayoutKind;
+use eftq_layout::schedule::spacetime_ratio;
+use eftq_qec::DeviceModel;
+
+fn bench_fidelity_models(c: &mut Criterion) {
+    let device = DeviceModel::eft_default();
+    let w = Workload::fche(20, 1);
+    c.bench_function("pqec_fidelity_20q", |b| {
+        b.iter(|| pqec_fidelity(&w, &device));
+    });
+    c.bench_function("conventional_best_factory_20q", |b| {
+        b.iter(|| conventional_fidelity_best_factory(&w, &device));
+    });
+}
+
+fn bench_figure_drivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_drivers");
+    group.sample_size(10);
+    group.bench_function("fig4_rows", |b| b.iter(fig4_rows));
+    group.bench_function("fig5_grid_small", |b| {
+        b.iter(|| fig5_grid(&[10_000, 30_000, 60_000], &[12, 24, 40]));
+    });
+    group.bench_function("fig6_rows", |b| {
+        b.iter(|| fig6_rows(&[10_000, 20_000], &[12, 24, 40, 60]));
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("table1_cell_fche_grid", |b| {
+        b.iter(|| spacetime_ratio(AnsatzKind::FullyConnectedHea, 80, 1, LayoutKind::Grid));
+    });
+}
+
+criterion_group!(benches, bench_fidelity_models, bench_figure_drivers, bench_scheduler);
+criterion_main!(benches);

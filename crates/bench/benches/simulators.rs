@@ -1,0 +1,72 @@
+//! Criterion micro-benches for the simulation substrates: state-vector and
+//! density-matrix gate application, tableau operations, and noisy shots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eftq_circuit::ansatz::fully_connected_hea;
+use eftq_circuit::Circuit;
+use eftq_numerics::SeedSequence;
+use eftq_pauli::PauliSum;
+use eftq_stabilizer::{estimate_energy, StabilizerNoise, Tableau};
+use eftq_statesim::noise::run_noisy;
+use eftq_statesim::{DensityMatrix, StateVector};
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    group.sample_size(20);
+    for n in [8usize, 12, 16] {
+        let ansatz = fully_connected_hea(n, 1);
+        let circuit = ansatz.circuit().bind_all(0.37);
+        group.bench_with_input(BenchmarkId::new("fche_p1", n), &circuit, |b, circ| {
+            b.iter(|| StateVector::from_circuit(circ));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let ansatz = fully_connected_hea(n, 1);
+        let circuit = ansatz.circuit().bind_all(0.37);
+        let noise = eft_vqa::ExecutionRegime::pqec_default().noise_model();
+        group.bench_with_input(BenchmarkId::new("noisy_fche_p1", n), &circuit, |b, circ| {
+            b.iter(|| run_noisy(circ, &noise));
+        });
+        group.bench_with_input(BenchmarkId::new("pure_fche_p1", n), &circuit, |b, circ| {
+            b.iter(|| DensityMatrix::from_circuit(circ));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau");
+    group.sample_size(20);
+    for n in [25usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("ghz_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Tableau::new(n);
+                t.h(0);
+                for q in 0..n - 1 {
+                    t.cx(q, q + 1);
+                }
+                t
+            });
+        });
+    }
+    // Noisy Clifford energy estimation: the Figure-12 inner loop.
+    let n = 24;
+    let h: PauliSum = eft_vqa::hamiltonians::ising_1d(n, 1.0);
+    let ansatz = fully_connected_hea(n, 1);
+    let ks: Vec<u8> = (0..ansatz.num_params()).map(|i| (i % 4) as u8).collect();
+    let circuit: Circuit = ansatz.bind_clifford(&ks);
+    let noise = eft_vqa::ExecutionRegime::pqec_default().stabilizer_noise();
+    group.bench_function("noisy_energy_24q_8shots", |b| {
+        b.iter(|| estimate_energy(&circuit, &h, &noise, 8, SeedSequence::new(7)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_density_matrix, bench_tableau);
+criterion_main!(benches);

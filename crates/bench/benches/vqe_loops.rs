@@ -1,0 +1,25 @@
+//! Criterion benches for the VQE inner loops (one energy evaluation per
+//! regime) — the cost that dominates Figures 12-15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eft_vqa::vqe::noisy_energy;
+use eft_vqa::ExecutionRegime;
+use eftq_circuit::ansatz::fully_connected_hea;
+
+fn bench_energy_evaluations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vqe_energy");
+    group.sample_size(10);
+    let n = 6;
+    let h = eft_vqa::hamiltonians::ising_1d(n, 1.0);
+    let ansatz = fully_connected_hea(n, 1);
+    let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.1 * i as f64).collect();
+    for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+        group.bench_function(format!("dm_energy_6q_{}", regime.name()), |b| {
+            b.iter(|| noisy_energy(&ansatz, &params, &regime, &h, false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_evaluations);
+criterion_main!(benches);

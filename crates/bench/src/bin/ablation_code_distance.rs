@@ -1,0 +1,44 @@
+//! Ablation: pQEC fidelity versus code distance — why the injection
+//! channel, not the Clifford fabric, caps pQEC (Sections 3.2 / 4.4).
+
+use eft_vqa::fidelity::{pqec_fidelity, Workload};
+use eftq_bench::{fmt, header};
+use eftq_qec::{DeviceModel, InjectionModel, SurfaceCodeModel};
+
+fn main() {
+    header("Ablation - pQEC error budget vs code distance (20-qubit FCHE)");
+    let w = Workload::fche(20, 1);
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>12}",
+        "d", "p_L", "qubits", "rot. budget", "Cliff budget"
+    );
+    for d in (3..=15).step_by(2) {
+        let code = SurfaceCodeModel::new(d, 1e-3);
+        let inj = InjectionModel::new(d, 1e-3);
+        let p_l = code.logical_error_rate();
+        let rot = w.rotations as f64 * inj.expected_attempts() * inj.rz_error_rate();
+        let cliff = w.cx as f64 * p_l + w.tiles as f64 * w.cycles as f64 * p_l;
+        println!(
+            "{d:>4} {:>12.2e} {:>12} {:>14.4} {:>12.2e}",
+            p_l,
+            w.tiles * (2 * d * d - 1),
+            rot,
+            cliff
+        );
+    }
+    println!("\nfidelity on devices of growing size (distance chosen automatically):");
+    for qubits in [3_000usize, 6_000, 10_000, 30_000, 60_000] {
+        let device = DeviceModel::new(qubits, 1e-3);
+        match pqec_fidelity(&w, &device) {
+            Some(r) => println!(
+                "  {qubits:>6} qubits -> d = {:>2}, fidelity {}",
+                r.distance,
+                fmt(r.fidelity)
+            ),
+            None => println!("  {qubits:>6} qubits -> does not fit"),
+        }
+    }
+    println!("\ntakeaway: past d = 7 the Clifford budget is negligible — the physical");
+    println!("injection error dominates and more distance cannot help (the paper's");
+    println!("reason pQEC saturates while conventional QEC keeps improving with space).");
+}

@@ -1,0 +1,32 @@
+//! Figure 4: relative fidelity improvement of pQEC over qec-conventional
+//! for 12-24 qubit FCHE (p = 1) workloads on the 10k-qubit EFT device,
+//! across the four (15-to-1) factory configurations.
+
+use eft_vqa::sweeps::fig4_rows;
+use eftq_bench::{fmt, header};
+
+fn main() {
+    header("Figure 4 - pQEC vs qec-conventional (10k qubits, FCHE p=1)");
+    println!(
+        "{:>7} {:>20} {:>10} {:>10} {:>12}",
+        "qubits", "factory", "f_pQEC", "f_conv", "improvement"
+    );
+    let rows = fig4_rows();
+    for r in &rows {
+        println!(
+            "{:>7} {:>20} {} {} {}",
+            r.qubits,
+            r.factory,
+            fmt(r.pqec),
+            fmt(r.conventional),
+            fmt(r.improvement)
+        );
+    }
+    let ratios: Vec<f64> = rows.iter().map(|r| r.improvement).collect();
+    println!(
+        "\ngeometric-mean improvement: {:.2}x   max: {:.2}x",
+        eftq_numerics::stats::geometric_mean(&ratios),
+        eftq_numerics::stats::max(&ratios)
+    );
+    println!("paper shape: pQEC >= conventional everywhere; sweet spot (11,5,5) 1-2.5x; gap grows with qubits");
+}

@@ -1,0 +1,38 @@
+//! Figure 5: win percentage of pQEC over qec-conventional across device
+//! sizes (10k-60k physical qubits) and program sizes; '.' marks programs
+//! that do not fit at d = 11 (the paper's white squares).
+
+use eft_vqa::sweeps::fig5_grid;
+use eftq_bench::{full_scale, header};
+
+fn main() {
+    let devices: Vec<usize> = (10..=60).step_by(10).map(|k| k * 1000).collect();
+    let programs: Vec<usize> = if full_scale() {
+        (10..=240).step_by(10).collect()
+    } else {
+        vec![12, 20, 28, 40, 60, 80, 120, 160, 200, 240]
+    };
+    header("Figure 5 - pQEC win % over qec-conventional");
+    print!("{:>8}", "qubits");
+    for d in &devices {
+        print!("{:>8}", format!("{}k", d / 1000));
+    }
+    println!();
+    let cells = fig5_grid(&devices, &programs);
+    for &n in &programs {
+        print!("{n:>8}");
+        for &d in &devices {
+            let cell = cells
+                .iter()
+                .find(|c| c.device_qubits == d && c.logical_qubits == n)
+                .unwrap();
+            if cell.feasible {
+                print!("{:>7.0}%", 100.0 * cell.pqec_win_fraction);
+            } else {
+                print!("{:>8}", ".");
+            }
+        }
+        println!();
+    }
+    println!("\npaper shape: conventional wins small-program/large-device corner; pQEC wins at the device frontier");
+}

@@ -1,0 +1,24 @@
+//! Figure 6: relative fidelity improvement of pQEC over qec-cultivation
+//! at 10k and 20k physical qubits, 10-70 logical qubits.
+
+use eft_vqa::sweeps::fig6_rows;
+use eftq_bench::{fmt, header};
+
+fn main() {
+    let programs: Vec<usize> = (12..=68).step_by(8).collect();
+    header("Figure 6 - pQEC vs qec-cultivation");
+    println!("{:>8} {:>12} {:>12}", "qubits", "10k device", "20k device");
+    let rows10 = fig6_rows(&[10_000], &programs);
+    let rows20 = fig6_rows(&[20_000], &programs);
+    for &n in &programs {
+        let a = rows10.iter().find(|r| r.logical_qubits == n);
+        let b = rows20.iter().find(|r| r.logical_qubits == n);
+        println!(
+            "{:>8} {} {}",
+            n,
+            a.map_or("   (unfit)".into(), |r| fmt(r.improvement)),
+            b.map_or("   (unfit)".into(), |r| fmt(r.improvement)),
+        );
+    }
+    println!("\npaper shape: cultivation wins at small logical counts (ratio < 1); pQEC wins as qubits grow; 20k shifts the crossover right");
+}

@@ -1,0 +1,25 @@
+//! Figure 8: spacetime volume of patch shuffling vs the naive strategy
+//! with b = 1..4 backup states, 20-76 qubits.
+
+use eftq_bench::header;
+use eftq_layout::shuffling::{naive_backup_volume, patch_shuffling_volume};
+use eftq_qec::InjectionModel;
+
+fn main() {
+    header("Figure 8 - patch shuffling vs naive backup provisioning");
+    let model = InjectionModel::eft_default();
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "qubits", "shuffling", "naive b=1", "naive b=2", "naive b=3", "naive b=4"
+    );
+    for n in (20..=76).step_by(4) {
+        let s = patch_shuffling_volume(n, 1, &model);
+        print!("{n:>7} {:>14.3e}", s.volume);
+        for b in 1..=4 {
+            let v = naive_backup_volume(n, 1, b, &model);
+            print!(" {:>14.3e}", v.volume);
+        }
+        println!();
+    }
+    println!("\npaper shape: shuffling below every naive curve; naive volume grows with b");
+}

@@ -1,0 +1,22 @@
+//! Figure 11: NISQ vs EFT (pQEC) fidelity against circuit depth for the
+//! blocked_all_to_all ansatz at 8, 12 and 16 qubits; plus the Section-4.4
+//! theoretical crossover.
+
+use eft_vqa::crossover::{blocked_crossover_qubits, fig11_curves};
+use eftq_bench::{fmt, header};
+
+fn main() {
+    header("Figure 11 - NISQ vs EFT fidelity vs depth (blocked_all_to_all)");
+    for n in [8usize, 12, 16] {
+        println!("\n-- {n} qubits --");
+        println!("{:>7} {:>10} {:>10}", "depth", "NISQ", "EFT");
+        for pt in fig11_curves(n, 24).iter().step_by(4) {
+            println!("{:>7} {} {}", pt.depth, fmt(pt.nisq), fmt(pt.eft));
+        }
+    }
+    println!(
+        "\ntheoretical crossover (Section 4.4): N = {} (paper: 13; empirical: ~12)",
+        blocked_crossover_qubits()
+    );
+    println!("paper shape: NISQ wins at 8 qubits for large depth; EFT wins at 12 and 16");
+}

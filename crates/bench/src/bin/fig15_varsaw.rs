@@ -1,0 +1,44 @@
+//! Figure 15: VarSaw-style measurement mitigation improves VQE
+//! convergence for both NISQ and pQEC execution (paper: 12-qubit J=1
+//! Ising and Heisenberg; reduced default: 6-qubit).
+
+use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d};
+use eft_vqa::vqe::{run_vqe, VqeConfig};
+use eft_vqa::ExecutionRegime;
+use eftq_bench::{fmt, full_scale, header};
+use eftq_circuit::ansatz::fully_connected_hea;
+
+fn main() {
+    header("Figure 15 - VarSaw measurement mitigation (J = 1)");
+    let n = if full_scale() { 12 } else { 6 };
+    let config = VqeConfig {
+        max_iters: if full_scale() { 300 } else { 250 },
+        restarts: 2,
+        ..VqeConfig::default()
+    };
+    println!(
+        "{:>14} {:>7} {:>12} {:>12} {:>12}",
+        "model", "regime", "plain", "with VarSaw", "E0"
+    );
+    for (name, h) in [("Ising", ising_1d(n, 1.0)), ("Heisenberg", heisenberg_1d(n, 1.0))] {
+        let e0 = h.ground_energy_default().unwrap();
+        let ansatz = fully_connected_hea(n, 1);
+        for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+            let plain = run_vqe(&ansatz, &h, &regime, &config);
+            let mitigated = run_vqe(
+                &ansatz,
+                &h,
+                &regime,
+                &VqeConfig { mitigate_measurement: true, ..config },
+            );
+            println!(
+                "{name:>14} {:>7} {} {} {}",
+                regime.name(),
+                fmt(plain.best_energy),
+                fmt(mitigated.best_energy),
+                fmt(e0)
+            );
+        }
+    }
+    println!("\npaper shape: mitigation converges to lower energy in both regimes (larger effect under NISQ's 1e-2 readout error)");
+}

@@ -1,0 +1,23 @@
+//! Section 4.4: the CNOT-to-Rz ratio rule for EFT ansatz design.
+
+use eft_vqa::crossover::{
+    blocked_cx_to_rz_ratio, fche_cx_to_rz_ratio, linear_cx_to_rz_ratio, RATIO_THRESHOLD,
+};
+use eftq_bench::header;
+
+fn main() {
+    header("Section 4.4 - CNOT:Rz growth ratios vs the 0.76 threshold");
+    println!(
+        "{:>7} {:>22} {:>10} {:>10}",
+        "qubits", "blocked_all_to_all", "FCHE", "linear"
+    );
+    for n in (8..=40).step_by(4) {
+        println!(
+            "{n:>7} {:>22.3} {:>10.3} {:>10.3}",
+            blocked_cx_to_rz_ratio(n),
+            fche_cx_to_rz_ratio(n),
+            linear_cx_to_rz_ratio(n)
+        );
+    }
+    println!("\nthreshold = {RATIO_THRESHOLD}; blocked crosses at N = 13; linear never crosses (0.25)");
+}

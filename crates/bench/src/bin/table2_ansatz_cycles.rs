@@ -1,0 +1,19 @@
+//! Table 2: cycles taken by blocked_all_to_all vs the FCHE ansatz.
+
+use eftq_bench::header;
+use eftq_circuit::AnsatzKind;
+use eftq_layout::layouts::LayoutModel;
+use eftq_layout::schedule::{schedule_ansatz, ScheduleConfig};
+
+fn main() {
+    header("Table 2 - schedule length (cycles), proposed layout, p = 1");
+    let cfg = ScheduleConfig::default();
+    let ours = LayoutModel::proposed();
+    println!("{:>8} {:>22} {:>8}", "qubits", "blocked_all_to_all", "FCHE");
+    for n in [20usize, 40, 60] {
+        let b = schedule_ansatz(AnsatzKind::BlockedAllToAll, n, 1, &ours, &cfg);
+        let f = schedule_ansatz(AnsatzKind::FullyConnectedHea, n, 1, &ours, &cfg);
+        println!("{n:>8} {:>22} {:>8}", b.cycles, f.cycles);
+    }
+    println!("\npaper values: blocked 71/121/171, FCHE 131/271/411 (exact match expected)");
+}

@@ -1,0 +1,47 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` that regenerates its rows/series (`cargo run -p eftq-bench
+//! --bin <name> --release`), plus Criterion micro-benches under `benches/`.
+//!
+//! Binaries run a *reduced* configuration by default so the whole harness
+//! finishes in minutes; set `EFT_FULL=1` for the paper-scale sweeps
+//! (12-qubit density matrices, 100-qubit Clifford VQE, the full 8–164
+//! layout sweep).
+
+/// Whether the paper-scale configuration was requested via `EFT_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("EFT_FULL").map_or(false, |v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Prints a rule-of-dashes header for a table.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a fidelity/ratio with stable width.
+pub fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:>10.1}")
+    } else {
+        format!("{v:>10.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_widths() {
+        assert_eq!(fmt(1.0).trim(), "1.0000");
+        assert_eq!(fmt(257.54).trim(), "257.5");
+    }
+
+    #[test]
+    fn full_scale_reads_env() {
+        // Cannot mutate the environment safely in tests; just ensure the
+        // call does not panic and returns a bool.
+        let _ = full_scale();
+    }
+}

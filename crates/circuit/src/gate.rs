@@ -1,0 +1,277 @@
+//! The gate set: Cliffords, parameterized rotations and measurement.
+
+use eftq_numerics::Mat2;
+use std::fmt;
+
+/// A rotation angle: either a concrete value or a symbolic parameter index
+/// into the ansatz parameter vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Angle {
+    /// A bound angle in radians.
+    Value(f64),
+    /// A reference to parameter `θ_k` of the enclosing variational circuit.
+    Param(usize),
+}
+
+impl Angle {
+    /// The concrete value, if bound.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Angle::Value(v) => Some(v),
+            Angle::Param(_) => None,
+        }
+    }
+
+    /// Resolves against a parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbolic index is out of range.
+    pub fn resolve(self, params: &[f64]) -> f64 {
+        match self {
+            Angle::Value(v) => v,
+            Angle::Param(i) => params[i],
+        }
+    }
+}
+
+impl From<f64> for Angle {
+    fn from(v: f64) -> Self {
+        Angle::Value(v)
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Angle::Value(v) => write!(f, "{v:.6}"),
+            Angle::Param(i) => write!(f, "θ{i}"),
+        }
+    }
+}
+
+/// A gate in the `Clifford + Rz/Rx/Ry` set used by EFT-VQA, plus
+/// measurement.
+///
+/// Qubit indices are validated by [`crate::Circuit`], not by the gate
+/// itself.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Phase gate S.
+    S(usize),
+    /// Inverse phase gate S†.
+    Sdg(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// T gate (non-Clifford, π/8 rotation).
+    T(usize),
+    /// T† gate.
+    Tdg(usize),
+    /// Z-rotation `Rz(θ)`.
+    Rz(usize, Angle),
+    /// X-rotation `Rx(θ)`.
+    Rx(usize, Angle),
+    /// Y-rotation `Ry(θ)`.
+    Ry(usize, Angle),
+    /// CNOT with (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// Swap.
+    Swap(usize, usize),
+    /// Computational-basis measurement.
+    Measure(usize),
+}
+
+impl Gate {
+    /// The qubits this gate touches (one or two entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rz(q, _)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Measure(q) => vec![q],
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether the gate acts on two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cx(..) | Gate::Cz(..) | Gate::Swap(..))
+    }
+
+    /// Whether the gate is a measurement.
+    pub fn is_measurement(&self) -> bool {
+        matches!(self, Gate::Measure(_))
+    }
+
+    /// Whether the gate is Clifford. Bound rotations are Clifford when the
+    /// angle is a multiple of π/2 (within `tol` radians); symbolic rotations
+    /// are conservatively non-Clifford.
+    pub fn is_clifford(&self, tol: f64) -> bool {
+        match *self {
+            Gate::H(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::Cx(..)
+            | Gate::Cz(..)
+            | Gate::Swap(..) => true,
+            Gate::T(_) | Gate::Tdg(_) => false,
+            Gate::Rz(_, a) | Gate::Rx(_, a) | Gate::Ry(_, a) => match a {
+                Angle::Value(v) => angle_is_multiple_of(v, std::f64::consts::FRAC_PI_2, tol),
+                Angle::Param(_) => false,
+            },
+            Gate::Measure(_) => true,
+        }
+    }
+
+    /// Whether the gate carries an unbound symbolic parameter.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(
+            self,
+            Gate::Rz(_, Angle::Param(_)) | Gate::Rx(_, Angle::Param(_)) | Gate::Ry(_, Angle::Param(_))
+        )
+    }
+
+    /// The single-qubit unitary of a bound, non-measurement single-qubit
+    /// gate; `None` for two-qubit gates, measurements and symbolic
+    /// rotations.
+    pub fn matrix_1q(&self) -> Option<Mat2> {
+        Some(match *self {
+            Gate::H(_) => Mat2::hadamard(),
+            Gate::S(_) => Mat2::s_gate(),
+            Gate::Sdg(_) => Mat2::sdg_gate(),
+            Gate::X(_) => Mat2::pauli_x(),
+            Gate::Y(_) => Mat2::pauli_y(),
+            Gate::Z(_) => Mat2::pauli_z(),
+            Gate::T(_) => Mat2::t_gate(),
+            Gate::Tdg(_) => Mat2::t_gate().adjoint(),
+            Gate::Rz(_, Angle::Value(v)) => Mat2::rz(v),
+            Gate::Rx(_, Angle::Value(v)) => Mat2::rx(v),
+            Gate::Ry(_, Angle::Value(v)) => Mat2::ry(v),
+            _ => return None,
+        })
+    }
+
+    /// Short mnemonic (`"cx"`, `"rz"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rz(..) => "rz",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Cx(..) => "cx",
+            Gate::Cz(..) => "cz",
+            Gate::Swap(..) => "swap",
+            Gate::Measure(_) => "measure",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::Rz(q, a) => write!(f, "rz({a}) q{q}"),
+            Gate::Rx(q, a) => write!(f, "rx({a}) q{q}"),
+            Gate::Ry(q, a) => write!(f, "ry({a}) q{q}"),
+            Gate::Cx(c, t) => write!(f, "cx q{c}, q{t}"),
+            Gate::Cz(a, b) => write!(f, "cz q{a}, q{b}"),
+            Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
+            ref g => write!(f, "{} q{}", g.name(), g.qubits()[0]),
+        }
+    }
+}
+
+/// Whether `angle` is `k·unit` for integer `k` within `tol` radians.
+pub fn angle_is_multiple_of(angle: f64, unit: f64, tol: f64) -> bool {
+    let r = (angle / unit).round();
+    (angle - r * unit).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn angle_resolution() {
+        assert_eq!(Angle::Value(1.5).resolve(&[]), 1.5);
+        assert_eq!(Angle::Param(1).resolve(&[0.0, 2.5]), 2.5);
+        assert_eq!(Angle::from(0.25).value(), Some(0.25));
+        assert_eq!(Angle::Param(0).value(), None);
+    }
+
+    #[test]
+    fn qubits_and_arity() {
+        assert_eq!(Gate::Cx(2, 5).qubits(), vec![2, 5]);
+        assert!(Gate::Cx(0, 1).is_two_qubit());
+        assert!(!Gate::H(0).is_two_qubit());
+        assert!(Gate::Measure(3).is_measurement());
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H(0).is_clifford(1e-9));
+        assert!(Gate::Cx(0, 1).is_clifford(1e-9));
+        assert!(!Gate::T(0).is_clifford(1e-9));
+        assert!(Gate::Rz(0, Angle::Value(FRAC_PI_2)).is_clifford(1e-9));
+        assert!(Gate::Rz(0, Angle::Value(PI)).is_clifford(1e-9));
+        assert!(Gate::Rz(0, Angle::Value(0.0)).is_clifford(1e-9));
+        assert!(!Gate::Rz(0, Angle::Value(FRAC_PI_4)).is_clifford(1e-9));
+        assert!(!Gate::Rz(0, Angle::Param(0)).is_clifford(1e-9));
+    }
+
+    #[test]
+    fn symbolic_detection() {
+        assert!(Gate::Rx(0, Angle::Param(3)).is_symbolic());
+        assert!(!Gate::Rx(0, Angle::Value(0.1)).is_symbolic());
+        assert!(!Gate::H(0).is_symbolic());
+    }
+
+    #[test]
+    fn matrices_match_numerics() {
+        let rz = Gate::Rz(0, Angle::Value(0.7)).matrix_1q().unwrap();
+        assert!(rz.approx_eq(&Mat2::rz(0.7), 1e-12));
+        assert!(Gate::Cx(0, 1).matrix_1q().is_none());
+        assert!(Gate::Rz(0, Angle::Param(0)).matrix_1q().is_none());
+        let tdg = Gate::Tdg(0).matrix_1q().unwrap();
+        assert!(tdg.mul(&Mat2::t_gate()).approx_eq(&Mat2::identity(), 1e-12));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::Cx(0, 1).to_string(), "cx q0, q1");
+        assert_eq!(Gate::Rz(2, Angle::Param(4)).to_string(), "rz(θ4) q2");
+        assert_eq!(Gate::H(7).to_string(), "h q7");
+    }
+
+    #[test]
+    fn multiple_detection_tolerance() {
+        assert!(angle_is_multiple_of(PI + 1e-12, FRAC_PI_2, 1e-9));
+        assert!(!angle_is_multiple_of(PI / 3.0, FRAC_PI_2, 1e-9));
+    }
+}

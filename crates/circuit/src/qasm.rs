@@ -1,0 +1,180 @@
+//! OpenQASM 2.0 export.
+//!
+//! A reproduction a downstream user would adopt needs an escape hatch to
+//! the wider toolchain: `to_qasm` serializes any bound circuit to OpenQASM
+//! 2.0 (the dialect Qiskit, the paper's own toolchain, consumes), so
+//! ansatz instances built here can be cross-checked elsewhere.
+
+use crate::circuit::Circuit;
+use crate::gate::{Angle, Gate};
+use std::fmt::Write as _;
+
+/// Error from QASM serialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QasmError {
+    /// The circuit still contains symbolic parameters — bind it first.
+    SymbolicParameter {
+        /// The parameter index encountered.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::SymbolicParameter { index } => {
+                write!(f, "circuit contains unbound parameter θ{index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Serializes a bound circuit to OpenQASM 2.0.
+///
+/// # Errors
+///
+/// Returns [`QasmError::SymbolicParameter`] if any rotation is unbound.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_circuit::{qasm::to_qasm, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let text = to_qasm(&c).unwrap();
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+    for gate in circuit.gates() {
+        match *gate {
+            Gate::H(q) => {
+                let _ = writeln!(out, "h q[{q}];");
+            }
+            Gate::S(q) => {
+                let _ = writeln!(out, "s q[{q}];");
+            }
+            Gate::Sdg(q) => {
+                let _ = writeln!(out, "sdg q[{q}];");
+            }
+            Gate::X(q) => {
+                let _ = writeln!(out, "x q[{q}];");
+            }
+            Gate::Y(q) => {
+                let _ = writeln!(out, "y q[{q}];");
+            }
+            Gate::Z(q) => {
+                let _ = writeln!(out, "z q[{q}];");
+            }
+            Gate::T(q) => {
+                let _ = writeln!(out, "t q[{q}];");
+            }
+            Gate::Tdg(q) => {
+                let _ = writeln!(out, "tdg q[{q}];");
+            }
+            Gate::Rz(q, a) => {
+                let v = angle_value(a)?;
+                let _ = writeln!(out, "rz({v:.12}) q[{q}];");
+            }
+            Gate::Rx(q, a) => {
+                let v = angle_value(a)?;
+                let _ = writeln!(out, "rx({v:.12}) q[{q}];");
+            }
+            Gate::Ry(q, a) => {
+                let v = angle_value(a)?;
+                let _ = writeln!(out, "ry({v:.12}) q[{q}];");
+            }
+            Gate::Cx(c, t) => {
+                let _ = writeln!(out, "cx q[{c}],q[{t}];");
+            }
+            Gate::Cz(a, b) => {
+                let _ = writeln!(out, "cz q[{a}],q[{b}];");
+            }
+            Gate::Swap(a, b) => {
+                let _ = writeln!(out, "swap q[{a}],q[{b}];");
+            }
+            Gate::Measure(q) => {
+                let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn angle_value(a: Angle) -> Result<f64, QasmError> {
+    match a {
+        Angle::Value(v) => Ok(v),
+        Angle::Param(index) => Err(QasmError::SymbolicParameter { index }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::fully_connected_hea;
+
+    #[test]
+    fn header_and_registers() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c).unwrap();
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+        assert!(q.contains("creg c[3];"));
+    }
+
+    #[test]
+    fn all_gate_forms_serialize() {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .s(0)
+            .sdg(0)
+            .x(1)
+            .y(1)
+            .z(1)
+            .t(0)
+            .tdg(0)
+            .rz(0, 0.5)
+            .rx(1, -0.25)
+            .ry(0, 1.0)
+            .cx(0, 1)
+            .cz(0, 1)
+            .swap(0, 1)
+            .measure(0);
+        let q = to_qasm(&c).unwrap();
+        for needle in [
+            "h q[0];",
+            "sdg q[0];",
+            "tdg q[0];",
+            "rz(0.500000000000) q[0];",
+            "rx(-0.250000000000) q[1];",
+            "cx q[0],q[1];",
+            "cz q[0],q[1];",
+            "swap q[0],q[1];",
+            "measure q[0] -> c[0];",
+        ] {
+            assert!(q.contains(needle), "missing {needle:?} in:\n{q}");
+        }
+        // One statement per gate plus 4 header lines.
+        assert_eq!(q.lines().count(), c.len() + 4);
+    }
+
+    #[test]
+    fn symbolic_circuits_are_rejected() {
+        let a = fully_connected_hea(3, 1);
+        let err = to_qasm(a.circuit()).unwrap_err();
+        assert!(matches!(err, QasmError::SymbolicParameter { .. }));
+        assert!(err.to_string().contains("unbound parameter"));
+        // Bound versions serialize fine.
+        let bound = a.circuit().bind_all(0.3);
+        assert!(to_qasm(&bound).is_ok());
+    }
+}

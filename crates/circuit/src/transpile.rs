@@ -1,0 +1,391 @@
+//! Circuit rewriting passes.
+//!
+//! The passes here implement the compilation story of the paper:
+//!
+//! * [`merge_rotations`] — folds adjacent same-axis bound rotations, the
+//!   standard pre-pass before counting injection-requiring gates.
+//! * [`lower_clifford_rotations`] — rewrites `Rz`/`Rx` at Clifford angles
+//!   into `S`/`Z`/`H` words so only genuinely non-Clifford rotations remain
+//!   (those are the ones that need magic-state injection under pQEC).
+//! * [`rx_to_rz`] — the `Rx(θ) = H·Rz(θ)·H` basis change of Figure 2(B);
+//!   after it, all injection-requiring rotations are Z-rotations.
+//! * [`expand_rus`] — the runtime repeat-until-success expansion of
+//!   Figure 2(B): each `Rz(θ)` consumption fails with probability ½ and is
+//!   compensated by a doubled-angle attempt, so a circuit that looks like
+//!   Figure 2(A) before execution dynamically becomes Figure 2(B).
+
+use crate::circuit::Circuit;
+use crate::gate::{angle_is_multiple_of, Angle, Gate};
+use rand::Rng;
+use std::f64::consts::FRAC_PI_2;
+
+const CLIFFORD_TOL: f64 = 1e-9;
+
+/// Folds runs of adjacent bound `Rz`/`Rx`/`Ry` rotations on the same qubit
+/// and axis into a single rotation, dropping rotations whose folded angle is
+/// ~0 (mod 2π). Symbolic rotations act as barriers.
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    // pending[(qubit)] = (axis tag, accumulated angle)
+    let mut pending: Vec<Option<(u8, f64)>> = vec![None; circuit.num_qubits()];
+
+    fn flush(out: &mut Circuit, q: usize, slot: &mut Option<(u8, f64)>) {
+        if let Some((axis, angle)) = slot.take() {
+            let angle = angle.rem_euclid(4.0 * std::f64::consts::PI);
+            if !angle_is_multiple_of(angle, 4.0 * std::f64::consts::PI, CLIFFORD_TOL) {
+                let g = match axis {
+                    0 => Gate::Rz(q, Angle::Value(angle)),
+                    1 => Gate::Rx(q, Angle::Value(angle)),
+                    _ => Gate::Ry(q, Angle::Value(angle)),
+                };
+                out.push(g);
+            }
+        }
+    }
+
+    for g in circuit.gates() {
+        match *g {
+            Gate::Rz(q, Angle::Value(v)) => accumulate(&mut out, &mut pending, q, 0, v),
+            Gate::Rx(q, Angle::Value(v)) => accumulate(&mut out, &mut pending, q, 1, v),
+            Gate::Ry(q, Angle::Value(v)) => accumulate(&mut out, &mut pending, q, 2, v),
+            ref g => {
+                for q in g.qubits() {
+                    let mut slot = pending[q].take();
+                    flush(&mut out, q, &mut slot);
+                }
+                out.push(*g);
+            }
+        }
+    }
+    for q in 0..circuit.num_qubits() {
+        let mut slot = pending[q].take();
+        flush(&mut out, q, &mut slot);
+    }
+    return out;
+
+    fn accumulate(
+        out: &mut Circuit,
+        pending: &mut [Option<(u8, f64)>],
+        q: usize,
+        axis: u8,
+        v: f64,
+    ) {
+        match pending[q] {
+            Some((a, acc)) if a == axis => pending[q] = Some((axis, acc + v)),
+            Some((a, acc)) => {
+                // Different axis: flush the old accumulation first.
+                let angle = acc.rem_euclid(4.0 * std::f64::consts::PI);
+                if !angle_is_multiple_of(angle, 4.0 * std::f64::consts::PI, CLIFFORD_TOL) {
+                    let g = match a {
+                        0 => Gate::Rz(q, Angle::Value(angle)),
+                        1 => Gate::Rx(q, Angle::Value(angle)),
+                        _ => Gate::Ry(q, Angle::Value(angle)),
+                    };
+                    out.push(g);
+                }
+                pending[q] = Some((axis, v));
+            }
+            None => pending[q] = Some((axis, v)),
+        }
+    }
+}
+
+/// Rewrites bound rotations at Clifford angles (multiples of π/2) into
+/// Clifford gate words: `Rz → {ε, S, Z, S†}`, `Rx → {ε, H·S·H, X, H·S†·H}`,
+/// `Ry → {ε, S·H·S·S, Y, (S·H·S·S)†}` — all up to global phase, which is
+/// irrelevant for every consumer in this workspace. Non-Clifford and
+/// symbolic rotations pass through unchanged.
+pub fn lower_clifford_rotations(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for g in circuit.gates() {
+        match *g {
+            Gate::Rz(q, Angle::Value(v)) if angle_is_multiple_of(v, FRAC_PI_2, CLIFFORD_TOL) => {
+                match quarter_turns(v) {
+                    0 => {}
+                    1 => {
+                        out.s(q);
+                    }
+                    2 => {
+                        out.z(q);
+                    }
+                    _ => {
+                        out.sdg(q);
+                    }
+                }
+            }
+            Gate::Rx(q, Angle::Value(v)) if angle_is_multiple_of(v, FRAC_PI_2, CLIFFORD_TOL) => {
+                match quarter_turns(v) {
+                    0 => {}
+                    1 => {
+                        out.h(q).s(q).h(q);
+                    }
+                    2 => {
+                        out.x(q);
+                    }
+                    _ => {
+                        out.h(q).sdg(q).h(q);
+                    }
+                }
+            }
+            Gate::Ry(q, Angle::Value(v)) if angle_is_multiple_of(v, FRAC_PI_2, CLIFFORD_TOL) => {
+                match quarter_turns(v) {
+                    0 => {}
+                    1 => {
+                        // Ry(π/2) = X·H exactly (apply H first, then X).
+                        out.h(q).x(q);
+                    }
+                    2 => {
+                        out.y(q);
+                    }
+                    _ => {
+                        // Ry(3π/2) = (X·H)† = H·X.
+                        out.x(q).h(q);
+                    }
+                }
+            }
+            g => {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+fn quarter_turns(v: f64) -> u8 {
+    let k = (v / FRAC_PI_2).round() as i64;
+    (k.rem_euclid(4)) as u8
+}
+
+/// Rewrites every bound non-Clifford `Rx(θ)` into `H · Rz(θ) · H` and
+/// `Ry(θ)` into `S† H S? …` — concretely `Ry(θ) = Sdg · H · Sdg · Rz(θ) ·
+/// S · H · S` is avoided in favour of the simpler exact identity
+/// `Ry(θ) = S · Rx(θ) · S†` followed by the Rx rule. After this pass the
+/// only injection-requiring rotations are Z-rotations, matching the pQEC
+/// execution model (Figure 2(B)).
+pub fn rx_to_rz(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for g in circuit.gates() {
+        match *g {
+            Gate::Rx(q, a) if !g.is_clifford(CLIFFORD_TOL) => {
+                out.h(q);
+                out.push(Gate::Rz(q, a));
+                out.h(q);
+            }
+            Gate::Ry(q, a) if !g.is_clifford(CLIFFORD_TOL) => {
+                // Ry(θ) = S · H · Rz(θ) · H · S†  (since S·Rx·S† = Ry).
+                out.sdg(q).h(q);
+                out.push(Gate::Rz(q, a));
+                out.h(q).s(q);
+            }
+            g => {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+/// Result of a repeat-until-success expansion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RusExpansion {
+    /// The runtime circuit (Figure 2(B)): failed attempts leave `Rz(−2^i θ)`
+    /// followed by the compensating doubled attempt.
+    pub circuit: Circuit,
+    /// Total number of magic-state injections performed (one per attempt).
+    pub injections: usize,
+    /// Number of logical rotations that were expanded.
+    pub logical_rotations: usize,
+}
+
+/// Samples the runtime form of a circuit under repeat-until-success `Rz`
+/// consumption: each bound non-Clifford `Rz(θ)` attempt succeeds with
+/// probability ½; on failure the state has received `Rz(−θ_i)` and a
+/// compensating attempt with doubled angle follows (Section 3.1).
+///
+/// Clifford-angle and symbolic rotations pass through unexpanded. `Rx`/`Ry`
+/// rotations should be lowered with [`rx_to_rz`] first; they pass through
+/// unchanged here.
+pub fn expand_rus<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> RusExpansion {
+    let mut out = Circuit::new(circuit.num_qubits());
+    let mut injections = 0usize;
+    let mut logical = 0usize;
+    for g in circuit.gates() {
+        match *g {
+            Gate::Rz(q, Angle::Value(v)) if !g.is_clifford(CLIFFORD_TOL) => {
+                logical += 1;
+                let mut scale = 1.0f64;
+                loop {
+                    injections += 1;
+                    if rng.gen_bool(0.5) {
+                        // Success: the intended rotation lands.
+                        out.rz(q, v * scale);
+                        break;
+                    }
+                    // Failure: Rz(−θ_i) applied, compensate with 2θ_i next.
+                    out.rz(q, -v * scale);
+                    scale *= 2.0;
+                }
+            }
+            g => {
+                out.push(g);
+            }
+        }
+    }
+    RusExpansion {
+        circuit: out,
+        injections,
+        logical_rotations: logical,
+    }
+}
+
+/// Expected number of injections per logical rotation under RUS with
+/// success probability ½ — the paper's `E[g] = 2` (Section 4.4).
+pub const EXPECTED_INJECTIONS_PER_ROTATION: f64 = 2.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eftq_numerics::Mat2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    /// Dense 2×2 unitary of a single-qubit circuit (for verification).
+    fn unitary_1q(c: &Circuit) -> Mat2 {
+        let mut u = Mat2::identity();
+        for g in c.gates() {
+            let m = g
+                .matrix_1q()
+                .unwrap_or_else(|| panic!("non-1q gate {g} in unitary_1q"));
+            u = m.mul(&u);
+        }
+        u
+    }
+
+    #[test]
+    fn merge_folds_adjacent_same_axis() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25).rz(0, 0.5).rx(0, 0.1);
+        let m = merge_rotations(&c);
+        assert_eq!(m.len(), 2);
+        let u = unitary_1q(&m);
+        let want = Mat2::rx(0.1).mul(&Mat2::rz(0.75));
+        assert!(u.phase_invariant_distance(&want) < 1e-10);
+    }
+
+    #[test]
+    fn merge_drops_identity_rotations() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 1.0).rz(0, -1.0);
+        let m = merge_rotations(&c);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_respects_blocking_gates() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3).cx(0, 1).rz(0, 0.3);
+        let m = merge_rotations(&c);
+        assert_eq!(m.counts().rz_like, 2);
+    }
+
+    #[test]
+    fn lower_clifford_rz_variants() {
+        for (angle, _name) in [(0.0, "id"), (FRAC_PI_2, "s"), (PI, "z"), (3.0 * FRAC_PI_2, "sdg")] {
+            let mut c = Circuit::new(1);
+            c.rz(0, angle);
+            let l = lower_clifford_rotations(&c);
+            assert_eq!(l.counts().rz_like, 0, "angle {angle}");
+            if angle != 0.0 {
+                let u = unitary_1q(&l);
+                assert!(
+                    u.phase_invariant_distance(&Mat2::rz(angle)) < 1e-10,
+                    "angle {angle}"
+                );
+            } else {
+                assert!(l.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lower_clifford_rx_and_ry_unitaries_match() {
+        for k in 1..4u8 {
+            let angle = f64::from(k) * FRAC_PI_2;
+            let mut cx = Circuit::new(1);
+            cx.rx(0, angle);
+            let lx = lower_clifford_rotations(&cx);
+            assert!(
+                unitary_1q(&lx).phase_invariant_distance(&Mat2::rx(angle)) < 1e-10,
+                "rx k={k}"
+            );
+            let mut cy = Circuit::new(1);
+            cy.ry(0, angle);
+            let ly = lower_clifford_rotations(&cy);
+            assert!(
+                unitary_1q(&ly).phase_invariant_distance(&Mat2::ry(angle)) < 1e-10,
+                "ry k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn rx_to_rz_preserves_unitary() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.7);
+        let l = rx_to_rz(&c);
+        assert_eq!(l.counts().rz_like, 1);
+        assert!(unitary_1q(&l).phase_invariant_distance(&Mat2::rx(0.7)) < 1e-10);
+    }
+
+    #[test]
+    fn ry_to_rz_preserves_unitary() {
+        let mut c = Circuit::new(1);
+        c.ry(0, 1.3);
+        let l = rx_to_rz(&c);
+        assert!(unitary_1q(&l).phase_invariant_distance(&Mat2::ry(1.3)) < 1e-10);
+        // All remaining rotations are Z-rotations.
+        for g in l.gates() {
+            assert!(!matches!(g, Gate::Rx(..) | Gate::Ry(..)));
+        }
+    }
+
+    #[test]
+    fn rus_expansion_net_rotation_is_correct() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.31);
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = expand_rus(&c, &mut rng);
+            let u = unitary_1q(&e.circuit);
+            assert!(
+                u.phase_invariant_distance(&Mat2::rz(0.31)) < 1e-9,
+                "seed {seed}: net rotation wrong"
+            );
+            assert!(e.injections >= 1);
+            assert_eq!(e.logical_rotations, 1);
+        }
+    }
+
+    #[test]
+    fn rus_expected_injections_close_to_two() {
+        let mut c = Circuit::new(1);
+        for _ in 0..200 {
+            c.rz(0, 0.2);
+        }
+        let mut rng = StdRng::seed_from_u64(99);
+        let e = expand_rus(&c, &mut rng);
+        let mean = e.injections as f64 / e.logical_rotations as f64;
+        assert!((mean - EXPECTED_INJECTIONS_PER_ROTATION).abs() < 0.3, "{mean}");
+    }
+
+    #[test]
+    fn rus_leaves_clifford_rotations_alone() {
+        let mut c = Circuit::new(1);
+        c.rz(0, PI);
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = expand_rus(&c, &mut rng);
+        assert_eq!(e.injections, 0);
+        assert_eq!(e.circuit.len(), 1);
+    }
+}

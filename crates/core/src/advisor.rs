@@ -1,0 +1,178 @@
+//! The regime advisor: Figures 4–6 as a planning API.
+//!
+//! Given a workload and a device, rank every execution strategy the paper
+//! studies (NISQ, pQEC, qec-conventional over the factory catalog,
+//! qec-cultivation) by modeled iteration fidelity and produce a plan —
+//! the library form of the `eft_resource_planner` example, so downstream
+//! tools can automate the decision.
+
+use crate::fidelity::{
+    conventional_fidelity, cultivation_fidelity, nisq_fidelity, pqec_fidelity, Workload,
+};
+use eftq_qec::{DeviceModel, FACTORY_CATALOG};
+use serde::{Deserialize, Serialize};
+
+/// An execution strategy the advisor can recommend.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Run bare (no QEC).
+    Nisq,
+    /// Partial QEC at the given code distance.
+    Pqec {
+        /// Chosen code distance.
+        distance: usize,
+    },
+    /// Clifford+T with the named distillation factory.
+    Conventional {
+        /// Factory name from the catalog.
+        factory: String,
+        /// Factories deployed.
+        units: usize,
+        /// Program code distance.
+        distance: usize,
+    },
+    /// Clifford+T with magic-state cultivation.
+    Cultivation {
+        /// Cultivation units deployed.
+        units: usize,
+        /// Program code distance.
+        distance: usize,
+    },
+}
+
+/// One ranked row of the advisor's output.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankedStrategy {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Modeled iteration fidelity.
+    pub fidelity: f64,
+}
+
+/// The advisor's plan: every feasible strategy, best first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegimePlan {
+    /// Workload summary the plan was computed for.
+    pub logical_qubits: usize,
+    /// Device physical qubits.
+    pub device_qubits: usize,
+    /// Feasible strategies, sorted by descending fidelity.
+    pub ranking: Vec<RankedStrategy>,
+}
+
+impl RegimePlan {
+    /// The winning strategy.
+    ///
+    /// # Panics
+    ///
+    /// Never — NISQ is always feasible, so the ranking is non-empty.
+    pub fn best(&self) -> &RankedStrategy {
+        &self.ranking[0]
+    }
+
+    /// Fidelity advantage of the winner over the runner-up (1.0 when only
+    /// one strategy is feasible).
+    pub fn margin(&self) -> f64 {
+        if self.ranking.len() < 2 {
+            return 1.0;
+        }
+        self.ranking[0].fidelity / self.ranking[1].fidelity
+    }
+}
+
+/// Ranks every strategy for `workload` on `device`.
+pub fn plan(workload: &Workload, device: &DeviceModel) -> RegimePlan {
+    let mut ranking: Vec<RankedStrategy> = Vec::new();
+    ranking.push(RankedStrategy {
+        strategy: Strategy::Nisq,
+        fidelity: nisq_fidelity(workload, device.p_phys),
+    });
+    if let Some(r) = pqec_fidelity(workload, device) {
+        ranking.push(RankedStrategy {
+            strategy: Strategy::Pqec {
+                distance: r.distance,
+            },
+            fidelity: r.fidelity,
+        });
+    }
+    for factory in &FACTORY_CATALOG {
+        if let Some(r) = conventional_fidelity(workload, device, factory) {
+            ranking.push(RankedStrategy {
+                strategy: Strategy::Conventional {
+                    factory: factory.name.to_string(),
+                    units: r.units,
+                    distance: r.distance,
+                },
+                fidelity: r.fidelity,
+            });
+        }
+    }
+    if let Some(r) = cultivation_fidelity(workload, device) {
+        ranking.push(RankedStrategy {
+            strategy: Strategy::Cultivation {
+                units: r.units,
+                distance: r.distance,
+            },
+            fidelity: r.fidelity,
+        });
+    }
+    ranking.sort_by(|a, b| b.fidelity.partial_cmp(&a.fidelity).unwrap());
+    RegimePlan {
+        logical_qubits: workload.logical_qubits,
+        device_qubits: device.physical_qubits,
+        ranking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_workload_prefers_pqec() {
+        let plan = plan(&Workload::fche(24, 1), &DeviceModel::eft_default());
+        assert!(matches!(plan.best().strategy, Strategy::Pqec { .. }), "{plan:?}");
+        assert!(plan.margin() >= 1.0);
+    }
+
+    #[test]
+    fn small_program_big_device_prefers_clifford_t() {
+        let plan = plan(&Workload::fche(12, 1), &DeviceModel::new(60_000, 1e-3));
+        assert!(
+            matches!(
+                plan.best().strategy,
+                Strategy::Conventional { .. } | Strategy::Cultivation { .. }
+            ),
+            "{:?}",
+            plan.best()
+        );
+    }
+
+    #[test]
+    fn nisq_always_present_and_ranking_sorted() {
+        let plan = plan(&Workload::fche(40, 2), &DeviceModel::eft_default());
+        assert!(plan
+            .ranking
+            .iter()
+            .any(|r| matches!(r.strategy, Strategy::Nisq)));
+        for w in plan.ranking.windows(2) {
+            assert!(w[0].fidelity >= w[1].fidelity);
+        }
+    }
+
+    #[test]
+    fn tiny_device_leaves_only_nisq() {
+        let plan = plan(&Workload::fche(40, 1), &DeviceModel::new(300, 1e-3));
+        assert_eq!(plan.ranking.len(), 1);
+        assert!(matches!(plan.best().strategy, Strategy::Nisq));
+        assert_eq!(plan.margin(), 1.0);
+    }
+
+    #[test]
+    fn plan_debug_form_is_informative() {
+        let plan = plan(&Workload::fche(16, 1), &DeviceModel::eft_default());
+        let text = format!("{plan:?}");
+        assert!(text.contains("Pqec"));
+        assert!(text.contains("ranking"));
+    }
+}

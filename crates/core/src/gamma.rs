@@ -1,0 +1,78 @@
+//! The relative-improvement metric γ (Equation 3).
+
+/// γ_{A/B} = (E₀ − E_B) / (E₀ − E_A): how much regime A closes the gap to
+/// the reference energy `e0` relative to regime B. Values above 1 mean A
+/// is closer to the reference than B.
+///
+/// Gaps are clamped below at `min_gap` (default use
+/// [`relative_improvement`]) to keep the ratio finite when a regime
+/// essentially reaches the reference.
+///
+/// # Examples
+///
+/// ```
+/// use eft_vqa::relative_improvement;
+///
+/// // Reference −10; regime A reaches −9.9, regime B only −9.0.
+/// let gamma = relative_improvement(-10.0, -9.9, -9.0);
+/// assert!((gamma - 10.0).abs() < 1e-9);
+/// ```
+pub fn relative_improvement(e0: f64, e_a: f64, e_b: f64) -> f64 {
+    relative_improvement_clamped(e0, e_a, e_b, 1e-9)
+}
+
+/// [`relative_improvement`] with an explicit gap clamp.
+///
+/// # Panics
+///
+/// Panics if `min_gap` is not positive or any energy is non-finite.
+pub fn relative_improvement_clamped(e0: f64, e_a: f64, e_b: f64, min_gap: f64) -> f64 {
+    assert!(min_gap > 0.0, "gap clamp must be positive");
+    assert!(
+        e0.is_finite() && e_a.is_finite() && e_b.is_finite(),
+        "energies must be finite"
+    );
+    let gap_a = (e_a - e0).abs().max(min_gap);
+    let gap_b = (e_b - e0).abs().max(min_gap);
+    gap_b / gap_a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_regime_gives_gamma_above_one() {
+        assert!(relative_improvement(-5.0, -4.8, -4.0) > 1.0);
+    }
+
+    #[test]
+    fn worse_regime_gives_gamma_below_one() {
+        assert!(relative_improvement(-5.0, -4.0, -4.8) < 1.0);
+    }
+
+    #[test]
+    fn equal_regimes_give_unity() {
+        assert!((relative_improvement(-5.0, -4.5, -4.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_convergence_is_clamped() {
+        let g = relative_improvement(-5.0, -5.0, -4.0);
+        assert!(g.is_finite());
+        assert!(g > 1e6); // huge but finite
+    }
+
+    #[test]
+    fn symmetric_inverse() {
+        let ab = relative_improvement(-3.0, -2.5, -2.0);
+        let ba = relative_improvement(-3.0, -2.0, -2.5);
+        assert!((ab * ba - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = relative_improvement(f64::NAN, -1.0, -2.0);
+    }
+}

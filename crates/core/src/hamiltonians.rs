@@ -1,0 +1,434 @@
+//! The paper's benchmark Hamiltonians (Section 5.1).
+//!
+//! Physics: 1-D transverse-field Ising and field-free Heisenberg chains
+//! with constant couplings `J ∈ {0.25, 0.5, 1.0}` (Equations 1 and 2).
+//!
+//! Chemistry: the paper builds H₂O, H₆ and LiH Hamiltonians with PySCF +
+//! Qiskit Nature, restricted to six orbitals → 12-qubit Hamiltonians with
+//! 367, 919 and 631 Pauli terms at two bond lengths (1 Å and 4.5 Å).
+//! PySCF is not available to this reproduction, so [`molecular`] builds
+//! *synthetic molecular-structure* Hamiltonians with exactly those qubit
+//! and term counts from a deterministic electronic-structure-like
+//! generator: one-body number terms (Z), Coulomb ladders (ZZ), hopping
+//! pairs (XX+YY) and higher-weight exchange strings, with bond length
+//! modulating the diagonal/hopping balance. This preserves the workload
+//! shape the evaluation exercises (term count, locality mix, optimizer
+//! landscape); absolute chemistry values are not claimed. See DESIGN.md.
+
+use eftq_numerics::SeedSequence;
+use eftq_pauli::{Pauli, PauliString, PauliSum};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// The paper's coupling sweep for the physics models.
+pub const COUPLINGS: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// 1-D transverse-field Ising chain (Equation 1):
+/// `H = J Σ X_i X_{i+1} + Σ Z_i`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let h = eft_vqa::hamiltonians::ising_1d(8, 1.0);
+/// assert_eq!(h.num_terms(), 7 + 8);
+/// ```
+pub fn ising_1d(n: usize, j: f64) -> PauliSum {
+    assert!(n >= 2, "chain needs at least two sites");
+    let mut h = PauliSum::new(n);
+    for i in 0..n - 1 {
+        let mut s = PauliString::identity(n);
+        s.set_pauli(i, Pauli::X);
+        s.set_pauli(i + 1, Pauli::X);
+        h.push(j, s);
+    }
+    for i in 0..n {
+        h.push(1.0, PauliString::single(n, i, Pauli::Z));
+    }
+    h
+}
+
+/// 1-D field-free Heisenberg chain (Equation 2):
+/// `H = Σ (J X_i X_{i+1} + J Y_i Y_{i+1} + Z_i Z_{i+1})`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn heisenberg_1d(n: usize, j: f64) -> PauliSum {
+    assert!(n >= 2, "chain needs at least two sites");
+    let mut h = PauliSum::new(n);
+    for i in 0..n - 1 {
+        for (letter, coeff) in [(Pauli::X, j), (Pauli::Y, j), (Pauli::Z, 1.0)] {
+            let mut s = PauliString::identity(n);
+            s.set_pauli(i, letter);
+            s.set_pauli(i + 1, letter);
+            h.push(coeff, s);
+        }
+    }
+    h
+}
+
+/// 2-D transverse-field Ising model on a `rows × cols` open-boundary
+/// square lattice: `H = J Σ_{⟨ij⟩} X_i X_j + Σ_i Z_i`. The natural
+/// scaling target beyond the paper's 1-D chains (its phase-transition
+/// references [12, 16] cover both).
+///
+/// Qubit `(r, c)` has index `r·cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is below 2 or the lattice exceeds 64 sites
+/// (mask-based simulators).
+pub fn ising_2d(rows: usize, cols: usize, j: f64) -> PauliSum {
+    assert!(rows >= 2 && cols >= 2, "lattice needs at least 2x2 sites");
+    let n = rows * cols;
+    assert!(n <= 64, "lattice capped at 64 sites");
+    let mut h = PauliSum::new(n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let mut s = PauliString::identity(n);
+                s.set_pauli(idx(r, c), Pauli::X);
+                s.set_pauli(idx(r, c + 1), Pauli::X);
+                h.push(j, s);
+            }
+            if r + 1 < rows {
+                let mut s = PauliString::identity(n);
+                s.set_pauli(idx(r, c), Pauli::X);
+                s.set_pauli(idx(r + 1, c), Pauli::X);
+                h.push(j, s);
+            }
+            h.push(1.0, PauliString::single(n, idx(r, c), Pauli::Z));
+        }
+    }
+    h
+}
+
+/// 2-D Heisenberg model on an open-boundary square lattice:
+/// `H = Σ_{⟨ij⟩} (J X_i X_j + J Y_i Y_j + Z_i Z_j)`.
+///
+/// # Panics
+///
+/// Same conditions as [`ising_2d`].
+pub fn heisenberg_2d(rows: usize, cols: usize, j: f64) -> PauliSum {
+    assert!(rows >= 2 && cols >= 2, "lattice needs at least 2x2 sites");
+    let n = rows * cols;
+    assert!(n <= 64, "lattice capped at 64 sites");
+    let mut h = PauliSum::new(n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    let bond = |h: &mut PauliSum, a: usize, b: usize| {
+        for (letter, coeff) in [(Pauli::X, j), (Pauli::Y, j), (Pauli::Z, 1.0)] {
+            let mut s = PauliString::identity(n);
+            s.set_pauli(a, letter);
+            s.set_pauli(b, letter);
+            h.push(coeff, s);
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                bond(&mut h, idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                bond(&mut h, idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    h
+}
+
+/// The chemistry benchmarks of Section 5.1.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Molecule {
+    /// Water (367 terms at 12 qubits in the paper's active space).
+    H2O,
+    /// The hydrogen chain H₆ (919 terms).
+    H6,
+    /// Lithium hydride (631 terms).
+    LiH,
+}
+
+impl Molecule {
+    /// All molecules, in the paper's order.
+    pub const ALL: [Molecule; 3] = [Molecule::H2O, Molecule::H6, Molecule::LiH];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Molecule::H2O => "H2O",
+            Molecule::H6 => "H6",
+            Molecule::LiH => "LiH",
+        }
+    }
+
+    /// The paper's Pauli term count for this molecule's 12-qubit
+    /// Hamiltonian.
+    pub fn term_count(self) -> usize {
+        match self {
+            Molecule::H2O => 367,
+            Molecule::H6 => 919,
+            Molecule::LiH => 631,
+        }
+    }
+
+    /// Number of qubits (six orbitals → 12 spin-orbitals).
+    pub fn num_qubits(self) -> usize {
+        12
+    }
+}
+
+/// The two bond lengths the paper evaluates (Ångström).
+pub const BOND_LENGTHS: [f64; 2] = [1.0, 4.5];
+
+/// Builds the synthetic molecular-structure Hamiltonian for `molecule` at
+/// `bond_length` Å (see the module docs for the substitution rationale).
+///
+/// Deterministic: the same `(molecule, bond_length)` always produces the
+/// same operator, with exactly [`Molecule::term_count`] distinct Pauli
+/// terms on 12 qubits.
+///
+/// # Panics
+///
+/// Panics if `bond_length` is not positive.
+pub fn molecular(molecule: Molecule, bond_length: f64) -> PauliSum {
+    assert!(bond_length > 0.0, "bond length must be positive");
+    let n = molecule.num_qubits();
+    let target = molecule.term_count();
+    let seeds = SeedSequence::new(molecule_seed(molecule))
+        .derive("molecular")
+        .derive_index((bond_length * 1000.0) as u64);
+    let mut rng = seeds.rng();
+
+    // Bond-length physics: stretching suppresses hopping and enhances the
+    // diagonal (Coulomb/number) part — the dissociation behaviour VQE
+    // benchmarks probe.
+    let stretch = (-(bond_length - 1.0) / 2.0).exp(); // 1.0 → 1, 4.5 → 0.17
+    let diag_scale = 0.6 + 0.4 * (1.0 - stretch);
+    let hop_scale = 0.8 * stretch + 0.05;
+
+    let mut h = PauliSum::new(n);
+    let mut seen: HashSet<String> = HashSet::new();
+    let push = |h: &mut PauliSum, seen: &mut HashSet<String>, c: f64, s: PauliString| {
+        if seen.insert(s.to_string()) {
+            h.push(c, s);
+        }
+    };
+
+    // One-body number terms: Z_i.
+    for i in 0..n {
+        let c = diag_scale * (0.3 + 0.5 * rng.gen::<f64>());
+        push(&mut h, &mut seen, c, PauliString::single(n, i, Pauli::Z));
+    }
+    // Coulomb ladder: all Z_i Z_j pairs.
+    for i in 0..n {
+        for jdx in i + 1..n {
+            let c = diag_scale * (0.05 + 0.2 * rng.gen::<f64>()) / (1.0 + (jdx - i) as f64 * 0.3);
+            let mut s = PauliString::identity(n);
+            s.set_pauli(i, Pauli::Z);
+            s.set_pauli(jdx, Pauli::Z);
+            push(&mut h, &mut seen, c, s);
+        }
+    }
+    // Hopping: XX + YY on orbital pairs (same-spin sector: stride-2 pairs
+    // plus nearest neighbours).
+    for i in 0..n {
+        for jdx in i + 1..n {
+            if jdx - i > 3 {
+                continue;
+            }
+            let c = hop_scale * (0.1 + 0.3 * rng.gen::<f64>());
+            for letter in [Pauli::X, Pauli::Y] {
+                let mut s = PauliString::identity(n);
+                s.set_pauli(i, letter);
+                s.set_pauli(jdx, letter);
+                push(&mut h, &mut seen, c, s);
+            }
+        }
+    }
+    // Exchange / two-electron strings: weight-4 XXYY-type terms until the
+    // target count is reached.
+    while h.num_terms() < target {
+        let mut s = PauliString::identity(n);
+        let mut sites: Vec<usize> = (0..n).collect();
+        for k in (1..n).rev() {
+            let swap_with = rng.gen_range(0..=k);
+            sites.swap(k, swap_with);
+        }
+        let weight = 3 + rng.gen_range(0..2); // weight 3 or 4
+        // Exchange terms need an even number of X/Y letters to be real;
+        // build patterns like X X Y Y or X Y Z with paired flips.
+        let mut xy = 0;
+        for (slot, &q) in sites.iter().take(weight).enumerate() {
+            let letter = match slot {
+                0 => Pauli::X,
+                1 => {
+                    xy += 1;
+                    if rng.gen_bool(0.5) {
+                        Pauli::X
+                    } else {
+                        Pauli::Y
+                    }
+                }
+                _ => {
+                    if rng.gen_bool(0.4) {
+                        Pauli::Z
+                    } else {
+                        xy += 1;
+                        Pauli::Y
+                    }
+                }
+            };
+            s.set_pauli(q, letter);
+        }
+        // Keep the count of Y letters even so the term is Hermitian with a
+        // real coefficient (Y count parity flips the transpose sign).
+        if s.y_count() % 2 == 1 {
+            let q = s.support().next().unwrap();
+            let flipped = match s.pauli_at(q) {
+                Pauli::X => Pauli::Y,
+                Pauli::Y => Pauli::X,
+                other => other,
+            };
+            s.set_pauli(q, flipped);
+        }
+        if s.y_count() % 2 == 1 {
+            continue; // fallback: resample
+        }
+        let _ = xy;
+        let c = hop_scale * 0.08 * (rng.gen::<f64>() - 0.5);
+        if c.abs() < 1e-4 {
+            continue;
+        }
+        push(&mut h, &mut seen, c, s);
+    }
+    debug_assert_eq!(h.num_terms(), target);
+    h
+}
+
+/// Stable per-molecule root seed (ASCII of the formula).
+fn molecule_seed(m: Molecule) -> u64 {
+    match m {
+        Molecule::H2O => 0x4832_4f00,
+        Molecule::H6 => 0x4836_0000,
+        Molecule::LiH => 0x4c69_4800,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ising_structure() {
+        let h = ising_1d(6, 0.25);
+        assert_eq!(h.num_terms(), 5 + 6);
+        assert_eq!(h.num_qubits(), 6);
+        // Ground energy below the trivial |0…0⟩ energy (= -n + coupling⟨XX⟩=0 →
+        // ⟨H⟩(|0⟩^n) = n? Z|0⟩ = +|0⟩ so E(|0..0⟩) = n — ground is far below).
+        let e0 = h.ground_energy_default().unwrap();
+        assert!(e0 < -5.9, "{e0}");
+    }
+
+    #[test]
+    fn heisenberg_structure() {
+        let h = heisenberg_1d(5, 1.0);
+        assert_eq!(h.num_terms(), 3 * 4);
+        // Isotropic antiferromagnet ground energy per bond < -1.
+        let e0 = h.ground_energy_default().unwrap();
+        assert!(e0 < -4.0, "{e0}");
+    }
+
+    #[test]
+    fn heisenberg_two_sites_analytic() {
+        // J = 1: singlet energy −3.
+        let h = heisenberg_1d(2, 1.0);
+        let e0 = h.ground_energy_default().unwrap();
+        assert!((e0 + 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn molecular_term_counts_match_paper() {
+        for m in Molecule::ALL {
+            let h = molecular(m, 1.0);
+            assert_eq!(h.num_terms(), m.term_count(), "{}", m.name());
+            assert_eq!(h.num_qubits(), 12);
+        }
+    }
+
+    #[test]
+    fn molecular_is_deterministic() {
+        let a = molecular(Molecule::LiH, 4.5);
+        let b = molecular(Molecule::LiH, 4.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn molecular_bond_lengths_differ() {
+        let short = molecular(Molecule::H2O, 1.0);
+        let long = molecular(Molecule::H2O, 4.5);
+        assert_ne!(short, long);
+        assert_eq!(short.num_terms(), long.num_terms());
+    }
+
+    #[test]
+    fn molecular_terms_are_hermitian_real() {
+        // Every stored string must have an even Y count (real matrix
+        // elements) — the generator enforces this.
+        let h = molecular(Molecule::H6, 1.0);
+        for t in h.terms() {
+            assert_eq!(t.string.y_count() % 2, 0, "{}", t.string);
+            assert!(t.coefficient.is_finite());
+        }
+    }
+
+    #[test]
+    fn molecular_ground_energy_exists() {
+        // Lanczos runs on the 12-qubit operator and returns a finite
+        // energy below the max.
+        let h = molecular(Molecule::LiH, 1.0);
+        let e0 = h.ground_energy_default().unwrap();
+        assert!(e0.is_finite());
+        assert!(e0 < 0.0, "{e0}");
+    }
+
+    #[test]
+    fn ising_2d_structure() {
+        // 3x3 lattice: 12 bonds + 9 fields.
+        let h = ising_2d(3, 3, 0.5);
+        assert_eq!(h.num_qubits(), 9);
+        assert_eq!(h.num_terms(), 12 + 9);
+        // 2x2 ground energy is below the product-state value of 4... the
+        // trivial |0000⟩ has energy +4 (all Z up); ground is far below.
+        let small = ising_2d(2, 2, 1.0);
+        let e0 = small.ground_energy_default().unwrap();
+        assert!(e0 < -4.0, "{e0}");
+    }
+
+    #[test]
+    fn heisenberg_2d_matches_1d_on_a_strip() {
+        // A 2xN strip has the ladder bonds; a degenerate check: 2x2 has 4
+        // bonds x 3 letters = 12 terms.
+        let h = heisenberg_2d(2, 2, 1.0);
+        assert_eq!(h.num_terms(), 12);
+        let e0 = h.ground_energy_default().unwrap();
+        // 2x2 Heisenberg plaquette ground energy: -8 for the isotropic
+        // model with our normalization... just require a bound.
+        assert!(e0 < -4.0, "{e0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn lattice_rejects_chains() {
+        let _ = ising_2d(1, 5, 1.0);
+    }
+
+    #[test]
+    fn coupling_constants_exposed() {
+        assert_eq!(COUPLINGS, [0.25, 0.5, 1.0]);
+        assert_eq!(BOND_LENGTHS, [1.0, 4.5]);
+    }
+}

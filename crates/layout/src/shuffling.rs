@@ -1,0 +1,182 @@
+//! Patch shuffling versus naive backup-state provisioning (Section 4.2,
+//! Figure 8).
+//!
+//! A repeat-until-success `Rz` consumption fails with probability ½ per
+//! attempt. The *naive* strategy prepares `b` compensatory magic states up
+//! front: it avoids stalls unless more than `b + 1` attempts are needed
+//! (probability `2^{−(b+1)}`), but every extra patch and its routing ancilla
+//! occupy the layout for the whole circuit. *Patch shuffling* keeps exactly
+//! two magic patches per injection site and re-injects the doubled angle on
+//! one patch while the other is being consumed — feasible because injection
+//! completes within the `2d`-cycle consumption window with high probability
+//! (the Section-9 proof, `InjectionModel::shuffle_feasible`).
+
+use crate::layouts::LayoutModel;
+use crate::schedule::{schedule_ansatz, ScheduleConfig};
+use eftq_circuit::AnsatzKind;
+use eftq_qec::InjectionModel;
+use serde::{Deserialize, Serialize};
+
+/// Spacetime accounting for one rotation-handling strategy on one circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RotationStrategyReport {
+    /// Tiles occupied (layout + magic/backup patches + their routing).
+    pub tiles: usize,
+    /// Critical-path cycles including expected stalls.
+    pub cycles: f64,
+    /// Expected stall cycles included in `cycles`.
+    pub stall_cycles: f64,
+    /// Spacetime volume in physical qubit-cycles at the model's distance.
+    pub volume: f64,
+}
+
+fn base_schedule(n: usize, depth: usize) -> (usize, usize, usize) {
+    let cfg = ScheduleConfig::default();
+    let ours = LayoutModel::proposed();
+    let r = schedule_ansatz(AnsatzKind::FullyConnectedHea, n, depth, &ours, &cfg);
+    (r.cycles, r.tiles, r.rotations)
+}
+
+/// Figure-8 accounting for the naive strategy with `b` backup states.
+///
+/// Each of the layout's parallel injection sites reserves `1 + b` magic
+/// patches (plus one routing tile per extra patch) for the whole circuit.
+/// A rotation stalls when more than `b + 1` attempts are needed
+/// (probability `2^{−(b+1)}`); the residual wait is the tail of the
+/// in-flight injection — two rounds of post-selected stabilizer
+/// measurement (Section 9), ≈ 4 cycles — because a fresh injection starts
+/// as soon as the last prepared state is consumed.
+///
+/// # Panics
+///
+/// Panics if `b == 0` (at least one backup) or `n < 8`.
+pub fn naive_backup_volume(n: usize, depth: usize, b: usize, model: &InjectionModel) -> RotationStrategyReport {
+    assert!(b >= 1, "naive strategy needs at least one backup state");
+    assert!(n >= 8, "rotation-strategy model starts at 8 qubits");
+    let (cycles, tiles, rotations) = base_schedule(n, depth);
+    let ours = LayoutModel::proposed();
+    let sites = ours.parallel_injection_sites(n);
+    // 1 + b magic patches per site; each patch beyond the first two needs
+    // an extra routing tile to stay reachable (Section 4.2's "crowding").
+    let magic_tiles = sites * (1 + b) + sites * b;
+    let stall_prob = 0.5f64.powi(b as i32 + 1);
+    // Residual injection latency on a stall: two post-selection rounds.
+    let residual = 4.0;
+    let stall_cycles = rotations as f64 / sites as f64 * stall_prob * residual;
+    let total_cycles = cycles as f64 + stall_cycles;
+    let total_tiles = tiles + magic_tiles;
+    let d = model.distance();
+    RotationStrategyReport {
+        tiles: total_tiles,
+        cycles: total_cycles,
+        stall_cycles,
+        volume: total_cycles * total_tiles as f64 * (2 * d * d - 1) as f64,
+    }
+}
+
+/// Figure-8 accounting for patch shuffling: two magic patches per site,
+/// zero expected stalls when the Section-9 feasibility condition holds.
+///
+/// # Panics
+///
+/// Panics if `n < 8`, or if shuffling is infeasible at the model's
+/// operating point (the caller should check
+/// [`InjectionModel::shuffle_feasible`] for exotic parameters).
+pub fn patch_shuffling_volume(n: usize, depth: usize, model: &InjectionModel) -> RotationStrategyReport {
+    assert!(n >= 8, "rotation-strategy model starts at 8 qubits");
+    assert!(
+        model.shuffle_feasible(),
+        "patch shuffling infeasible at p = {} (Section 9)",
+        model.p_phys()
+    );
+    let (cycles, tiles, _rotations) = base_schedule(n, depth);
+    let ours = LayoutModel::proposed();
+    let sites = ours.parallel_injection_sites(n);
+    let magic_tiles = 2 * sites;
+    let total_tiles = tiles + magic_tiles;
+    let d = model.distance();
+    RotationStrategyReport {
+        tiles: total_tiles,
+        cycles: cycles as f64,
+        stall_cycles: 0.0,
+        volume: cycles as f64 * total_tiles as f64 * (2 * d * d - 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> InjectionModel {
+        InjectionModel::eft_default()
+    }
+
+    /// Figure 8's headline: shuffling beats the naive strategy for every
+    /// backup count at every size.
+    #[test]
+    fn shuffling_below_every_naive_curve() {
+        for n in (20..=76).step_by(4) {
+            let shuffle = patch_shuffling_volume(n, 1, &model());
+            for b in 1..=4 {
+                let naive = naive_backup_volume(n, 1, b, &model());
+                assert!(
+                    shuffle.volume < naive.volume,
+                    "n = {n}, b = {b}: {} vs {}",
+                    shuffle.volume,
+                    naive.volume
+                );
+            }
+        }
+    }
+
+    /// Figure 8's secondary trend: naive volume grows with the number of
+    /// backup states (space dominates the stall savings).
+    #[test]
+    fn naive_volume_increases_with_backups() {
+        for n in [20usize, 44, 76] {
+            let mut prev = naive_backup_volume(n, 1, 1, &model()).volume;
+            for b in 2..=4 {
+                let v = naive_backup_volume(n, 1, b, &model()).volume;
+                assert!(v > prev, "n = {n}, b = {b}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn naive_stalls_shrink_with_backups() {
+        let s1 = naive_backup_volume(40, 1, 1, &model()).stall_cycles;
+        let s4 = naive_backup_volume(40, 1, 4, &model()).stall_cycles;
+        assert!(s4 < s1);
+        assert!(s4 > 0.0);
+    }
+
+    #[test]
+    fn shuffling_has_zero_stalls() {
+        let r = patch_shuffling_volume(40, 1, &model());
+        assert_eq!(r.stall_cycles, 0.0);
+    }
+
+    #[test]
+    fn volumes_grow_with_circuit_size() {
+        let small = patch_shuffling_volume(20, 1, &model());
+        let large = patch_shuffling_volume(76, 1, &model());
+        assert!(large.volume > small.volume);
+        // Magnitude sanity: Figure 8 plots volumes around 1e5–1e6 physical
+        // qubit-cycles at these sizes.
+        assert!(large.volume > 1e5 && large.volume < 1e9, "{}", large.volume);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backup")]
+    fn naive_rejects_zero_backups() {
+        let _ = naive_backup_volume(20, 1, 0, &model());
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn shuffling_guard_at_high_p() {
+        let bad = InjectionModel::new(11, 0.01);
+        let _ = patch_shuffling_volume(20, 1, &bad);
+    }
+}

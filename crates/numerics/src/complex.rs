@@ -1,0 +1,409 @@
+//! A small, fast `f64` complex number.
+//!
+//! The sanctioned dependency set does not include `num-complex`, so the
+//! workspace carries its own implementation. Only the operations the
+//! simulators need are provided, but those are provided completely: ring
+//! arithmetic with both `Complex` and `f64` operands, conjugation, modulus,
+//! polar construction and the complex exponential.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i` over `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_numerics::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.norm_sqr(), 25.0);
+/// assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a real complex number (imaginary part zero).
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates the number `r·e^{iθ}` from polar coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eftq_numerics::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - Complex::new(0.0, 2.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, the unit phase with argument `theta`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`. Cheaper than [`Complex::abs`]; prefer it in
+    /// normalization loops.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns `i^k` for `k` taken modulo 4; the phase group tracked by
+    /// Pauli-string multiplication.
+    #[inline]
+    pub fn i_pow(k: u8) -> Self {
+        match k % 4 {
+            0 => Complex::ONE,
+            1 => Complex::I,
+            2 => -Complex::ONE,
+            _ => -Complex::I,
+        }
+    }
+
+    /// Whether both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within absolute tolerance `tol` on both parts.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Complex({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex::new(1.0, 2.0).re, 1.0);
+        assert_eq!(Complex::new(1.0, 2.0).im, 2.0);
+        assert_eq!(Complex::real(3.0), Complex::new(3.0, 0.0));
+        assert_eq!(Complex::from(4.0), Complex::new(4.0, 0.0));
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+    }
+
+    #[test]
+    fn ring_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i² = -4 - 5.5i
+        assert!((a * b).approx_eq(Complex::new(-4.0, -5.5), TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn division_by_self_is_one() {
+        let z = Complex::new(0.3, -0.7);
+        assert!((z / z).approx_eq(Complex::ONE, TOL));
+        assert!((z * z.recip()).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::new(-1.5, 2.5);
+        let back = Complex::from_polar(z.abs(), z.arg());
+        assert!(back.approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.4321;
+            let z = Complex::cis(theta);
+            assert!((z.abs() - 1.0).abs() < TOL);
+            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                .abs()
+                .min(
+                    (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                )
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex::new(0.5, std::f64::consts::FRAC_PI_3);
+        let e = z.exp();
+        let want = Complex::from_polar(0.5f64.exp(), std::f64::consts::FRAC_PI_3);
+        assert!(e.approx_eq(want, TOL));
+    }
+
+    #[test]
+    fn i_pow_cycles_with_period_four() {
+        assert_eq!(Complex::i_pow(0), Complex::ONE);
+        assert_eq!(Complex::i_pow(1), Complex::I);
+        assert_eq!(Complex::i_pow(2), -Complex::ONE);
+        assert_eq!(Complex::i_pow(3), -Complex::I);
+        assert_eq!(Complex::i_pow(7), Complex::i_pow(3));
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::ONE;
+        assert_eq!(z, Complex::new(2.0, 1.0));
+        z -= Complex::I;
+        assert_eq!(z, Complex::new(2.0, 0.0));
+        z *= Complex::I;
+        assert!(z.approx_eq(Complex::new(0.0, 2.0), TOL));
+        z /= Complex::new(0.0, 2.0);
+        assert!(z.approx_eq(Complex::ONE, TOL));
+        z *= 3.0;
+        assert!(z.approx_eq(Complex::real(3.0), TOL));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::i_pow(k as u8)).sum();
+        // 1 + i - 1 - i = 0
+        assert!(total.approx_eq(Complex::ZERO, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(format!("{:?}", Complex::new(0.0, 1.0)), "Complex(0+1i)");
+    }
+
+    #[test]
+    fn mixed_real_arithmetic() {
+        let z = Complex::new(1.0, 1.0);
+        assert_eq!(z + 1.0, Complex::new(2.0, 1.0));
+        assert_eq!(z - 1.0, Complex::new(0.0, 1.0));
+        assert_eq!(z * 2.0, Complex::new(2.0, 2.0));
+        assert_eq!(z / 2.0, Complex::new(0.5, 0.5));
+        assert_eq!(2.0 * z, Complex::new(2.0, 2.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Numerical foundations for the EFT-VQA reproduction.
+//!
+//! This crate deliberately avoids external linear-algebra dependencies: the
+//! sanctioned dependency set for the reproduction does not include a complex
+//! number or matrix crate, so the small amount of dense linear algebra the
+//! project needs lives here.
+//!
+//! The crate provides:
+//!
+//! * [`Complex`] — a `f64` complex number with the full arithmetic surface
+//!   used by the simulators.
+//! * [`Mat2`] / [`Mat4`] — dense 2×2 and 4×4 complex matrices (single- and
+//!   two-qubit operators) with multiplication, adjoints, tensor products and
+//!   unitarity checks.
+//! * [`lanczos()`] — a Lanczos ground-state eigensolver over a caller-supplied
+//!   Hermitian matrix–vector product, used to obtain exact reference energies
+//!   for the γ metric.
+//! * [`stats`] — summary statistics and the geometric-distribution facts used
+//!   by the paper's Section-9 patch-shuffling proof.
+//! * [`rng`] — deterministic RNG plumbing (seed splitting) so every
+//!   stochastic experiment in the workspace is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use eftq_numerics::{Complex, Mat2};
+//!
+//! let h = Mat2::hadamard();
+//! let id = h.mul(&h); // H is an involution
+//! assert!(id.approx_eq(&Mat2::identity(), 1e-12));
+//! assert_eq!(Complex::I * Complex::I, -Complex::ONE);
+//! ```
+
+pub mod complex;
+pub mod lanczos;
+pub mod mat;
+pub mod rng;
+pub mod stats;
+
+pub use complex::Complex;
+pub use lanczos::{lanczos, LanczosError, LanczosOptions, LanczosResult};
+pub use mat::{Mat2, Mat4};
+pub use rng::SeedSequence;

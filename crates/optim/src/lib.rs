@@ -1,0 +1,54 @@
+//! Derivative-free classical optimizers for variational loops.
+//!
+//! The paper's small-scale experiments use Cobyla and ImFil (Section
+//! 5.2.1); its large-scale Clifford experiments use a genetic algorithm
+//! over the discrete parameter space (Section 5.2.2). This crate provides
+//! the same optimizer families:
+//!
+//! * [`NelderMead`] — simplex search (the Cobyla stand-in: same
+//!   derivative-free direct-search family).
+//! * [`Spsa`] — simultaneous-perturbation stochastic approximation, the
+//!   standard noisy-VQA optimizer.
+//! * [`CoordinateSearch`] — ImFil-flavoured stencil/coordinate descent.
+//! * [`genetic`] — a genetic algorithm over `u8` genomes (the Clifford
+//!   angle multipliers `k ∈ {0,1,2,3}`), with optional parallel fitness
+//!   evaluation via crossbeam scoped threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use eftq_optim::{NelderMead, Optimizer};
+//!
+//! let mut f = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+//! let r = NelderMead::default().minimize(&mut f, &[0.0, 0.0]);
+//! assert!(r.best_value < 1e-6);
+//! ```
+
+pub mod coordinate;
+pub mod genetic;
+pub mod nelder_mead;
+pub mod spsa;
+
+pub use coordinate::CoordinateSearch;
+pub use genetic::{GeneticConfig, GeneticResult};
+pub use nelder_mead::NelderMead;
+pub use spsa::Spsa;
+
+/// Result of a continuous minimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimResult {
+    /// Best parameter vector found.
+    pub best_params: Vec<f64>,
+    /// Objective value at `best_params`.
+    pub best_value: f64,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+    /// Best-so-far objective value after each iteration.
+    pub history: Vec<f64>,
+}
+
+/// A derivative-free minimizer of `f: R^n → R`.
+pub trait Optimizer {
+    /// Minimizes `f` starting from `x0`.
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult;
+}

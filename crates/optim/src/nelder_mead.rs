@@ -1,0 +1,176 @@
+//! Nelder–Mead simplex search.
+
+use crate::{OptimResult, Optimizer};
+
+/// The classic Nelder–Mead downhill-simplex method with standard
+/// coefficients (reflection 1, expansion 2, contraction ½, shrink ½).
+///
+/// Serves as the reproduction's stand-in for Cobyla: both are
+/// derivative-free direct-search methods, and for the smooth VQE energy
+/// landscapes of the paper's 8–12-qubit benchmarks they behave
+/// comparably.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NelderMead {
+    /// Maximum iterations (simplex updates).
+    pub max_iters: usize,
+    /// Convergence threshold on the simplex value spread.
+    pub tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            max_iters: 400,
+            tol: 1e-10,
+            initial_step: 0.5,
+        }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptimResult {
+        let n = x0.len();
+        assert!(n > 0, "cannot optimize zero parameters");
+        let mut evals = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let v0 = eval(x0, &mut evals);
+        simplex.push((x0.to_vec(), v0));
+        for i in 0..n {
+            let mut x = x0.to_vec();
+            x[i] += self.initial_step;
+            let v = eval(&x, &mut evals);
+            simplex.push((x, v));
+        }
+
+        let mut history = Vec::with_capacity(self.max_iters);
+        for _ in 0..self.max_iters {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            history.push(simplex[0].1);
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tol {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (x, _) in simplex.iter().take(n) {
+                for (c, xi) in centroid.iter_mut().zip(x.iter()) {
+                    *c += xi / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+            let lerp = |t: f64| -> Vec<f64> {
+                centroid
+                    .iter()
+                    .zip(worst.0.iter())
+                    .map(|(c, w)| c + t * (c - w))
+                    .collect()
+            };
+            // Reflection.
+            let xr = lerp(1.0);
+            let vr = eval(&xr, &mut evals);
+            if vr < simplex[0].1 {
+                // Expansion.
+                let xe = lerp(2.0);
+                let ve = eval(&xe, &mut evals);
+                simplex[n] = if ve < vr { (xe, ve) } else { (xr, vr) };
+            } else if vr < simplex[n - 1].1 {
+                simplex[n] = (xr, vr);
+            } else {
+                // Contraction (outside if reflected better than worst).
+                let (xc, vc) = if vr < worst.1 {
+                    let xc = lerp(0.5);
+                    let vc = eval(&xc, &mut evals);
+                    (xc, vc)
+                } else {
+                    let xc = lerp(-0.5);
+                    let vc = eval(&xc, &mut evals);
+                    (xc, vc)
+                };
+                if vc < worst.1.min(vr) {
+                    simplex[n] = (xc, vc);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let x: Vec<f64> = entry
+                            .0
+                            .iter()
+                            .zip(best.iter())
+                            .map(|(xi, bi)| bi + 0.5 * (xi - bi))
+                            .collect();
+                        let v = eval(&x, &mut evals);
+                        *entry = (x, v);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (best_params, best_value) = simplex.swap_remove(0);
+        OptimResult {
+            best_params,
+            best_value,
+            evaluations: evals,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = NelderMead::default().minimize(&mut f, &[3.0, -2.0, 1.0]);
+        assert!(r.best_value < 1e-8, "{}", r.best_value);
+        for p in &r.best_params {
+            assert!(p.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let mut f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let nm = NelderMead {
+            max_iters: 2000,
+            ..NelderMead::default()
+        };
+        let r = nm.minimize(&mut f, &[-1.2, 1.0]);
+        assert!(r.best_value < 1e-5, "{}", r.best_value);
+        assert!((r.best_params[0] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + x[1].powi(2) * 3.0;
+        let r = NelderMead::default().minimize(&mut f, &[5.0, 5.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn single_parameter() {
+        let mut f = |x: &[f64]| (x[0] + 4.0).powi(2);
+        let r = NelderMead::default().minimize(&mut f, &[0.0]);
+        assert!((r.best_params[0] + 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parameters")]
+    fn empty_input_rejected() {
+        let mut f = |_: &[f64]| 0.0;
+        let _ = NelderMead::default().minimize(&mut f, &[]);
+    }
+}

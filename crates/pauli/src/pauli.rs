@@ -1,0 +1,154 @@
+//! The single-qubit Pauli letter.
+
+use eftq_numerics::Mat2;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The symplectic encoding used throughout the workspace maps each letter to
+/// an (x, z) bit pair: `I = (0,0)`, `X = (1,0)`, `Y = (1,1)`, `Z = (0,1)`.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_pauli::Pauli;
+///
+/// assert_eq!(Pauli::from_bits(true, true), Pauli::Y);
+/// assert!(Pauli::X.anticommutes(Pauli::Z));
+/// assert!(!Pauli::X.anticommutes(Pauli::X));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four letters, in (I, X, Y, Z) order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity letters.
+    pub const NON_IDENTITY: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Decodes the symplectic (x, z) bit pair.
+    #[inline]
+    pub const fn from_bits(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// The X bit of the symplectic encoding.
+    #[inline]
+    pub const fn x_bit(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// The Z bit of the symplectic encoding.
+    #[inline]
+    pub const fn z_bit(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+
+    /// Whether this letter anticommutes with `other` (two distinct
+    /// non-identity letters anticommute).
+    #[inline]
+    pub fn anticommutes(self, other: Pauli) -> bool {
+        self != Pauli::I && other != Pauli::I && self != other
+    }
+
+    /// The 2×2 matrix of this letter.
+    pub fn matrix(self) -> Mat2 {
+        match self {
+            Pauli::I => Mat2::identity(),
+            Pauli::X => Mat2::pauli_x(),
+            Pauli::Y => Mat2::pauli_y(),
+            Pauli::Z => Mat2::pauli_z(),
+        }
+    }
+
+    /// Parses one character (`I`, `X`, `Y`, `Z`, case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// The display character of this letter.
+    pub const fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_bits(p.x_bit(), p.z_bit()), p);
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('x'), Some(Pauli::X));
+        assert_eq!(Pauli::from_char('q'), None);
+    }
+
+    #[test]
+    fn anticommutation_table() {
+        use Pauli::*;
+        assert!(X.anticommutes(Y));
+        assert!(Y.anticommutes(Z));
+        assert!(Z.anticommutes(X));
+        for p in Pauli::ALL {
+            assert!(!p.anticommutes(p));
+            assert!(!I.anticommutes(p));
+            assert!(!p.anticommutes(I));
+        }
+    }
+
+    #[test]
+    fn matrices_are_hermitian_involutions() {
+        for p in Pauli::NON_IDENTITY {
+            let m = p.matrix();
+            assert!(m.mul(&m).approx_eq(&Mat2::identity(), 1e-12));
+            assert!(m.approx_eq(&m.adjoint(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pauli::Y.to_string(), "Y");
+    }
+}

@@ -1,0 +1,84 @@
+//! The EFT device envelope.
+
+use serde::{Deserialize, Serialize};
+
+/// An Early-Fault-Tolerance device: a physical qubit budget and a physical
+/// two-qubit error rate.
+///
+/// The paper defines the EFT era as "quantum systems featuring ~10 000
+/// qubits and physical error rates ~1e-3" (Section 1); Figure 5 sweeps the
+/// qubit budget to 60 000.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_qec::DeviceModel;
+///
+/// let eft = DeviceModel::eft_default();
+/// assert_eq!(eft.physical_qubits, 10_000);
+/// assert_eq!(eft.p_phys, 1e-3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Total physical qubits available.
+    pub physical_qubits: usize,
+    /// Physical (two-qubit) error rate.
+    pub p_phys: f64,
+}
+
+impl DeviceModel {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_qubits == 0` or `p_phys` outside `(0, 1)`.
+    pub fn new(physical_qubits: usize, p_phys: f64) -> Self {
+        assert!(physical_qubits > 0, "device needs qubits");
+        assert!(p_phys > 0.0 && p_phys < 1.0, "p_phys out of range: {p_phys}");
+        DeviceModel {
+            physical_qubits,
+            p_phys,
+        }
+    }
+
+    /// The paper's EFT operating point: 10 000 qubits at `p = 1e-3`.
+    pub fn eft_default() -> Self {
+        DeviceModel::new(10_000, 1e-3)
+    }
+
+    /// Remaining qubit budget after reserving `used` qubits (saturating).
+    pub fn leftover(&self, used: usize) -> usize {
+        self.physical_qubits.saturating_sub(used)
+    }
+
+    /// Whether a plan consuming `used` qubits fits this device.
+    pub fn fits(&self, used: usize) -> bool {
+        used <= self.physical_qubits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let d = DeviceModel::eft_default();
+        assert!(d.fits(9_999));
+        assert!(d.fits(10_000));
+        assert!(!d.fits(10_001));
+    }
+
+    #[test]
+    fn leftover_saturates() {
+        let d = DeviceModel::eft_default();
+        assert_eq!(d.leftover(4_000), 6_000);
+        assert_eq!(d.leftover(20_000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "device needs qubits")]
+    fn zero_qubits_rejected() {
+        let _ = DeviceModel::new(0, 1e-3);
+    }
+}

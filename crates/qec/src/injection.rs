@@ -1,0 +1,315 @@
+//! `Rz(θ)` magic-state injection (Lao & Criger) and the Section-9
+//! patch-shuffling feasibility proof.
+
+use eftq_numerics::stats::Geometric;
+
+/// The Lao–Criger injection model on a distance-`d` rotated surface code at
+/// physical (CNOT) error rate `p` — with initialization and single-qubit
+/// error rates `p/10`, the biased model both the paper and Lao & Criger use.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_qec::InjectionModel;
+///
+/// let inj = InjectionModel::new(11, 1e-3);
+/// // The paper's 0.76e-3 injected-Rz error rate (Section 4.4).
+/// assert!((inj.rz_error_rate() - 23.0e-3 / 30.0).abs() < 1e-12);
+/// assert!(inj.shuffle_feasible());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InjectionModel {
+    distance: usize,
+    p_phys: f64,
+}
+
+impl InjectionModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance < 3`, or `p_phys` outside `(0, 1)`.
+    pub fn new(distance: usize, p_phys: f64) -> Self {
+        assert!(distance >= 3, "distance must be at least 3, got {distance}");
+        assert!(p_phys > 0.0 && p_phys < 1.0, "p_phys out of range: {p_phys}");
+        InjectionModel { distance, p_phys }
+    }
+
+    /// The EFT default (`d = 11`, `p = 1e-3`).
+    pub fn eft_default() -> Self {
+        InjectionModel::new(11, 1e-3)
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Physical error rate.
+    pub fn p_phys(&self) -> f64 {
+        self.p_phys
+    }
+
+    /// Error rate of an injected `Rz(θ)` state: `23·p/30` (Lao & Criger,
+    /// Equation 3, with CNOT error `p` and init/1q errors `p/10`).
+    pub fn rz_error_rate(&self) -> f64 {
+        23.0 * self.p_phys / 30.0
+    }
+
+    /// Expected number of injection+consumption attempts per logical
+    /// rotation under repeat-until-success (`E[g] = 2`, Section 4.4).
+    pub fn expected_attempts(&self) -> f64 {
+        2.0
+    }
+
+    /// Effective error rate per *logical* rotation: each of the `E[g]`
+    /// attempts consumes an injected state with error
+    /// [`InjectionModel::rz_error_rate`].
+    pub fn effective_rotation_error(&self) -> f64 {
+        1.0 - (1.0 - self.rz_error_rate()).powf(self.expected_attempts())
+    }
+
+    // --- Section 9: patch-shuffling feasibility ---------------------------
+
+    /// Probability that one post-selection trial passes both stabilizer
+    /// rounds: `p_pass = 1 − 2p(1−p)(d²−1)` (Equation 4).
+    pub fn post_selection_pass_probability(&self) -> f64 {
+        let d2 = (self.distance * self.distance - 1) as f64;
+        1.0 - 2.0 * self.p_phys * (1.0 - self.p_phys) * d2
+    }
+
+    /// The geometric distribution of injection trials.
+    pub fn trial_distribution(&self) -> Geometric {
+        Geometric::new(self.post_selection_pass_probability())
+    }
+
+    /// `N_trials = E[X] + σ[X]` — 1.959 at the EFT point (Section 9).
+    pub fn trials_to_one_sigma(&self) -> f64 {
+        self.trial_distribution().trials_to_one_sigma()
+    }
+
+    /// `P[X ≤ N_trials]` — the "high probability" 0.9391 of Section 9.
+    pub fn high_probability(&self) -> f64 {
+        self.trial_distribution().prob_within_one_sigma()
+    }
+
+    /// Consumption time of an injected state: `2d` cycles.
+    pub fn consumption_cycles(&self) -> usize {
+        2 * self.distance
+    }
+
+    /// The constant `c = (4d² − 4d + 1) / (8d²(d² − 1))` of the Section-9
+    /// quadratic.
+    pub fn shuffle_constant(&self) -> f64 {
+        let d = self.distance as f64;
+        (4.0 * d * d - 4.0 * d + 1.0) / (8.0 * d * d * (d * d - 1.0))
+    }
+
+    /// The lower root `α = (1 − sqrt(1 − 4c))/2` of `p² − p + c ≥ 0`:
+    /// shuffling is feasible for `p ≤ α` (0.003811 at d = 11).
+    pub fn shuffle_alpha(&self) -> f64 {
+        (1.0 - (1.0 - 4.0 * self.shuffle_constant()).sqrt()) / 2.0
+    }
+
+    /// The upper root `β = (1 + sqrt(1 − 4c))/2`.
+    pub fn shuffle_beta(&self) -> f64 {
+        (1.0 + (1.0 - 4.0 * self.shuffle_constant()).sqrt()) / 2.0
+    }
+
+    /// Whether an injection completes within one consumption window with
+    /// high probability — `N_trials ≤ 2d`, i.e. `p ≤ α` or `p ≥ β`
+    /// (Section 9, Equation 5). This is the condition that makes patch
+    /// shuffling stall-free.
+    pub fn shuffle_feasible(&self) -> bool {
+        self.p_phys <= self.shuffle_alpha() || self.p_phys >= self.shuffle_beta()
+    }
+}
+
+/// Extended injection with additional post-selection rounds — the paper's
+/// Section-2.6 future-work knob ("the fidelity of an Rz(θ) state can be
+/// improved by post-selecting over multiple (more than two) rounds ...
+/// however, this comes at additional overhead").
+///
+/// Model (documented calibration): each round beyond the baseline two
+/// suppresses the residual injected-state error by
+/// [`MultiRoundInjection::ROUND_SUPPRESSION`] (a post-selection round
+/// catches a constant fraction of residual faults), while every round
+/// multiplies the per-trial pass probability by another factor of
+/// `sqrt(p_pass)` (the two baseline rounds contribute `p_pass` jointly),
+/// stretching the expected injection latency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultiRoundInjection {
+    base: InjectionModel,
+    rounds: usize,
+}
+
+impl MultiRoundInjection {
+    /// Error-suppression factor per extra post-selection round.
+    pub const ROUND_SUPPRESSION: f64 = 0.3;
+
+    /// Wraps an injection model with `rounds ≥ 2` post-selection rounds
+    /// (2 is the Lao–Criger baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds < 2`.
+    pub fn new(base: InjectionModel, rounds: usize) -> Self {
+        assert!(rounds >= 2, "baseline injection already uses two rounds");
+        MultiRoundInjection { base, rounds }
+    }
+
+    /// The wrapped baseline model.
+    pub fn base(&self) -> &InjectionModel {
+        &self.base
+    }
+
+    /// Post-selection rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Error rate of the injected state after all rounds.
+    pub fn rz_error_rate(&self) -> f64 {
+        self.base.rz_error_rate() * Self::ROUND_SUPPRESSION.powi(self.rounds as i32 - 2)
+    }
+
+    /// Per-trial pass probability across all rounds:
+    /// `p_pass^(rounds/2)` (two rounds jointly give the baseline value).
+    pub fn pass_probability(&self) -> f64 {
+        self.base
+            .post_selection_pass_probability()
+            .powf(self.rounds as f64 / 2.0)
+    }
+
+    /// Expected injection trials (geometric in the joint pass
+    /// probability).
+    pub fn expected_trials(&self) -> f64 {
+        1.0 / self.pass_probability()
+    }
+
+    /// The `N_trials = E + σ` budget at this round count.
+    pub fn trials_to_one_sigma(&self) -> f64 {
+        Geometric::new(self.pass_probability()).trials_to_one_sigma()
+    }
+
+    /// Whether patch shuffling still hides injection inside the `2d`
+    /// consumption window at this round count (each trial costs
+    /// `rounds / 2` baseline trial-times).
+    pub fn shuffle_feasible(&self) -> bool {
+        let trial_cost = self.rounds as f64 / 2.0;
+        self.trials_to_one_sigma() * trial_cost <= self.base.consumption_cycles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_error_rate_point_seven_six() {
+        let inj = InjectionModel::eft_default();
+        // 23·1e-3/30 = 7.6667e-4 — "0.76 × 10⁻³" in Section 4.4.
+        assert!((inj.rz_error_rate() - 7.6667e-4).abs() < 1e-7);
+    }
+
+    #[test]
+    fn section9_p_pass() {
+        let inj = InjectionModel::eft_default();
+        // 1 − 2·1e-3·0.999·120 = 0.760240.
+        assert!((inj.post_selection_pass_probability() - 0.76024).abs() < 1e-6);
+    }
+
+    #[test]
+    fn section9_trials_and_probability() {
+        let inj = InjectionModel::eft_default();
+        assert!((inj.trials_to_one_sigma() - 1.959).abs() < 2e-3, "{}", inj.trials_to_one_sigma());
+        assert!((inj.high_probability() - 0.9391).abs() < 2e-3, "{}", inj.high_probability());
+    }
+
+    #[test]
+    fn section9_alpha_beta() {
+        let inj = InjectionModel::eft_default();
+        assert!((inj.shuffle_alpha() - 0.003811).abs() < 5e-6, "{}", inj.shuffle_alpha());
+        assert!((inj.shuffle_beta() - 0.996189).abs() < 5e-6, "{}", inj.shuffle_beta());
+        assert!(inj.shuffle_feasible());
+    }
+
+    #[test]
+    fn shuffle_infeasible_between_roots() {
+        // p = 0.01 sits between α and β at d = 11 → injection too slow.
+        let inj = InjectionModel::new(11, 0.01);
+        assert!(!inj.shuffle_feasible());
+    }
+
+    #[test]
+    fn trials_within_consumption_window() {
+        let inj = InjectionModel::eft_default();
+        assert!(inj.trials_to_one_sigma() <= inj.consumption_cycles() as f64);
+    }
+
+    #[test]
+    fn effective_rotation_error_doubles_single_attempt() {
+        let inj = InjectionModel::eft_default();
+        let single = inj.rz_error_rate();
+        let eff = inj.effective_rotation_error();
+        assert!(eff > single && eff < 2.0 * single + 1e-6);
+        assert!((eff - (1.0 - (1.0 - single) * (1.0 - single))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_scales_linearly_with_p() {
+        let a = InjectionModel::new(11, 1e-3).rz_error_rate();
+        let b = InjectionModel::new(11, 2e-3).rz_error_rate();
+        assert!((b - 2.0 * a).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be at least 3")]
+    fn tiny_distance_rejected() {
+        let _ = InjectionModel::new(1, 1e-3);
+    }
+
+    #[test]
+    fn multi_round_baseline_is_identity() {
+        let base = InjectionModel::eft_default();
+        let two = MultiRoundInjection::new(base, 2);
+        assert!((two.rz_error_rate() - base.rz_error_rate()).abs() < 1e-18);
+        assert!((two.pass_probability() - base.post_selection_pass_probability()).abs() < 1e-12);
+        assert!(two.shuffle_feasible());
+    }
+
+    #[test]
+    fn extra_rounds_trade_error_for_latency() {
+        let base = InjectionModel::eft_default();
+        let mut prev_err = f64::INFINITY;
+        let mut prev_trials = 0.0;
+        for rounds in 2..=6 {
+            let m = MultiRoundInjection::new(base, rounds);
+            assert!(m.rz_error_rate() < prev_err, "rounds {rounds}");
+            assert!(m.expected_trials() > prev_trials, "rounds {rounds}");
+            prev_err = m.rz_error_rate();
+            prev_trials = m.expected_trials();
+        }
+    }
+
+    #[test]
+    fn many_rounds_eventually_break_shuffling() {
+        let base = InjectionModel::eft_default();
+        // At d = 11 the consumption window is 22 cycles; enough rounds
+        // must exceed it.
+        let feasible: Vec<bool> = (2..=40)
+            .map(|r| MultiRoundInjection::new(base, r).shuffle_feasible())
+            .collect();
+        assert!(feasible[0]);
+        assert!(feasible.iter().any(|f| !f), "expected a feasibility cliff");
+        // Once infeasible, stays infeasible (monotone cost).
+        let first_bad = feasible.iter().position(|f| !*f).unwrap();
+        assert!(feasible[first_bad..].iter().all(|f| !*f));
+    }
+
+    #[test]
+    #[should_panic(expected = "two rounds")]
+    fn rejects_fewer_than_two_rounds() {
+        let _ = MultiRoundInjection::new(InjectionModel::eft_default(), 1);
+    }
+}

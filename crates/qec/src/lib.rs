@@ -1,0 +1,41 @@
+//! Surface-code resource models for the EFT regime.
+//!
+//! The paper's fidelity comparisons (Figures 4–6) are driven by four
+//! resource models, all implemented here:
+//!
+//! * [`SurfaceCodeModel`] — logical error rates of lightweight surface-code
+//!   patches (the numbers the paper obtained from Stim circuit-level
+//!   simulation; we use the standard exponential-suppression fit that
+//!   reproduces them).
+//! * [`factory`] — the (15-to-1) magic-state distillation catalog with the
+//!   `(d_x, d_z, d_m)` configurations of Section 3.2.
+//! * [`injection`] — Lao & Criger's `Rz(θ)` magic-state injection: the
+//!   `23·p/30` error rate, repeat-until-success statistics, and the
+//!   Section-9 patch-shuffling feasibility proof.
+//! * [`cultivation`] — the magic-state-cultivation alternative of
+//!   Section 3.4.
+//! * [`DeviceModel`] — the EFT device envelope (physical qubits + physical
+//!   error rate).
+//!
+//! # Examples
+//!
+//! ```
+//! use eftq_qec::SurfaceCodeModel;
+//!
+//! let code = SurfaceCodeModel::new(11, 1e-3);
+//! // The paper's "≈1e-7" logical rates for d = 11 at p = 1e-3.
+//! assert!(code.logical_error_rate() < 2e-7);
+//! assert!(code.logical_error_rate() > 5e-8);
+//! ```
+
+pub mod cultivation;
+pub mod device;
+pub mod factory;
+pub mod injection;
+pub mod surface_code;
+
+pub use cultivation::CultivationModel;
+pub use device::DeviceModel;
+pub use factory::{FactoryConfig, FACTORY_CATALOG};
+pub use injection::{InjectionModel, MultiRoundInjection};
+pub use surface_code::SurfaceCodeModel;

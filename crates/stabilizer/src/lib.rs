@@ -1,0 +1,36 @@
+//! Aaronson–Gottesman stabilizer simulation with Monte-Carlo Pauli noise.
+//!
+//! The paper's large-scale methodology (Section 5.2.2) restricts VQA
+//! rotation angles to multiples of π/2, turning the ansatz into a Clifford
+//! circuit that a stabilizer simulator evaluates at 16–100+ qubits. This
+//! crate is the reproduction's substitute for Stim:
+//!
+//! * [`Tableau`] — the destabilizer/stabilizer tableau with the standard
+//!   gate set, measurement, and *Pauli-expectation* queries
+//!   (⟨P⟩ ∈ {−1, 0, +1} for stabilizer states), which is what Hamiltonian
+//!   energy evaluation needs.
+//! * [`noise`] — Monte-Carlo Pauli channels (depolarizing, bit-flip,
+//!   Pauli-twirled thermal relaxation per Ghosh et al.) and the noisy
+//!   energy estimator averaging stabilizer expectations over shots.
+//!
+//! # Examples
+//!
+//! ```
+//! use eftq_circuit::Circuit;
+//! use eftq_stabilizer::Tableau;
+//!
+//! // GHZ state: ⟨XXX⟩ = +1, ⟨ZZI⟩ = +1, ⟨ZII⟩ = 0.
+//! let mut c = Circuit::new(3);
+//! c.h(0).cx(0, 1).cx(1, 2);
+//! let mut t = Tableau::new(3);
+//! t.run(&c);
+//! assert_eq!(t.expectation(&"XXX".parse().unwrap()), 1.0);
+//! assert_eq!(t.expectation(&"ZZI".parse().unwrap()), 1.0);
+//! assert_eq!(t.expectation(&"ZII".parse().unwrap()), 0.0);
+//! ```
+
+pub mod noise;
+pub mod tableau;
+
+pub use noise::{estimate_energy, NoisyCliffordRun, StabilizerNoise};
+pub use tableau::{sample_counts, Tableau};

@@ -1,0 +1,710 @@
+//! The destabilizer/stabilizer tableau (Aaronson & Gottesman 2004).
+
+use eftq_circuit::{Angle, Circuit, Gate};
+use eftq_pauli::PauliString;
+use rand::Rng;
+use std::f64::consts::FRAC_PI_2;
+
+const WORD_BITS: usize = 64;
+
+/// A stabilizer state of `n` qubits, represented by `n` destabilizer and
+/// `n` stabilizer generators with sign tracking.
+///
+/// Supports the Clifford gate set (H, S, S†, Paulis, CX, CZ, SWAP and
+/// rotations at multiples of π/2), computational-basis measurement, and
+/// Pauli-expectation queries — the operations the Clifford-restricted VQE
+/// of Section 5.2.2 needs. Scales comfortably past 100 qubits
+/// (`O(n²)` memory, `O(n)` per gate, `O(n²)` per measurement/expectation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tableau {
+    n: usize,
+    words: usize,
+    /// X bit-planes for 2n rows (destabilizers then stabilizers), row-major.
+    x: Vec<u64>,
+    /// Z bit-planes, same layout.
+    z: Vec<u64>,
+    /// Phase exponent of each row (0 or 2 — stabilizer rows are Hermitian).
+    r: Vec<u8>,
+}
+
+impl Tableau {
+    /// The all-zeros state `|0…0⟩`: destabilizer `X_i`, stabilizer `Z_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(WORD_BITS);
+        let mut t = Tableau {
+            n,
+            words,
+            x: vec![0; 2 * n * words],
+            z: vec![0; 2 * n * words],
+            r: vec![0; 2 * n],
+        };
+        for i in 0..n {
+            t.set_x(i, i, true); // destabilizer i = X_i
+            t.set_z(n + i, i, true); // stabilizer i = Z_i
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn xw(&self, row: usize) -> &[u64] {
+        &self.x[row * self.words..(row + 1) * self.words]
+    }
+
+    #[inline]
+    fn zw(&self, row: usize) -> &[u64] {
+        &self.z[row * self.words..(row + 1) * self.words]
+    }
+
+    #[inline]
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.words + q / WORD_BITS] >> (q % WORD_BITS) & 1 == 1
+    }
+
+    #[inline]
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        self.z[row * self.words + q / WORD_BITS] >> (q % WORD_BITS) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / WORD_BITS;
+        let mask = 1u64 << (q % WORD_BITS);
+        if v {
+            self.x[idx] |= mask;
+        } else {
+            self.x[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / WORD_BITS;
+        let mask = 1u64 << (q % WORD_BITS);
+        if v {
+            self.z[idx] |= mask;
+        } else {
+            self.z[idx] &= !mask;
+        }
+    }
+
+    // --- gates -------------------------------------------------------------
+
+    /// Hadamard on `q`: X ↔ Z, Y → −Y.
+    pub fn h(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        for row in 0..2 * self.n {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] = (self.r[row] + 2) % 4;
+            }
+            self.set_x(row, q, zv);
+            self.set_z(row, q, xv);
+        }
+    }
+
+    /// Phase gate S on `q`: X → Y, Y → −X.
+    pub fn s(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        for row in 0..2 * self.n {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] = (self.r[row] + 2) % 4;
+            }
+            self.set_z(row, q, zv ^ xv);
+        }
+    }
+
+    /// Inverse phase gate S†.
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Pauli X on `q` (sign update only).
+    pub fn x_gate(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        for row in 0..2 * self.n {
+            if self.get_z(row, q) {
+                self.r[row] = (self.r[row] + 2) % 4;
+            }
+        }
+    }
+
+    /// Pauli Z on `q`.
+    pub fn z_gate(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) {
+                self.r[row] = (self.r[row] + 2) % 4;
+            }
+        }
+    }
+
+    /// Pauli Y on `q`.
+    pub fn y_gate(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) ^ self.get_z(row, q) {
+                self.r[row] = (self.r[row] + 2) % 4;
+            }
+        }
+    }
+
+    /// CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) {
+        assert!(control < self.n && target < self.n && control != target);
+        for row in 0..2 * self.n {
+            let xc = self.get_x(row, control);
+            let zc = self.get_z(row, control);
+            let xt = self.get_x(row, target);
+            let zt = self.get_z(row, target);
+            if xc && zt && (xt == zc) {
+                self.r[row] = (self.r[row] + 2) % 4;
+            }
+            self.set_x(row, target, xt ^ xc);
+            self.set_z(row, control, zc ^ zt);
+        }
+    }
+
+    /// CZ between `a` and `b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// SWAP of `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// Applies one Clifford gate (rotations must be at multiples of π/2;
+    /// measurements are rejected — use [`Tableau::measure`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford or symbolic rotations, and on `Measure`.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => self.h(q),
+            Gate::S(q) => self.s(q),
+            Gate::Sdg(q) => self.sdg(q),
+            Gate::X(q) => self.x_gate(q),
+            Gate::Y(q) => self.y_gate(q),
+            Gate::Z(q) => self.z_gate(q),
+            Gate::Cx(c, t) => self.cx(c, t),
+            Gate::Cz(a, b) => self.cz(a, b),
+            Gate::Swap(a, b) => self.swap(a, b),
+            Gate::Rz(q, Angle::Value(v)) => self.apply_quarter_z(q, quarter_turns(v, gate)),
+            Gate::Rx(q, Angle::Value(v)) => {
+                self.h(q);
+                self.apply_quarter_z(q, quarter_turns(v, gate));
+                self.h(q);
+            }
+            Gate::Ry(q, Angle::Value(v)) => {
+                // Ry(θ) = S · Rx(θ) · S†: conjugation order S† first.
+                self.sdg(q);
+                self.h(q);
+                self.apply_quarter_z(q, quarter_turns(v, gate));
+                self.h(q);
+                self.s(q);
+            }
+            ref g => panic!("tableau cannot apply gate {g}"),
+        }
+    }
+
+    fn apply_quarter_z(&mut self, q: usize, k: u8) {
+        match k {
+            0 => {}
+            1 => self.s(q),
+            2 => self.z_gate(q),
+            _ => self.sdg(q),
+        }
+    }
+
+    /// Runs every gate of a bound Clifford circuit (measurements skipped).
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "circuit size mismatch");
+        for g in circuit.gates() {
+            if g.is_measurement() {
+                continue;
+            }
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies a Pauli error (conjugation signs only — a Pauli maps the
+    /// stabilizer group to itself up to signs).
+    pub fn apply_pauli_error(&mut self, p: &PauliString) {
+        assert_eq!(p.num_qubits(), self.n, "pauli size mismatch");
+        for q in p.support() {
+            match p.pauli_at(q) {
+                eftq_pauli::Pauli::X => self.x_gate(q),
+                eftq_pauli::Pauli::Y => self.y_gate(q),
+                eftq_pauli::Pauli::Z => self.z_gate(q),
+                eftq_pauli::Pauli::I => {}
+            }
+        }
+    }
+
+    // --- row algebra --------------------------------------------------------
+
+    /// Whether row `row` anticommutes with the (x, z) planes of `p`.
+    fn row_anticommutes(&self, row: usize, px: &[u64], pz: &[u64]) -> bool {
+        let rx = self.xw(row);
+        let rz = self.zw(row);
+        let mut acc = 0u32;
+        for w in 0..self.words {
+            acc ^= (rx[w] & pz[w]).count_ones() & 1;
+            acc ^= (rz[w] & px[w]).count_ones() & 1;
+        }
+        acc & 1 == 1
+    }
+
+    /// Multiplies row `src` into the scratch Pauli `(ax, az, ar)`:
+    /// `A ← row_src · A`, with exact phase tracking.
+    fn mul_row_into(&self, src: usize, ax: &mut [u64], az: &mut [u64], ar: &mut u8) {
+        let sx = self.xw(src);
+        let sz = self.zw(src);
+        let mut plus = 0u64;
+        let mut minus = 0u64;
+        for w in 0..self.words {
+            let (bx, bz) = (ax[w], az[w]);
+            let (cx_, cz_) = (sx[w], sz[w]);
+            // Phase of product (row_src) · A, per-site rule as in eftq-pauli.
+            let p = (cx_ & !cz_ & bx & bz) | (cx_ & cz_ & !bx & bz) | (!cx_ & cz_ & bx & !bz);
+            let m = (cx_ & !cz_ & !bx & bz) | (cx_ & cz_ & bx & !bz) | (!cx_ & cz_ & bx & bz);
+            plus += u64::from(p.count_ones());
+            minus += u64::from(m.count_ones());
+            ax[w] ^= cx_;
+            az[w] ^= cz_;
+        }
+        let delta = (plus + 3 * minus) % 4;
+        *ar = ((u64::from(*ar) + u64::from(self.r[src]) + delta) % 4) as u8;
+    }
+
+    // --- queries ------------------------------------------------------------
+
+    /// Expectation value of a Hermitian Pauli string on this stabilizer
+    /// state: +1 / −1 when `±P` is in the stabilizer group, 0 otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch or a non-Hermitian phase.
+    pub fn expectation(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.num_qubits(), self.n, "pauli size mismatch");
+        assert!(p.is_hermitian(), "expectation needs a Hermitian Pauli");
+        let (px, pz) = pauli_planes(p, self.words);
+        // Anticommuting with any stabilizer ⇒ expectation 0.
+        for srow in self.n..2 * self.n {
+            if self.row_anticommutes(srow, &px, &pz) {
+                return 0.0;
+            }
+        }
+        // P commutes with the whole group ⇒ P = ±Π selected stabilizers,
+        // where stabilizer i is selected iff P anticommutes with
+        // destabilizer i.
+        let mut ax = vec![0u64; self.words];
+        let mut az = vec![0u64; self.words];
+        let mut ar = 0u8;
+        for i in 0..self.n {
+            if self.row_anticommutes(i, &px, &pz) {
+                self.mul_row_into(self.n + i, &mut ax, &mut az, &mut ar);
+            }
+        }
+        debug_assert_eq!(ax, px, "pauli part mismatch in expectation");
+        debug_assert_eq!(az, pz, "pauli part mismatch in expectation");
+        if ar == p.phase_exponent() {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Energy `Σ c_k ⟨P_k⟩` of an observable on this state.
+    pub fn energy(&self, observable: &eftq_pauli::PauliSum) -> f64 {
+        observable
+            .terms()
+            .iter()
+            .map(|t| t.coefficient * self.expectation(&t.string))
+            .sum()
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    /// Returns the outcome bit.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        assert!(q < self.n, "qubit {q} out of range");
+        // Random outcome iff some stabilizer anticommutes with Z_q, i.e.
+        // has x_q = 1.
+        let mut pivot = None;
+        for row in self.n..2 * self.n {
+            if self.get_x(row, q) {
+                pivot = Some(row);
+                break;
+            }
+        }
+        match pivot {
+            Some(p) => {
+                let outcome = rng.gen_bool(0.5);
+                // All other rows with x_q = 1 absorb row p.
+                let (px, pz, pr) = (self.xw(p).to_vec(), self.zw(p).to_vec(), self.r[p]);
+                for row in 0..2 * self.n {
+                    if row != p && self.get_x(row, q) {
+                        let mut ax = self.xw(row).to_vec();
+                        let mut az = self.zw(row).to_vec();
+                        let mut ar = self.r[row];
+                        // row ← row_p · row
+                        mul_planes(
+                            (&px, &pz, pr),
+                            &mut ax,
+                            &mut az,
+                            &mut ar,
+                            self.words,
+                        );
+                        self.x[row * self.words..(row + 1) * self.words].copy_from_slice(&ax);
+                        self.z[row * self.words..(row + 1) * self.words].copy_from_slice(&az);
+                        self.r[row] = ar;
+                    }
+                }
+                // Destabilizer p−n becomes the old row p; row p becomes ±Z_q.
+                let d = p - self.n;
+                self.x.copy_within(p * self.words..(p + 1) * self.words, d * self.words);
+                self.z.copy_within(p * self.words..(p + 1) * self.words, d * self.words);
+                self.r[d] = self.r[p];
+                for w in 0..self.words {
+                    self.x[p * self.words + w] = 0;
+                    self.z[p * self.words + w] = 0;
+                }
+                self.set_z(p, q, true);
+                self.r[p] = if outcome { 2 } else { 0 };
+                outcome
+            }
+            None => {
+                // Deterministic: ⟨Z_q⟩ = ±1; compute via the scratch row.
+                let zq = PauliString::single(self.n, q, eftq_pauli::Pauli::Z);
+                self.expectation(&zq) < 0.0
+            }
+        }
+    }
+}
+
+/// Samples `shots` full computational-basis measurement outcomes of the
+/// tableau state (each shot measures a fresh copy — measurement collapses).
+/// Returns bitstrings with qubit `q` at bit `q`.
+pub fn sample_counts<R: Rng + ?Sized>(t: &Tableau, shots: usize, rng: &mut R) -> Vec<u64> {
+    assert!(t.num_qubits() <= 64, "bitstring sampling limited to 64 qubits");
+    (0..shots)
+        .map(|_| {
+            let mut copy = t.clone();
+            let mut b = 0u64;
+            for q in 0..t.num_qubits() {
+                if copy.measure(q, rng) {
+                    b |= 1 << q;
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+fn quarter_turns(v: f64, gate: &Gate) -> u8 {
+    let k = (v / FRAC_PI_2).round();
+    assert!(
+        (v - k * FRAC_PI_2).abs() < 1e-9,
+        "tableau cannot apply non-Clifford rotation {gate}"
+    );
+    (k as i64).rem_euclid(4) as u8
+}
+
+fn pauli_planes(p: &PauliString, words: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut px = vec![0u64; words];
+    let mut pz = vec![0u64; words];
+    for q in 0..p.num_qubits() {
+        let letter = p.pauli_at(q);
+        if letter.x_bit() {
+            px[q / WORD_BITS] |= 1 << (q % WORD_BITS);
+        }
+        if letter.z_bit() {
+            pz[q / WORD_BITS] |= 1 << (q % WORD_BITS);
+        }
+    }
+    (px, pz)
+}
+
+/// `A ← S · A` where `S = (sx, sz, sr)`, phase-exact.
+fn mul_planes(
+    s: (&[u64], &[u64], u8),
+    ax: &mut [u64],
+    az: &mut [u64],
+    ar: &mut u8,
+    words: usize,
+) {
+    let (sx, sz, sr) = s;
+    let mut plus = 0u64;
+    let mut minus = 0u64;
+    for w in 0..words {
+        let (bx, bz) = (ax[w], az[w]);
+        let (cx_, cz_) = (sx[w], sz[w]);
+        let p = (cx_ & !cz_ & bx & bz) | (cx_ & cz_ & !bx & bz) | (!cx_ & cz_ & bx & !bz);
+        let m = (cx_ & !cz_ & !bx & bz) | (cx_ & cz_ & bx & !bz) | (!cx_ & cz_ & bx & bz);
+        plus += u64::from(p.count_ones());
+        minus += u64::from(m.count_ones());
+        ax[w] ^= cx_;
+        az[w] ^= cz_;
+    }
+    let delta = (plus + 3 * minus) % 4;
+    *ar = ((u64::from(*ar) + u64::from(sr) + delta) % 4) as u8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eftq_pauli::PauliSum;
+    use eftq_statesim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pauli(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_state_expectations() {
+        let t = Tableau::new(3);
+        assert_eq!(t.expectation(&pauli("ZII")), 1.0);
+        assert_eq!(t.expectation(&pauli("ZZZ")), 1.0);
+        assert_eq!(t.expectation(&pauli("XII")), 0.0);
+        assert_eq!(t.expectation(&pauli("-ZII")), -1.0);
+    }
+
+    #[test]
+    fn plus_state_after_h() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert_eq!(t.expectation(&pauli("X")), 1.0);
+        assert_eq!(t.expectation(&pauli("Z")), 0.0);
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        assert_eq!(t.expectation(&pauli("Y")), 1.0);
+        assert_eq!(t.expectation(&pauli("X")), 0.0);
+        t.sdg(0);
+        assert_eq!(t.expectation(&pauli("X")), 1.0);
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        assert_eq!(t.expectation(&pauli("XX")), 1.0);
+        assert_eq!(t.expectation(&pauli("ZZ")), 1.0);
+        assert_eq!(t.expectation(&pauli("YY")), -1.0);
+        assert_eq!(t.expectation(&pauli("ZI")), 0.0);
+    }
+
+    #[test]
+    fn pauli_error_flips_signs() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        t.apply_pauli_error(&pauli("XI"));
+        assert_eq!(t.expectation(&pauli("ZZ")), -1.0);
+        assert_eq!(t.expectation(&pauli("XX")), 1.0);
+    }
+
+    #[test]
+    fn clifford_rotations_match_gates() {
+        let mut a = Tableau::new(1);
+        a.apply_gate(&Gate::Rz(0, Angle::Value(FRAC_PI_2)));
+        let mut b = Tableau::new(1);
+        b.s(0);
+        assert_eq!(a, b);
+        let mut c = Tableau::new(1);
+        c.apply_gate(&Gate::Rx(0, Angle::Value(std::f64::consts::PI)));
+        let mut d = Tableau::new(1);
+        d.x_gate(0);
+        assert_eq!(c.expectation(&pauli("Z")), d.expectation(&pauli("Z")));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford rotation")]
+    fn non_clifford_rotation_rejected() {
+        let mut t = Tableau::new(1);
+        t.apply_gate(&Gate::Rz(0, Angle::Value(0.3)));
+    }
+
+    #[test]
+    fn measurement_collapses_ghz() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut t = Tableau::new(3);
+            t.h(0);
+            t.cx(0, 1);
+            t.cx(1, 2);
+            let m0 = t.measure(0, &mut rng);
+            // All qubits must agree after the first measurement.
+            let m1 = t.measure(1, &mut rng);
+            let m2 = t.measure(2, &mut rng);
+            assert_eq!(m0, m1);
+            assert_eq!(m1, m2);
+        }
+    }
+
+    #[test]
+    fn deterministic_measurement_of_basis_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = Tableau::new(2);
+        t.x_gate(1);
+        assert!(!t.measure(0, &mut rng));
+        assert!(t.measure(1, &mut rng));
+    }
+
+    #[test]
+    fn measurement_statistics_of_plus_state() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0;
+        for _ in 0..400 {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            if t.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.08, "{frac}");
+    }
+
+    #[test]
+    fn energy_of_observable() {
+        let mut h = PauliSum::new(2);
+        h.push_str(1.0, "ZZ");
+        h.push_str(0.5, "XX");
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        assert!((t.energy(&h) - 1.5).abs() < 1e-12);
+    }
+
+    /// The decisive validation: random Clifford circuits agree with the
+    /// state-vector simulator on random Pauli expectations.
+    #[test]
+    fn random_clifford_agrees_with_statevector() {
+        let mut rng = StdRng::seed_from_u64(777);
+        for trial in 0..40 {
+            let n = 2 + (trial % 4);
+            let mut c = Circuit::new(n);
+            for _ in 0..30 {
+                match rng.gen_range(0..7) {
+                    0 => {
+                        c.h(rng.gen_range(0..n));
+                    }
+                    1 => {
+                        c.s(rng.gen_range(0..n));
+                    }
+                    2 => {
+                        c.x(rng.gen_range(0..n));
+                    }
+                    3 => {
+                        c.z(rng.gen_range(0..n));
+                    }
+                    4 => {
+                        c.sdg(rng.gen_range(0..n));
+                    }
+                    5 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cx(a, b);
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cz(a, b);
+                    }
+                }
+            }
+            let mut t = Tableau::new(n);
+            t.run(&c);
+            let psi = StateVector::from_circuit(&c);
+            for _ in 0..8 {
+                let letters: Vec<eftq_pauli::Pauli> = (0..n)
+                    .map(|_| eftq_pauli::Pauli::ALL[rng.gen_range(0..4)])
+                    .collect();
+                let p = PauliString::from_paulis(letters);
+                let want = psi.expectation_pauli(&p);
+                let got = t.expectation(&p);
+                assert!(
+                    (want - got).abs() < 1e-9,
+                    "trial {trial}: pauli {p}, sv {want}, tableau {got}\n{c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_register_smoke() {
+        // 100 qubits spans two words; build a long-range GHZ and check a
+        // weight-100 stabilizer.
+        let n = 100;
+        let mut t = Tableau::new(n);
+        t.h(0);
+        for q in 0..n - 1 {
+            t.cx(q, q + 1);
+        }
+        let all_x = PauliString::from_paulis(vec![eftq_pauli::Pauli::X; n]);
+        let all_z = PauliString::from_paulis(vec![eftq_pauli::Pauli::Z; n]);
+        assert_eq!(t.expectation(&all_x), 1.0);
+        // ZZ on any adjacent pair is +1; single Z is 0; all-Z is +1 for
+        // even parity GHZ.
+        assert_eq!(t.expectation(&all_z), 1.0);
+        let mut zz = PauliString::identity(n);
+        zz.set_pauli(41, eftq_pauli::Pauli::Z);
+        zz.set_pauli(42, eftq_pauli::Pauli::Z);
+        assert_eq!(t.expectation(&zz), 1.0);
+    }
+
+    #[test]
+    fn sample_counts_from_ghz() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cx(0, 1);
+        t.cx(1, 2);
+        let samples = sample_counts(&t, 200, &mut rng);
+        // Only all-zeros and all-ones appear, in roughly equal measure.
+        assert!(samples.iter().all(|&b| b == 0 || b == 0b111));
+        let ones = samples.iter().filter(|&&b| b == 0b111).count();
+        assert!(ones > 60 && ones < 140, "{ones}");
+    }
+
+    #[test]
+    fn ry_rotation_consistency() {
+        // Ry(π/2)|0⟩ = |+⟩.
+        let mut t = Tableau::new(1);
+        t.apply_gate(&Gate::Ry(0, Angle::Value(FRAC_PI_2)));
+        assert_eq!(t.expectation(&pauli("X")), 1.0);
+        // Ry(π)|0⟩ = |1⟩ up to phase.
+        let mut t2 = Tableau::new(1);
+        t2.apply_gate(&Gate::Ry(0, Angle::Value(std::f64::consts::PI)));
+        assert_eq!(t2.expectation(&pauli("Z")), -1.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Readout (measurement) error modelling and inversion-based mitigation.
+//!
+//! This is the machinery behind the VarSaw experiment (Figure 15): VarSaw is
+//! an application-tailored *measurement* error mitigation for VQAs, and its
+//! core operation is correcting measured distributions/expectations through
+//! the per-qubit confusion matrix.
+
+use rand::Rng;
+
+/// Per-qubit asymmetric readout-flip model: qubit `q` reads `1` when it was
+/// `0` with probability `p01[q]`, and `0` when it was `1` with probability
+/// `p10[q]`. The full confusion matrix is the tensor product of the
+/// per-qubit 2×2 matrices.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_statesim::ReadoutModel;
+///
+/// let m = ReadoutModel::uniform(2, 0.1, 0.1);
+/// let mut probs = vec![1.0, 0.0, 0.0, 0.0]; // |00⟩
+/// m.apply_to_probs(&mut probs);
+/// assert!((probs[0] - 0.81).abs() < 1e-12);
+/// let mitigated = m.mitigate_probs(&probs);
+/// assert!((mitigated[0] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadoutModel {
+    p01: Vec<f64>,
+    p10: Vec<f64>,
+}
+
+impl ReadoutModel {
+    /// Uniform model: every qubit flips `0→1` with `p01` and `1→0` with
+    /// `p10`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 0.5)` (beyond 0.5 the
+    /// confusion matrix is singular or label-swapped).
+    pub fn uniform(n: usize, p01: f64, p10: f64) -> Self {
+        ReadoutModel::per_qubit(vec![p01; n], vec![p10; n])
+    }
+
+    /// Per-qubit model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or a probability is outside
+    /// `[0, 0.5)`.
+    pub fn per_qubit(p01: Vec<f64>, p10: Vec<f64>) -> Self {
+        assert_eq!(p01.len(), p10.len(), "probability vectors must match");
+        for (&a, &b) in p01.iter().zip(p10.iter()) {
+            assert!(
+                (0.0..0.5).contains(&a) && (0.0..0.5).contains(&b),
+                "flip probabilities must be in [0, 0.5): {a}, {b}"
+            );
+        }
+        ReadoutModel { p01, p10 }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.p01.len()
+    }
+
+    /// The `(p01, p10)` pair for qubit `q`.
+    pub fn flip_probabilities(&self, q: usize) -> (f64, f64) {
+        (self.p01[q], self.p10[q])
+    }
+
+    /// Applies the confusion matrix to a basis-state probability vector in
+    /// place (`probs.len() == 2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 2^n`.
+    pub fn apply_to_probs(&self, probs: &mut [f64]) {
+        let n = self.num_qubits();
+        assert_eq!(probs.len(), 1 << n, "probability vector must have 2^n entries");
+        for q in 0..n {
+            let (a, b) = (self.p01[q], self.p10[q]);
+            transform_axis(probs, q, [1.0 - a, b, a, 1.0 - b]);
+        }
+    }
+
+    /// Applies the *inverse* confusion matrix (the mitigation step). The
+    /// result may contain small negative entries — that is inherent to
+    /// inversion-based mitigation; callers typically clamp or renormalize.
+    pub fn mitigate_probs(&self, probs: &[f64]) -> Vec<f64> {
+        let n = self.num_qubits();
+        assert_eq!(probs.len(), 1 << n, "probability vector must have 2^n entries");
+        let mut out = probs.to_vec();
+        for q in 0..n {
+            let (a, b) = (self.p01[q], self.p10[q]);
+            let det = 1.0 - a - b;
+            // Inverse of [[1-a, b], [a, 1-b]].
+            let m = [(1.0 - b) / det, -b / det, -a / det, (1.0 - a) / det];
+            transform_axis(&mut out, q, m);
+        }
+        out
+    }
+
+    /// The damping factor readout error applies to `⟨Z_q⟩`:
+    /// `⟨Z⟩_meas = (1 − p01 − p10)·⟨Z⟩ + (p10 − p01)`.
+    pub fn z_damping(&self, q: usize) -> f64 {
+        1.0 - self.p01[q] - self.p10[q]
+    }
+
+    /// The additive bias on `⟨Z_q⟩` from asymmetric flips.
+    pub fn z_bias(&self, q: usize) -> f64 {
+        self.p10[q] - self.p01[q]
+    }
+
+    /// Corrects a measured expectation of a Z-type Pauli string with
+    /// support on `qubits`: divides out the per-qubit dampings (assumes the
+    /// symmetric-bias part is negligible or pre-subtracted; exact for
+    /// symmetric models).
+    pub fn mitigate_z_expectation(&self, measured: f64, qubits: &[usize]) -> f64 {
+        let damping: f64 = qubits.iter().map(|&q| self.z_damping(q)).product();
+        measured / damping
+    }
+
+    /// Samples a noisy readout of the true outcome `b`.
+    pub fn sample_flips<R: Rng + ?Sized>(&self, b: usize, rng: &mut R) -> usize {
+        let mut out = b;
+        for q in 0..self.num_qubits() {
+            let bit = (b >> q) & 1;
+            let flip_p = if bit == 0 { self.p01[q] } else { self.p10[q] };
+            if rng.gen_bool(flip_p) {
+                out ^= 1 << q;
+            }
+        }
+        out
+    }
+}
+
+/// Applies the 2×2 stochastic matrix `m = [m00, m01, m10, m11]` (column-major
+/// action: out0 = m00·p0 + m01·p1) along bit-axis `q` of a `2^n` vector.
+fn transform_axis(probs: &mut [f64], q: usize, m: [f64; 4]) {
+    let mask = 1usize << q;
+    for b in 0..probs.len() {
+        if b & mask != 0 {
+            continue;
+        }
+        let b1 = b | mask;
+        let p0 = probs[b];
+        let p1 = probs[b1];
+        probs[b] = m[0] * p0 + m[1] * p1;
+        probs[b1] = m[2] * p0 + m[3] * p1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn confusion_preserves_total_probability() {
+        let m = ReadoutModel::uniform(3, 0.05, 0.12);
+        let mut probs = vec![0.0; 8];
+        probs[5] = 0.7;
+        probs[2] = 0.3;
+        m.apply_to_probs(&mut probs);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mitigation_inverts_confusion() {
+        let m = ReadoutModel::per_qubit(vec![0.08, 0.03], vec![0.1, 0.07]);
+        let mut probs = vec![0.1, 0.2, 0.3, 0.4];
+        let original = probs.clone();
+        m.apply_to_probs(&mut probs);
+        let back = m.mitigate_probs(&probs);
+        for (a, b) in back.iter().zip(original.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn z_damping_formula() {
+        let m = ReadoutModel::uniform(1, 0.1, 0.1);
+        // ⟨Z⟩ of |0⟩ is 1; after symmetric flips: 0.8.
+        let mut probs = vec![1.0, 0.0];
+        m.apply_to_probs(&mut probs);
+        let z = probs[0] - probs[1];
+        assert!((z - m.z_damping(0)).abs() < 1e-12);
+        assert_eq!(m.z_bias(0), 0.0);
+    }
+
+    #[test]
+    fn mitigate_z_expectation_recovers_truth() {
+        let m = ReadoutModel::uniform(2, 0.06, 0.06);
+        let truth = 0.83;
+        let measured = truth * m.z_damping(0) * m.z_damping(1);
+        let rec = m.mitigate_z_expectation(measured, &[0, 1]);
+        assert!((rec - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_flip_rate() {
+        let m = ReadoutModel::uniform(1, 0.2, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let flips = (0..5000).filter(|_| m.sample_flips(0, &mut rng) == 1).count();
+        let rate = flips as f64 / 5000.0;
+        assert!((rate - 0.2).abs() < 0.03, "{rate}");
+    }
+
+    #[test]
+    fn asymmetric_bias() {
+        let m = ReadoutModel::uniform(1, 0.0, 0.3);
+        // |1⟩ reads 0 with probability 0.3 → ⟨Z⟩ = -1 becomes -0.4.
+        let mut probs = vec![0.0, 1.0];
+        m.apply_to_probs(&mut probs);
+        let z = probs[0] - probs[1];
+        assert!((z - (-0.4)).abs() < 1e-12);
+        assert!((m.z_damping(0) * -1.0 + m.z_bias(0) - z).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probabilities")]
+    fn rejects_half_or_more() {
+        let _ = ReadoutModel::uniform(1, 0.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n entries")]
+    fn rejects_bad_vector_length() {
+        let m = ReadoutModel::uniform(2, 0.1, 0.1);
+        let mut probs = vec![1.0, 0.0];
+        m.apply_to_probs(&mut probs);
+    }
+}

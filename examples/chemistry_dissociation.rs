@@ -1,0 +1,63 @@
+//! Chemistry workload: a 12-qubit molecular Hamiltonian at two bond
+//! lengths, solved with the Clifford-restricted VQE under NISQ and pQEC.
+//!
+//! This mirrors the paper's chemistry benchmarks (Section 5.1.2) — H₂O,
+//! H₆ and LiH at 1 Å and 4.5 Å — using the synthetic molecular-structure
+//! generator (see DESIGN.md for the PySCF substitution). The 12-qubit
+//! density matrix is too slow for a demo, so we follow the paper's
+//! large-system methodology (Section 5.2.2): restrict rotations to
+//! multiples of π/2 and search the Clifford space with a genetic
+//! algorithm on the stabilizer simulator.
+//!
+//! ```sh
+//! cargo run --release --example chemistry_dissociation
+//! ```
+
+use eft_vqa::clifford_vqe::{clifford_vqe_in_regime, noiseless_reference_energy, CliffordVqeConfig};
+use eft_vqa::hamiltonians::{molecular, Molecule, BOND_LENGTHS};
+use eft_vqa::{relative_improvement, ExecutionRegime};
+use eftq_circuit::ansatz::fully_connected_hea;
+use eftq_optim::GeneticConfig;
+
+fn main() {
+    let molecule = Molecule::LiH;
+    println!(
+        "== {} dissociation study ({} Pauli terms on {} qubits) ==\n",
+        molecule.name(),
+        molecule.term_count(),
+        molecule.num_qubits()
+    );
+
+    let config = CliffordVqeConfig {
+        ga: GeneticConfig {
+            population: 24,
+            generations: 25,
+            threads: 4,
+            ..GeneticConfig::default()
+        },
+        shots: 8,
+        ..CliffordVqeConfig::default()
+    };
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "bond/A", "E0 (exact)", "E0 (Cliff)", "E_pQEC", "E_NISQ", "gamma"
+    );
+    for &bond in &BOND_LENGTHS {
+        let h = molecular(molecule, bond);
+        let ansatz = fully_connected_hea(h.num_qubits(), 1);
+        // Exact reference via matrix-free Lanczos (12 qubits = 4096 dim).
+        let e_exact = h.ground_energy_default().expect("Lanczos");
+        // Clifford reference — what the paper uses at 16+ qubits.
+        let e_clifford = noiseless_reference_energy(&ansatz, &h, &config);
+        let pqec = clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::pqec_default(), &config);
+        let nisq = clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::nisq_default(), &config);
+        let gamma = relative_improvement(e_clifford, pqec.best_energy, nisq.best_energy);
+        println!(
+            "{bond:>8.1} {e_exact:>12.4} {e_clifford:>12.4} {:>12.4} {:>12.4} {gamma:>7.2}x",
+            pqec.best_energy, nisq.best_energy
+        );
+    }
+    println!("\nStretching the bond suppresses hopping terms, flattening the landscape —");
+    println!("exactly the regime where error correction pays off most for VQE.");
+}

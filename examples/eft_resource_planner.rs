@@ -1,0 +1,98 @@
+//! EFT deployment planner: given a VQA size and a device, compare every
+//! execution strategy the paper studies and print a recommendation.
+//!
+//! This is the "which regime should my program use?" workflow that
+//! Figures 4-6 motivate: pQEC at the device frontier, conventional
+//! distillation when space is abundant, cultivation in between.
+//!
+//! ```sh
+//! cargo run --release --example eft_resource_planner -- [logical_qubits] [device_qubits]
+//! ```
+
+use eft_vqa::fidelity::{
+    conventional_fidelity, cultivation_fidelity, nisq_fidelity, pqec_fidelity, Workload,
+};
+use eftq_layout::layouts::LayoutModel;
+use eftq_qec::{DeviceModel, FACTORY_CATALOG};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let device_qubits: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let device = DeviceModel::new(device_qubits, 1e-3);
+    let workload = Workload::fche(n, 1);
+
+    println!("== EFT resource plan: {n}-qubit FCHE VQA on a {device_qubits}-qubit device ==\n");
+
+    // Layout footprint.
+    let layout = LayoutModel::proposed();
+    println!(
+        "proposed layout: {} tiles, packing efficiency {:.1}%, {} parallel injection sites",
+        layout.total_tiles(n),
+        100.0 * layout.packing_efficiency(n),
+        layout.parallel_injection_sites(n)
+    );
+
+    // NISQ baseline.
+    let nisq = nisq_fidelity(&workload, device.p_phys);
+    println!("\n{:<28} fidelity {:.4}", "NISQ (no QEC)", nisq);
+
+    // pQEC.
+    match pqec_fidelity(&workload, &device) {
+        Some(r) => println!(
+            "{:<28} fidelity {:.4}   (d = {}, {} physical qubits)",
+            "pQEC (paper's proposal)", r.fidelity, r.distance, r.physical_qubits
+        ),
+        None => println!("{:<28} does not fit", "pQEC"),
+    }
+
+    // Conventional distillation, every factory.
+    for factory in &FACTORY_CATALOG {
+        match conventional_fidelity(&workload, &device, factory) {
+            Some(r) => println!(
+                "{:<28} fidelity {:.4}   (d = {}, {} factories, {:.0} cycles, {} T)",
+                format!("Clifford+T {}", factory.name),
+                r.fidelity,
+                r.distance,
+                r.units,
+                r.cycles,
+                r.t_count
+            ),
+            None => println!("{:<28} does not fit", format!("Clifford+T {}", factory.name)),
+        }
+    }
+
+    // Cultivation.
+    match cultivation_fidelity(&workload, &device) {
+        Some(r) => println!(
+            "{:<28} fidelity {:.4}   (d = {}, {} units)",
+            "Clifford+T cultivation", r.fidelity, r.distance, r.units
+        ),
+        None => println!("{:<28} does not fit", "Clifford+T cultivation"),
+    }
+
+    // Recommendation.
+    let mut best_name = "NISQ";
+    let mut best = nisq;
+    if let Some(r) = pqec_fidelity(&workload, &device) {
+        if r.fidelity > best {
+            best = r.fidelity;
+            best_name = "pQEC";
+        }
+    }
+    for factory in &FACTORY_CATALOG {
+        if let Some(r) = conventional_fidelity(&workload, &device, factory) {
+            if r.fidelity > best {
+                best = r.fidelity;
+                best_name = factory.name;
+            }
+        }
+    }
+    if let Some(r) = cultivation_fidelity(&workload, &device) {
+        if r.fidelity > best {
+            best = r.fidelity;
+            best_name = "cultivation";
+        }
+    }
+    println!("\nrecommendation: {best_name} (iteration fidelity {best:.4})");
+}

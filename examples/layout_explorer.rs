@@ -1,0 +1,69 @@
+//! Visualize the paper's Figure-3 layout and its scaling.
+//!
+//! Renders the placed patch grid (D = data, . = routing, M = magic-state
+//! injection site), and reports packing efficiency, injection parallelism
+//! and physical footprint as the block parameter grows.
+//!
+//! ```sh
+//! cargo run --release --example layout_explorer -- [logical_qubits]
+//! ```
+
+use eftq_layout::grid::{PatchGrid, TileRole};
+use eftq_layout::layouts::{LayoutKind, LayoutModel};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let grid = PatchGrid::for_qubits(n);
+    let k = grid.block_parameter();
+
+    println!("== Figure-3 layout hosting {n} logical qubits (k = {k}) ==\n");
+    println!("{grid}");
+    println!(
+        "data patches    : {} (capacity {} logical qubits)",
+        grid.count(TileRole::Data),
+        4 * k + 4
+    );
+    println!("routing patches : {}", grid.count(TileRole::Routing));
+    println!(
+        "magic sites     : {} (parallel Rz consumptions)",
+        grid.count(TileRole::Magic)
+    );
+    println!(
+        "packing         : {:.1}%  (paper: → 67% for large k)",
+        100.0 * grid.packing_efficiency()
+    );
+    println!(
+        "physical qubits : {} at d = 11",
+        LayoutModel::proposed().physical_qubits(n, 11)
+    );
+
+    println!("\nscaling of the packing efficiency:");
+    println!("{:>6} {:>8} {:>10} {:>10}", "k", "qubits", "tiles", "PE");
+    for k in [1usize, 2, 4, 8, 16, 32, 64] {
+        let g = PatchGrid::figure3(k);
+        println!(
+            "{k:>6} {:>8} {:>10} {:>9.1}%",
+            4 * k + 4,
+            g.total_tiles(),
+            100.0 * g.packing_efficiency()
+        );
+    }
+
+    println!("\nfootprint against the baseline layouts (tiles for {n} qubits):");
+    for kind in LayoutKind::ALL {
+        let m = if kind == LayoutKind::Proposed {
+            LayoutModel::proposed()
+        } else {
+            LayoutModel::baseline(kind)
+        };
+        println!(
+            "  {:<14} {:>5} tiles   PE {:>5.1}%",
+            kind.name(),
+            m.total_tiles(n),
+            100.0 * m.packing_efficiency(n)
+        );
+    }
+}

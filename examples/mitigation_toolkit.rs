@@ -1,0 +1,70 @@
+//! The error-mitigation toolkit that transitions from NISQ to EFT
+//! (Section 7): VarSaw measurement mitigation, zero-noise extrapolation,
+//! and the Optimal-Parameter-Resilience transfer, all on one workload.
+//!
+//! ```sh
+//! cargo run --release --example mitigation_toolkit
+//! ```
+
+use eft_vqa::hamiltonians::heisenberg_1d;
+use eft_vqa::opr::parameter_transfer;
+use eft_vqa::vqe::{run_vqe, VqeConfig};
+use eft_vqa::zne::{energy_at_scale, zne_energy};
+use eft_vqa::ExecutionRegime;
+use eftq_circuit::ansatz::fully_connected_hea;
+
+fn main() {
+    let n = 5;
+    let h = heisenberg_1d(n, 1.0);
+    let e0 = h.ground_energy_default().unwrap();
+    let ansatz = fully_connected_hea(n, 1);
+    let config = VqeConfig {
+        max_iters: 200,
+        restarts: 3,
+        ..VqeConfig::default()
+    };
+    println!("== mitigation toolkit on the {n}-qubit Heisenberg chain (E0 = {e0:.4}) ==");
+
+    for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+        println!("\n-- {} --", regime.name());
+
+        // 1. VarSaw: measurement mitigation inside the VQE loop.
+        let plain = run_vqe(&ansatz, &h, &regime, &config);
+        let varsaw = run_vqe(
+            &ansatz,
+            &h,
+            &regime,
+            &VqeConfig {
+                mitigate_measurement: true,
+                ..config
+            },
+        );
+        println!(
+            "VarSaw      : plain {:.4} -> mitigated {:.4}",
+            plain.best_energy, varsaw.best_energy
+        );
+
+        // 2. ZNE on the converged parameters.
+        let zne = zne_energy(&ansatz, &plain.best_params, &regime, &h, &[1.0, 1.5, 2.0]);
+        let ideal = energy_at_scale(&ansatz, &plain.best_params, &regime, &h, 0.0);
+        println!(
+            "ZNE         : noisy {:.4} -> extrapolated {:.4} (noiseless {:.4})",
+            zne.energies[0], zne.extrapolated, ideal
+        );
+
+        // 3. OPR: do the noisy-optimal parameters transfer?
+        let opr = parameter_transfer(&ansatz, &h, &regime, &config, 25);
+        println!(
+            "OPR transfer: noiseless energy of noisy optimum {:.4} vs random {:.4} -> {}",
+            opr.transferred,
+            opr.random_baseline,
+            if opr.opr_holds() { "OPR holds" } else { "OPR fails" }
+        );
+        println!(
+            "              transfer closes {:.0}% of the random-to-ground gap",
+            100.0 * opr.transfer_quality()
+        );
+    }
+    println!("\nSection 7's point: these mitigations compose with pQEC rather than");
+    println!("compete with it — the pQEC rows start from a much better baseline.");
+}

@@ -1,0 +1,76 @@
+//! Patch shuffling in action: the repeat-until-success `Rz` pipeline of
+//! Sections 3.1 / 4.2 / 9.
+//!
+//! Demonstrates (1) the runtime RUS expansion of Figure 2(B) and its
+//! `E[g] = 2` attempt statistics, (2) the Section-9 feasibility proof for
+//! shuffling at the EFT operating point, and (3) the Figure-8 spacetime
+//! comparison against naive backup provisioning.
+//!
+//! ```sh
+//! cargo run --release --example patch_shuffling_demo
+//! ```
+
+use eftq_circuit::transpile::{expand_rus, EXPECTED_INJECTIONS_PER_ROTATION};
+use eftq_circuit::Circuit;
+use eftq_layout::shuffling::{naive_backup_volume, patch_shuffling_volume};
+use eftq_qec::InjectionModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. Runtime RUS expansion -------------------------------------
+    let mut circuit = Circuit::new(4);
+    for q in 0..4 {
+        circuit.rz(q, 0.3 + 0.1 * q as f64);
+    }
+    println!("logical circuit: 4 Rz rotations (Figure 2(A))");
+    let mut rng = StdRng::seed_from_u64(42);
+    let expansion = expand_rus(&circuit, &mut rng);
+    println!(
+        "one runtime sample (Figure 2(B)): {} injections for {} rotations",
+        expansion.injections, expansion.logical_rotations
+    );
+
+    // Average over many samples → E[g] = 2.
+    let mut total = 0usize;
+    let samples = 2000;
+    for seed in 0..samples {
+        let mut rng = StdRng::seed_from_u64(seed);
+        total += expand_rus(&circuit, &mut rng).injections;
+    }
+    let mean = total as f64 / (samples as f64 * 4.0);
+    println!(
+        "mean injections per rotation over {samples} samples = {mean:.3} (theory: {EXPECTED_INJECTIONS_PER_ROTATION})"
+    );
+
+    // --- 2. Section-9 feasibility --------------------------------------
+    let inj = InjectionModel::eft_default();
+    println!("\nSection-9 proof at d = 11, p = 1e-3:");
+    println!("  p_pass = {:.6}", inj.post_selection_pass_probability());
+    println!(
+        "  N_trials = {:.3} <= 2d = {} -> injection hides inside consumption",
+        inj.trials_to_one_sigma(),
+        inj.consumption_cycles()
+    );
+    println!(
+        "  feasible for p <= alpha = {:.6} (we are at p = {})",
+        inj.shuffle_alpha(),
+        inj.p_phys()
+    );
+
+    // --- 3. Figure-8 comparison ----------------------------------------
+    println!("\nspacetime volume (physical qubit-cycles), 40-qubit FCHE iteration:");
+    let shuffle = patch_shuffling_volume(40, 1, &inj);
+    println!(
+        "  patch shuffling : {:>12.3e}  ({} tiles, {:.0} cycles, 0 stalls)",
+        shuffle.volume, shuffle.tiles, shuffle.cycles
+    );
+    for b in 1..=4 {
+        let naive = naive_backup_volume(40, 1, b, &inj);
+        println!(
+            "  naive b = {b}     : {:>12.3e}  ({} tiles, {:.0} cycles, {:.1} stall cycles)",
+            naive.volume, naive.tiles, naive.cycles, naive.stall_cycles
+        );
+    }
+    println!("\nshuffling wins on both axes: fewer reserved patches and zero expected stalls.");
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate: see `eft_vqa` for the library API. Examples live in `examples/`.

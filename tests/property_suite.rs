@@ -1,0 +1,212 @@
+//! Randomized cross-crate invariants (proptest).
+//!
+//! Complements the per-crate unit tests with whole-pipeline properties:
+//! simulator agreement on arbitrary circuits, channel physicality under
+//! random parameters, schedule monotonicity, and resource-model sanity
+//! under random device envelopes.
+
+use eftq_circuit::transpile::{expand_rus, merge_rotations};
+use eftq_circuit::Circuit;
+use eftq_numerics::{Complex, Mat2};
+use eftq_pauli::{Pauli, PauliString, PauliSum};
+use eftq_qec::{DeviceModel, InjectionModel, SurfaceCodeModel};
+use eftq_statesim::{DensityMatrix, KrausChannel, StateVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_angle() -> impl Strategy<Value = f64> {
+    -6.0..6.0f64
+}
+
+fn arb_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0usize..7, 0usize..n, 0usize..n.max(2) - 1, arb_angle()), len)
+        .prop_map(move |ops| {
+            let mut c = Circuit::new(n);
+            for (kind, q, other, angle) in ops {
+                let b = if other >= q { other + 1 } else { other } % n;
+                match kind {
+                    0 => {
+                        c.h(q);
+                    }
+                    1 => {
+                        c.s(q);
+                    }
+                    2 => {
+                        c.rz(q, angle);
+                    }
+                    3 => {
+                        c.rx(q, angle);
+                    }
+                    4 => {
+                        c.ry(q, angle);
+                    }
+                    5 if b != q => {
+                        c.cx(q, b);
+                    }
+                    _ if b != q => {
+                        c.cz(q, b);
+                    }
+                    _ => {
+                        c.x(q);
+                    }
+                }
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Density-matrix and state-vector simulation agree on arbitrary
+    /// (noiseless) circuits.
+    #[test]
+    fn dm_equals_sv_on_random_circuits(circuit in arb_circuit(4, 25)) {
+        let psi = StateVector::from_circuit(&circuit);
+        let rho = DensityMatrix::from_circuit(&circuit);
+        prop_assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-8);
+        prop_assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    /// Rotation merging preserves the state on arbitrary circuits.
+    #[test]
+    fn merge_rotations_preserves_state(circuit in arb_circuit(3, 20)) {
+        let before = StateVector::from_circuit(&circuit);
+        let after = StateVector::from_circuit(&merge_rotations(&circuit));
+        prop_assert!((before.fidelity(&after) - 1.0).abs() < 1e-8);
+    }
+
+    /// RUS expansion always nets the intended rotations.
+    #[test]
+    fn rus_expansion_preserves_state(circuit in arb_circuit(3, 12), seed in 0u64..50) {
+        let before = StateVector::from_circuit(&circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expansion = expand_rus(&circuit, &mut rng);
+        let after = StateVector::from_circuit(&expansion.circuit);
+        prop_assert!((before.fidelity(&after) - 1.0).abs() < 1e-8);
+    }
+
+    /// Random-parameter thermal relaxation channels are physical.
+    #[test]
+    fn thermal_relaxation_is_physical(
+        t in 0.0..500.0f64,
+        t1 in 10.0..1000.0f64,
+        ratio in 0.05..1.99f64,
+    ) {
+        let t2 = t1 * ratio.min(1.999);
+        let ch = KrausChannel::thermal_relaxation(t, t1, t2);
+        prop_assert!(ch.is_trace_preserving(1e-9));
+        // Applying to a valid density block keeps the trace.
+        let plus = Mat2::new([
+            Complex::real(0.5),
+            Complex::real(0.5),
+            Complex::real(0.5),
+            Complex::real(0.5),
+        ]);
+        let out = ch.apply_to_block(&plus);
+        prop_assert!((out.trace().re - 1.0).abs() < 1e-10);
+    }
+
+    /// Logical error rate is monotone in distance and physical rate.
+    #[test]
+    fn surface_code_monotonicity(d_idx in 0usize..6, p in 1e-4..5e-3f64) {
+        let d = 3 + 2 * d_idx;
+        let here = SurfaceCodeModel::new(d, p).logical_error_rate();
+        let better_code = SurfaceCodeModel::new(d + 2, p).logical_error_rate();
+        let worse_phys = SurfaceCodeModel::new(d, (p * 1.5).min(9e-3)).logical_error_rate();
+        prop_assert!(better_code < here);
+        prop_assert!(worse_phys >= here);
+    }
+
+    /// Injection feasibility thresholds behave like thresholds.
+    #[test]
+    fn injection_alpha_is_a_threshold(d_idx in 0usize..5) {
+        let d = 5 + 2 * d_idx;
+        let alpha = InjectionModel::new(d, 1e-3).shuffle_alpha();
+        let below = InjectionModel::new(d, alpha * 0.9);
+        let above = InjectionModel::new(d, (alpha * 1.1).min(0.4));
+        prop_assert!(below.shuffle_feasible());
+        if above.p_phys() < above.shuffle_beta() {
+            prop_assert!(!above.shuffle_feasible());
+        }
+    }
+
+    /// pQEC fidelity is monotone in device size and antitone in workload.
+    #[test]
+    fn pqec_fidelity_monotonicity(n_idx in 0usize..4, budget in 6_000usize..60_000) {
+        use eft_vqa::fidelity::{pqec_fidelity, Workload};
+        let n = 12 + 4 * n_idx;
+        let w = Workload::fche(n, 1);
+        let small = pqec_fidelity(&w, &DeviceModel::new(budget, 1e-3));
+        let large = pqec_fidelity(&w, &DeviceModel::new(budget * 2, 1e-3));
+        if let (Some(s), Some(l)) = (small, large) {
+            prop_assert!(l.fidelity >= s.fidelity - 1e-12);
+        }
+        let deeper = Workload::fche(n, 2);
+        if let (Some(a), Some(b)) = (
+            pqec_fidelity(&w, &DeviceModel::eft_default()),
+            pqec_fidelity(&deeper, &DeviceModel::eft_default()),
+        ) {
+            prop_assert!(b.fidelity <= a.fidelity + 1e-12);
+        }
+    }
+
+    /// Pauli expectation values of random states stay in [-1, 1] and the
+    /// observable expectation is linear.
+    #[test]
+    fn expectation_bounds_and_linearity(circuit in arb_circuit(3, 15), scale in 0.1..3.0f64) {
+        let psi = StateVector::from_circuit(&circuit);
+        let p = PauliString::from_paulis([Pauli::X, Pauli::Z, Pauli::Y]);
+        let e = psi.expectation_pauli(&p);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        let mut h = PauliSum::new(3);
+        h.push(1.0, p.clone());
+        let mut h2 = PauliSum::new(3);
+        h2.push(scale, p);
+        prop_assert!((psi.expectation(&h2) - scale * psi.expectation(&h)).abs() < 1e-9);
+    }
+}
+
+/// Non-proptest randomized check: the tableau agrees with the state
+/// vector after RUS-expanding Clifford-angle rotations (integration of
+/// transpile + stabilizer + statevector).
+#[test]
+fn rus_clifford_pipeline_agreement() {
+    for seed in 0..10u64 {
+        let mut c = Circuit::new(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        for _ in 0..12 {
+            let q = rng.gen_range(0..4);
+            match rng.gen_range(0..4) {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.rz(q, std::f64::consts::FRAC_PI_2);
+                }
+                2 => {
+                    let t = (q + 1 + rng.gen_range(0..3)) % 4;
+                    if t != q {
+                        c.cx(q, t);
+                    }
+                }
+                _ => {
+                    c.s(q);
+                }
+            }
+        }
+        let psi = StateVector::from_circuit(&c);
+        let mut tab = eftq_stabilizer::Tableau::new(4);
+        tab.run(&c);
+        for s in ["ZZII", "XXXX", "IYZI"] {
+            let p: PauliString = s.parse().unwrap();
+            assert!(
+                (psi.expectation_pauli(&p) - tab.expectation(&p)).abs() < 1e-9,
+                "seed {seed}, pauli {s}"
+            );
+        }
+    }
+}
