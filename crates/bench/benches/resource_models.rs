@@ -39,5 +39,10 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fidelity_models, bench_figure_drivers, bench_scheduler);
+criterion_group!(
+    benches,
+    bench_fidelity_models,
+    bench_figure_drivers,
+    bench_scheduler
+);
 criterion_main!(benches);

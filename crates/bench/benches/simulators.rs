@@ -6,7 +6,7 @@ use eftq_circuit::ansatz::fully_connected_hea;
 use eftq_circuit::Circuit;
 use eftq_numerics::SeedSequence;
 use eftq_pauli::PauliSum;
-use eftq_stabilizer::{estimate_energy, StabilizerNoise, Tableau};
+use eftq_stabilizer::{estimate_energy, Tableau};
 use eftq_statesim::noise::run_noisy;
 use eftq_statesim::{DensityMatrix, StateVector};
 
@@ -68,5 +68,10 @@ fn bench_tableau(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_density_matrix, bench_tableau);
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_density_matrix,
+    bench_tableau
+);
 criterion_main!(benches);

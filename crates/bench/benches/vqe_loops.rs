@@ -13,7 +13,10 @@ fn bench_energy_evaluations(c: &mut Criterion) {
     let h = eft_vqa::hamiltonians::ising_1d(n, 1.0);
     let ansatz = fully_connected_hea(n, 1);
     let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.1 * i as f64).collect();
-    for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+    for regime in [
+        ExecutionRegime::nisq_default(),
+        ExecutionRegime::pqec_default(),
+    ] {
         group.bench_function(format!("dm_energy_6q_{}", regime.name()), |b| {
             b.iter(|| noisy_energy(&ansatz, &params, &regime, &h, false));
         });

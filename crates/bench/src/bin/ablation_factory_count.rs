@@ -11,7 +11,10 @@ fn main() {
     let w = Workload::fche(16, 1);
     let device = DeviceModel::eft_default();
     for factory in &FACTORY_CATALOG {
-        println!("\n-- {} ({} qubits, {} cycles/state) --", factory.name, factory.physical_qubits, factory.cycles_per_batch);
+        println!(
+            "\n-- {} ({} qubits, {} cycles/state) --",
+            factory.name, factory.physical_qubits, factory.cycles_per_batch
+        );
         match conventional_fidelity(&w, &device, factory) {
             Some(best) => println!(
                 "  best: {} factories, program d = {}, fidelity {}, {:.0} cycles, {} T states",

@@ -5,7 +5,10 @@
 //! Default: 16/24/32 qubits with a small GA budget. EFT_FULL=1 extends to
 //! 48/64/100 qubits (several minutes).
 
-use eft_vqa::clifford_vqe::{clifford_vqe_in_regime, genome_energy, noiseless_reference_energy, reevaluate_genome, CliffordVqeConfig};
+use eft_vqa::clifford_vqe::{
+    clifford_vqe_in_regime, genome_energy, noiseless_reference_energy, reevaluate_genome,
+    CliffordVqeConfig,
+};
 use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d, COUPLINGS};
 use eft_vqa::{relative_improvement, ExecutionRegime};
 use eftq_bench::{fmt, full_scale, header};
@@ -32,28 +35,42 @@ fn main() {
     let mut all_gammas = Vec::new();
     for (model_name, build) in [
         ("Ising", ising_1d as fn(usize, f64) -> eftq_pauli::PauliSum),
-        ("Heisenberg", heisenberg_1d as fn(usize, f64) -> eftq_pauli::PauliSum),
+        (
+            "Heisenberg",
+            heisenberg_1d as fn(usize, f64) -> eftq_pauli::PauliSum,
+        ),
     ] {
         println!("\n-- {model_name} --");
-        println!("{:>7} {:>6} {:>10} {:>10} {:>10} {:>10}", "qubits", "J", "E0", "E_pQEC", "E_NISQ", "gamma");
+        println!(
+            "{:>7} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "qubits", "J", "E0", "E_pQEC", "E_NISQ", "gamma"
+        );
         for &n in &sizes {
             for &j in &COUPLINGS {
                 let h = build(n, j);
                 let ansatz = fully_connected_hea(n, 1);
-                let pqec = clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::pqec_default(), &config);
-                let nisq = clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::nisq_default(), &config);
+                let pqec =
+                    clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::pqec_default(), &config);
+                let nisq =
+                    clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::nisq_default(), &config);
                 // Unbiased re-evaluation of both winners (the few-shot
                 // search estimate is optimistically biased).
                 let reeval_shots = 8 * config.shots;
                 let e_pqec = reevaluate_genome(
-                    &ansatz, &h,
+                    &ansatz,
+                    &h,
                     &ExecutionRegime::pqec_default().stabilizer_noise(),
-                    &pqec.best_genome, reeval_shots, 17,
+                    &pqec.best_genome,
+                    reeval_shots,
+                    17,
                 );
                 let e_nisq = reevaluate_genome(
-                    &ansatz, &h,
+                    &ansatz,
+                    &h,
                     &ExecutionRegime::nisq_default().stabilizer_noise(),
-                    &nisq.best_genome, reeval_shots, 17,
+                    &nisq.best_genome,
+                    reeval_shots,
+                    17,
                 );
                 // E0: lowest noiseless stabilizer energy seen anywhere.
                 let e0 = noiseless_reference_energy(&ansatz, &h, &config)
@@ -63,7 +80,10 @@ fn main() {
                 all_gammas.push(gamma);
                 println!(
                     "{n:>7} {j:>6.2} {} {} {} {}",
-                    fmt(e0), fmt(e_pqec), fmt(e_nisq), fmt(gamma)
+                    fmt(e0),
+                    fmt(e_pqec),
+                    fmt(e_nisq),
+                    fmt(gamma)
                 );
             }
         }

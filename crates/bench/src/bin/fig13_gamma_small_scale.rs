@@ -6,7 +6,9 @@
 //! (H2O/H6/LiH at 1 and 4.5 Angstrom) — the latter are 4096x4096 density
 //! matrices and take a long while.
 
-use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d, molecular, Molecule, BOND_LENGTHS, COUPLINGS};
+use eft_vqa::hamiltonians::{
+    heisenberg_1d, ising_1d, molecular, Molecule, BOND_LENGTHS, COUPLINGS,
+};
 use eft_vqa::vqe::{run_vqe, VqeConfig};
 use eft_vqa::{relative_improvement, ExecutionRegime};
 use eftq_bench::{fmt, full_scale, header};
@@ -22,7 +24,10 @@ fn gamma_for(h: &eftq_pauli::PauliSum, label: &str, config: &VqeConfig, gammas: 
     gammas.push(gamma);
     println!(
         "{label:>22} {} {} {} {}",
-        fmt(e0), fmt(pqec.best_energy), fmt(nisq.best_energy), fmt(gamma)
+        fmt(e0),
+        fmt(pqec.best_energy),
+        fmt(nisq.best_energy),
+        fmt(gamma)
     );
 }
 
@@ -33,12 +38,25 @@ fn main() {
         restarts: if full_scale() { 3 } else { 2 },
         ..VqeConfig::default()
     };
-    println!("{:>22} {:>10} {:>10} {:>10} {:>10}", "benchmark", "E0", "E_pQEC", "E_NISQ", "gamma");
+    println!(
+        "{:>22} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "E0", "E_pQEC", "E_NISQ", "gamma"
+    );
     let mut gammas = Vec::new();
     let n = if full_scale() { 8 } else { 6 };
     for &j in &COUPLINGS {
-        gamma_for(&ising_1d(n, j), &format!("Ising-{n} J={j}"), &config, &mut gammas);
-        gamma_for(&heisenberg_1d(n, j), &format!("Heisenberg-{n} J={j}"), &config, &mut gammas);
+        gamma_for(
+            &ising_1d(n, j),
+            &format!("Ising-{n} J={j}"),
+            &config,
+            &mut gammas,
+        );
+        gamma_for(
+            &heisenberg_1d(n, j),
+            &format!("Heisenberg-{n} J={j}"),
+            &config,
+            &mut gammas,
+        );
     }
     if full_scale() {
         for m in Molecule::ALL {

@@ -18,7 +18,10 @@ fn main() {
         "{:>7} {:>12} {:>12} {:>12} {:>12}",
         "regime", "noiseless", "noisy", "ZNE", "recovered"
     );
-    for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+    for regime in [
+        ExecutionRegime::nisq_default(),
+        ExecutionRegime::pqec_default(),
+    ] {
         let ideal = energy_at_scale(&ansatz, &params, &regime, &h, 0.0);
         let noisy = energy_at_scale(&ansatz, &params, &regime, &h, 1.0);
         let zne = zne_energy(&ansatz, &params, &regime, &h, &[1.0, 1.5, 2.0]);

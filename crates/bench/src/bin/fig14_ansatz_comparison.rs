@@ -1,7 +1,10 @@
 //! Figure 14: gamma(blocked_all_to_all / FCHE) under pQEC for Ising and
 //! Heisenberg models, plus the noiseless "expressibility" energy ratio.
 
-use eft_vqa::clifford_vqe::{clifford_vqe_in_regime, genome_energy, noiseless_reference_energy, reevaluate_genome, CliffordVqeConfig};
+use eft_vqa::clifford_vqe::{
+    clifford_vqe_in_regime, genome_energy, noiseless_reference_energy, reevaluate_genome,
+    CliffordVqeConfig,
+};
 use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d, COUPLINGS};
 use eft_vqa::{relative_improvement, ExecutionRegime};
 use eftq_bench::{fmt, full_scale, header};
@@ -10,7 +13,11 @@ use eftq_optim::GeneticConfig;
 
 fn main() {
     header("Figure 14 - blocked_all_to_all vs FCHE under pQEC (Clifford VQE)");
-    let sizes: Vec<usize> = if full_scale() { vec![16, 24, 32, 48] } else { vec![16, 24] };
+    let sizes: Vec<usize> = if full_scale() {
+        vec![16, 24, 32, 48]
+    } else {
+        vec![16, 24]
+    };
     let config = CliffordVqeConfig {
         ga: GeneticConfig {
             population: if full_scale() { 32 } else { 16 },
@@ -28,7 +35,10 @@ fn main() {
     );
     for (model_name, build) in [
         ("Ising", ising_1d as fn(usize, f64) -> eftq_pauli::PauliSum),
-        ("Heisenberg", heisenberg_1d as fn(usize, f64) -> eftq_pauli::PauliSum),
+        (
+            "Heisenberg",
+            heisenberg_1d as fn(usize, f64) -> eftq_pauli::PauliSum,
+        ),
     ] {
         for &n in &sizes {
             for &j in &COUPLINGS {
@@ -42,11 +52,25 @@ fn main() {
                 let reeval_shots = 8 * config.shots;
                 let noise = regime.stabilizer_noise();
                 let eb = eft_vqa::clifford_vqe::CliffordVqeOutcome {
-                    best_energy: reevaluate_genome(&blocked, &h, &noise, &eb_run.best_genome, reeval_shots, 23),
+                    best_energy: reevaluate_genome(
+                        &blocked,
+                        &h,
+                        &noise,
+                        &eb_run.best_genome,
+                        reeval_shots,
+                        23,
+                    ),
                     ..eb_run.clone()
                 };
                 let ef = eft_vqa::clifford_vqe::CliffordVqeOutcome {
-                    best_energy: reevaluate_genome(&fche, &h, &noise, &ef_run.best_genome, reeval_shots, 23),
+                    best_energy: reevaluate_genome(
+                        &fche,
+                        &h,
+                        &noise,
+                        &ef_run.best_genome,
+                        reeval_shots,
+                        23,
+                    ),
                     ..ef_run.clone()
                 };
                 let e0 = e0
@@ -59,11 +83,16 @@ fn main() {
                 let ideal_ratio = if if_.abs() > 1e-9 { ib / if_ } else { 1.0 };
                 println!(
                     "{model_name:>12} {n:>7} {j:>6.2} {} {} {} {:>12.3}",
-                    fmt(eb.best_energy), fmt(ef.best_energy), fmt(gamma), ideal_ratio
+                    fmt(eb.best_energy),
+                    fmt(ef.best_energy),
+                    fmt(gamma),
+                    ideal_ratio
                 );
             }
         }
     }
     println!("\npaper: gamma_avg(Ising) = 1.35x (max 21x); gamma_avg(Heisenberg) = 0.49x — FCHE wins J=1 Heisenberg; ideal ratio hovers near 1");
-    println!("plus: blocked executes in less than half the FCHE cycles (Table 2) regardless of gamma");
+    println!(
+        "plus: blocked executes in less than half the FCHE cycles (Table 2) regardless of gamma"
+    );
 }

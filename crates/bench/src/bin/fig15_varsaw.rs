@@ -20,16 +20,25 @@ fn main() {
         "{:>14} {:>7} {:>12} {:>12} {:>12}",
         "model", "regime", "plain", "with VarSaw", "E0"
     );
-    for (name, h) in [("Ising", ising_1d(n, 1.0)), ("Heisenberg", heisenberg_1d(n, 1.0))] {
+    for (name, h) in [
+        ("Ising", ising_1d(n, 1.0)),
+        ("Heisenberg", heisenberg_1d(n, 1.0)),
+    ] {
         let e0 = h.ground_energy_default().unwrap();
         let ansatz = fully_connected_hea(n, 1);
-        for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+        for regime in [
+            ExecutionRegime::nisq_default(),
+            ExecutionRegime::pqec_default(),
+        ] {
             let plain = run_vqe(&ansatz, &h, &regime, &config);
             let mitigated = run_vqe(
                 &ansatz,
                 &h,
                 &regime,
-                &VqeConfig { mitigate_measurement: true, ..config },
+                &VqeConfig {
+                    mitigate_measurement: true,
+                    ..config
+                },
             );
             println!(
                 "{name:>14} {:>7} {} {} {}",

@@ -19,5 +19,7 @@ fn main() {
             linear_cx_to_rz_ratio(n)
         );
     }
-    println!("\nthreshold = {RATIO_THRESHOLD}; blocked crosses at N = 13; linear never crosses (0.25)");
+    println!(
+        "\nthreshold = {RATIO_THRESHOLD}; blocked crosses at N = 13; linear never crosses (0.25)"
+    );
 }

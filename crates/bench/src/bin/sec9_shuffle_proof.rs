@@ -6,12 +6,33 @@ use eftq_qec::InjectionModel;
 fn main() {
     header("Section 9 - patch shuffling proof (d = 11, p = 1e-3)");
     let inj = InjectionModel::eft_default();
-    println!("p_pass              = {:.6}  (paper: 0.760240)", inj.post_selection_pass_probability());
-    println!("N_trials (E+sigma)  = {:.3}    (paper: 1.959)", inj.trials_to_one_sigma());
-    println!("P[X <= N_trials]    = {:.4}   (paper: 0.9391)", inj.high_probability());
-    println!("alpha               = {:.6} (paper: 0.003811)", inj.shuffle_alpha());
-    println!("beta                = {:.6} (paper: 0.996189)", inj.shuffle_beta());
-    println!("consumption window  = {} cycles (2d)", inj.consumption_cycles());
+    println!(
+        "p_pass              = {:.6}  (paper: 0.760240)",
+        inj.post_selection_pass_probability()
+    );
+    println!(
+        "N_trials (E+sigma)  = {:.3}    (paper: 1.959)",
+        inj.trials_to_one_sigma()
+    );
+    println!(
+        "P[X <= N_trials]    = {:.4}   (paper: 0.9391)",
+        inj.high_probability()
+    );
+    println!(
+        "alpha               = {:.6} (paper: 0.003811)",
+        inj.shuffle_alpha()
+    );
+    println!(
+        "beta                = {:.6} (paper: 0.996189)",
+        inj.shuffle_beta()
+    );
+    println!(
+        "consumption window  = {} cycles (2d)",
+        inj.consumption_cycles()
+    );
     println!("shuffle feasible    = {}", inj.shuffle_feasible());
-    println!("\nRz injection error  = {:.4e}  (23p/30; paper: 0.76e-3)", inj.rz_error_rate());
+    println!(
+        "\nRz injection error  = {:.4e}  (23p/30; paper: 0.76e-3)",
+        inj.rz_error_rate()
+    );
 }

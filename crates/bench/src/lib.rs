@@ -1,7 +1,7 @@
 //! Shared plumbing for the benchmark harness.
 //!
 //! Every table and figure of the paper's evaluation has a binary under
-//! `src/bin/` that regenerates its rows/series (`cargo run -p eftq-bench
+//! `src/bin/` that regenerates its rows/series (`cargo run -p eftq_bench
 //! --bin <name> --release`), plus Criterion micro-benches under `benches/`.
 //!
 //! Binaries run a *reduced* configuration by default so the whole harness

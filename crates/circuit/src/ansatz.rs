@@ -343,9 +343,7 @@ pub fn cnots_per_layer(kind: AnsatzKind, n: usize) -> Option<usize> {
     match kind {
         AnsatzKind::LinearHea => Some(n - 1),
         AnsatzKind::FullyConnectedHea => Some(n * (n - 1) / 2),
-        AnsatzKind::BlockedAllToAll => {
-            blocked_block_parameter(n).map(|_| n * n / 2 + 20 - 5 * n)
-        }
+        AnsatzKind::BlockedAllToAll => blocked_block_parameter(n).map(|_| n * n / 2 + 20 - 5 * n),
         _ => None,
     }
 }
@@ -380,10 +378,7 @@ mod tests {
     fn fche_counts() {
         let a = fully_connected_hea(5, 2);
         assert_eq!(a.circuit().counts().cx, 2 * (5 * 4 / 2));
-        assert_eq!(
-            cnots_per_layer(AnsatzKind::FullyConnectedHea, 5),
-            Some(10)
-        );
+        assert_eq!(cnots_per_layer(AnsatzKind::FullyConnectedHea, 5), Some(10));
     }
 
     #[test]
@@ -472,6 +467,7 @@ mod tests {
         let c = a.circuit().counts();
         assert_eq!(c.cx, 2 * 2 * 3); // 2 CX per edge per round
         assert_eq!(a.num_params(), 4); // (γ, β) per round
+
         // Mixer Rx gates: 4 qubits × 2 rounds are rz-like rotations.
         assert_eq!(c.rz_like, 2 * 3 + 2 * 4); // shared-γ Rz per edge + mixers
     }

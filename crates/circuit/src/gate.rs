@@ -146,7 +146,9 @@ impl Gate {
     pub fn is_symbolic(&self) -> bool {
         matches!(
             self,
-            Gate::Rz(_, Angle::Param(_)) | Gate::Rx(_, Angle::Param(_)) | Gate::Ry(_, Angle::Param(_))
+            Gate::Rz(_, Angle::Param(_))
+                | Gate::Rx(_, Angle::Param(_))
+                | Gate::Ry(_, Angle::Param(_))
         )
     }
 

@@ -177,9 +177,7 @@ pub fn approximate_rz_sequence(theta: f64, max_len: usize) -> ApproxSynthesis {
             let u = word_unitary(&word);
             let err = u.phase_invariant_distance(&target);
             let t_count = word.iter().filter(|g| g.is_t_like()).count();
-            if err + 1e-15 < best.error
-                || (err < best.error + 1e-15 && t_count < best.t_count)
-            {
+            if err + 1e-15 < best.error || (err < best.error + 1e-15 && t_count < best.t_count) {
                 best = ApproxSynthesis {
                     word,
                     error: err,
@@ -310,7 +308,11 @@ mod tests {
         let short = approximate_rz_sequence(theta, 6);
         let long = approximate_rz_sequence(theta, 12);
         assert!(long.error <= short.error + 1e-12);
-        assert!(long.error < 0.5, "12-letter search should do better: {}", long.error);
+        assert!(
+            long.error < 0.5,
+            "12-letter search should do better: {}",
+            long.error
+        );
         // The word actually approximates the target.
         let u = word_unitary(&long.word);
         assert!(u.phase_invariant_distance(&Mat2::rz(theta)) <= long.error + 1e-12);

@@ -291,7 +291,12 @@ mod tests {
 
     #[test]
     fn lower_clifford_rz_variants() {
-        for (angle, _name) in [(0.0, "id"), (FRAC_PI_2, "s"), (PI, "z"), (3.0 * FRAC_PI_2, "sdg")] {
+        for (angle, _name) in [
+            (0.0, "id"),
+            (FRAC_PI_2, "s"),
+            (PI, "z"),
+            (3.0 * FRAC_PI_2, "sdg"),
+        ] {
             let mut c = Circuit::new(1);
             c.rz(0, angle);
             let l = lower_clifford_rotations(&c);
@@ -376,7 +381,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let e = expand_rus(&c, &mut rng);
         let mean = e.injections as f64 / e.logical_rotations as f64;
-        assert!((mean - EXPECTED_INJECTIONS_PER_ROTATION).abs() < 0.3, "{mean}");
+        assert!(
+            (mean - EXPECTED_INJECTIONS_PER_ROTATION).abs() < 0.3,
+            "{mean}"
+        );
     }
 
     #[test]

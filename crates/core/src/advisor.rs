@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn frontier_workload_prefers_pqec() {
         let plan = plan(&Workload::fche(24, 1), &DeviceModel::eft_default());
-        assert!(matches!(plan.best().strategy, Strategy::Pqec { .. }), "{plan:?}");
+        assert!(
+            matches!(plan.best().strategy, Strategy::Pqec { .. }),
+            "{plan:?}"
+        );
         assert!(plan.margin() >= 1.0);
     }
 

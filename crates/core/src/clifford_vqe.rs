@@ -178,13 +178,12 @@ mod tests {
         let h = hamiltonians::ising_1d(6, 0.5);
         let a = linear_hea(6, 1);
         let noiseless = noiseless_reference_energy(&a, &h, &quick());
-        let nisq = clifford_vqe_in_regime(
-            &a,
-            &h,
-            &ExecutionRegime::nisq_default(),
-            &quick(),
+        let nisq = clifford_vqe_in_regime(&a, &h, &ExecutionRegime::nisq_default(), &quick());
+        assert!(
+            nisq.best_energy >= noiseless - 0.2,
+            "{} vs {noiseless}",
+            nisq.best_energy
         );
-        assert!(nisq.best_energy >= noiseless - 0.2, "{} vs {noiseless}", nisq.best_energy);
     }
 
     #[test]
@@ -217,7 +216,12 @@ mod tests {
     fn genome_energy_matches_outcome() {
         let h = hamiltonians::ising_1d(4, 0.5);
         let a = linear_hea(4, 1);
-        let out = clifford_vqe(&a, &h, &eftq_stabilizer::StabilizerNoise::noiseless(), &quick());
+        let out = clifford_vqe(
+            &a,
+            &h,
+            &eftq_stabilizer::StabilizerNoise::noiseless(),
+            &quick(),
+        );
         let direct = genome_energy(&a, &h, &out.best_genome);
         assert!((out.best_energy - direct).abs() < 1e-12);
     }
@@ -232,7 +236,11 @@ mod tests {
         // The few-shot search estimate is optimistically biased: the
         // honest re-evaluation is typically higher (never dramatically
         // lower).
-        assert!(reeval >= out.best_energy - 0.5, "{reeval} vs {}", out.best_energy);
+        assert!(
+            reeval >= out.best_energy - 0.5,
+            "{reeval} vs {}",
+            out.best_energy
+        );
     }
 
     #[test]

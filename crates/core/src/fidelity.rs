@@ -166,8 +166,8 @@ pub fn pqec_fidelity(w: &Workload, device: &DeviceModel) -> Option<PqecReport> {
     let p_l = code.logical_error_rate();
     // Rotations consume injected states serially per qubit; consumption
     // windows extend the schedule.
-    let cycles = w.cycles as f64
-        + w.serial_rotation_slots as f64 * code.consumption_cycles() as f64;
+    let cycles =
+        w.cycles as f64 + w.serial_rotation_slots as f64 * code.consumption_cycles() as f64;
     let lambda = w.cx as f64 * p_l
         + w.rotations as f64 * inj.expected_attempts() * inj.rz_error_rate()
         + w.measurements as f64 * p_l
@@ -371,7 +371,12 @@ mod tests {
         let small_program = Workload::fche(12, 1);
         let conv = conventional_fidelity_best_factory(&small_program, &big).unwrap();
         let pqec = pqec_fidelity(&small_program, &big).unwrap();
-        assert!(conv.fidelity > pqec.fidelity, "{} vs {}", conv.fidelity, pqec.fidelity);
+        assert!(
+            conv.fidelity > pqec.fidelity,
+            "{} vs {}",
+            conv.fidelity,
+            pqec.fidelity
+        );
 
         let frontier_program = Workload::fche(40, 1);
         let conv2 = conventional_fidelity_best_factory(&frontier_program, &eft());
@@ -397,7 +402,11 @@ mod tests {
         let large = Workload::fche(60, 1);
         let cult2 = cultivation_fidelity(&large, &eft()).map_or(0.0, |c| c.fidelity);
         let pqec2 = pqec_fidelity(&large, &eft()).unwrap();
-        assert!(pqec2.fidelity > cult2, "large: {} vs {cult2}", pqec2.fidelity);
+        assert!(
+            pqec2.fidelity > cult2,
+            "large: {} vs {cult2}",
+            pqec2.fidelity
+        );
     }
 
     #[test]

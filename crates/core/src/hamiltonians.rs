@@ -258,9 +258,9 @@ pub fn molecular(molecule: Molecule, bond_length: f64) -> PauliSum {
             let swap_with = rng.gen_range(0..=k);
             sites.swap(k, swap_with);
         }
-        let weight = 3 + rng.gen_range(0..2); // weight 3 or 4
-        // Exchange terms need an even number of X/Y letters to be real;
-        // build patterns like X X Y Y or X Y Z with paired flips.
+        // Weight 3 or 4. Exchange terms need an even number of X/Y letters
+        // to be real; build patterns like X X Y Y or X Y Z with paired flips.
+        let weight = 3 + rng.gen_range(0..2usize);
         let mut xy = 0;
         for (slot, &q) in sites.iter().take(weight).enumerate() {
             let letter = match slot {

@@ -50,17 +50,17 @@
 pub mod advisor;
 pub mod clifford_vqe;
 pub mod crossover;
-pub mod opr;
 pub mod fidelity;
 pub mod gamma;
 pub mod hamiltonians;
+pub mod opr;
 pub mod regimes;
 pub mod sweeps;
 pub mod varsaw;
 pub mod vqe;
 pub mod zne;
 
+pub use advisor::{plan, RegimePlan};
 pub use fidelity::Workload;
 pub use gamma::relative_improvement;
-pub use advisor::{plan, RegimePlan};
 pub use regimes::ExecutionRegime;

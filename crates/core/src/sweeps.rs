@@ -1,12 +1,12 @@
 //! Figure-level experiment drivers (consumed by the bench harness).
 //!
 //! Each driver returns serializable rows that the corresponding
-//! `eftq-bench` binary prints in the paper's table/series format, so the
+//! `eftq_bench` binary prints in the paper's table/series format, so the
 //! benches stay thin and the logic stays testable here.
 
 use crate::fidelity::{
-    conventional_fidelity, conventional_fidelity_best_factory, cultivation_fidelity,
-    pqec_fidelity, Workload,
+    conventional_fidelity, conventional_fidelity_best_factory, cultivation_fidelity, pqec_fidelity,
+    Workload,
 };
 use eftq_qec::{DeviceModel, FactoryConfig, FACTORY_CATALOG};
 use serde::{Deserialize, Serialize};
@@ -198,14 +198,22 @@ mod tests {
             .find(|c| c.device_qubits == 60_000 && c.logical_qubits == 12)
             .unwrap();
         assert!(conv_zone.feasible);
-        assert!(conv_zone.pqec_win_fraction < 0.5, "{}", conv_zone.pqec_win_fraction);
+        assert!(
+            conv_zone.pqec_win_fraction < 0.5,
+            "{}",
+            conv_zone.pqec_win_fraction
+        );
         // Frontier program on the small device: pQEC wins.
         let pqec_zone = cells
             .iter()
             .find(|c| c.device_qubits == 10_000 && c.logical_qubits == 40)
             .unwrap();
         assert!(pqec_zone.feasible);
-        assert!(pqec_zone.pqec_win_fraction > 0.5, "{}", pqec_zone.pqec_win_fraction);
+        assert!(
+            pqec_zone.pqec_win_fraction > 0.5,
+            "{}",
+            pqec_zone.pqec_win_fraction
+        );
     }
 
     #[test]

@@ -118,7 +118,13 @@ pub fn run_vqe(
             .map(|_| rng.gen::<f64>() * std::f64::consts::PI - std::f64::consts::FRAC_PI_2)
             .collect();
         let mut objective = |params: &[f64]| {
-            noisy_energy(ansatz, params, regime, observable, config.mitigate_measurement)
+            noisy_energy(
+                ansatz,
+                params,
+                regime,
+                observable,
+                config.mitigate_measurement,
+            )
         };
         let result = match config.optimizer {
             VqeOptimizer::NelderMead => NelderMead {

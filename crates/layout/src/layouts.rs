@@ -130,9 +130,7 @@ impl LayoutModel {
             }
             LayoutKind::Compact => (3 * n).div_ceil(2) + 3,
             LayoutKind::Intermediate => 2 * n + 4,
-            LayoutKind::Fast => {
-                2 * n + ((8 * n) as f64).sqrt().ceil() as usize + 1
-            }
+            LayoutKind::Fast => 2 * n + ((8 * n) as f64).sqrt().ceil() as usize + 1,
             LayoutKind::Grid => 4 * n,
         }
     }
@@ -201,7 +199,10 @@ mod tests {
 
     #[test]
     fn baseline_tile_formulas() {
-        assert_eq!(LayoutModel::baseline(LayoutKind::Compact).total_tiles(10), 18);
+        assert_eq!(
+            LayoutModel::baseline(LayoutKind::Compact).total_tiles(10),
+            18
+        );
         assert_eq!(
             LayoutModel::baseline(LayoutKind::Intermediate).total_tiles(10),
             24

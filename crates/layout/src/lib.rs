@@ -25,8 +25,8 @@
 pub mod grid;
 pub mod layouts;
 pub mod schedule;
-pub mod timeline;
 pub mod shuffling;
+pub mod timeline;
 
 pub use grid::{PatchGrid, TileRole};
 pub use layouts::{LayoutKind, LayoutModel};

@@ -133,9 +133,7 @@ pub fn schedule_ansatz(
     let clusters = depth
         * match kind {
             AnsatzKind::FullyConnectedHea | AnsatzKind::LinearHea => n - 1,
-            AnsatzKind::BlockedAllToAll => {
-                4 * LayoutModel::block_parameter_for(n) + 8
-            }
+            AnsatzKind::BlockedAllToAll => 4 * LayoutModel::block_parameter_for(n) + 8,
             _ => unreachable!(),
         };
     ScheduleReport {
@@ -317,7 +315,10 @@ mod tests {
                 }
                 let avg = eftq_numerics::stats::mean(&ratios);
                 assert!(avg >= 1.0, "{kind:?}/{baseline:?}: {avg}");
-                assert!(avg >= prev - 0.15, "ordering violated at {baseline:?}: {avg} < {prev}");
+                assert!(
+                    avg >= prev - 0.15,
+                    "ordering violated at {baseline:?}: {avg} < {prev}"
+                );
                 prev = avg;
             }
         }
@@ -364,7 +365,12 @@ mod tests {
         for n in [20usize, 40, 60] {
             let b = schedule_ansatz(AnsatzKind::BlockedAllToAll, n, 1, &ours, &cfg());
             let f = schedule_ansatz(AnsatzKind::FullyConnectedHea, n, 1, &ours, &cfg());
-            assert!(2 * b.cycles <= f.cycles + 11, "n = {n}: {} vs {}", b.cycles, f.cycles);
+            assert!(
+                2 * b.cycles <= f.cycles + 11,
+                "n = {n}: {} vs {}",
+                b.cycles,
+                f.cycles
+            );
         }
     }
 

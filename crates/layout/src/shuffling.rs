@@ -50,7 +50,12 @@ fn base_schedule(n: usize, depth: usize) -> (usize, usize, usize) {
 /// # Panics
 ///
 /// Panics if `b == 0` (at least one backup) or `n < 8`.
-pub fn naive_backup_volume(n: usize, depth: usize, b: usize, model: &InjectionModel) -> RotationStrategyReport {
+pub fn naive_backup_volume(
+    n: usize,
+    depth: usize,
+    b: usize,
+    model: &InjectionModel,
+) -> RotationStrategyReport {
     assert!(b >= 1, "naive strategy needs at least one backup state");
     assert!(n >= 8, "rotation-strategy model starts at 8 qubits");
     let (cycles, tiles, rotations) = base_schedule(n, depth);
@@ -82,7 +87,11 @@ pub fn naive_backup_volume(n: usize, depth: usize, b: usize, model: &InjectionMo
 /// Panics if `n < 8`, or if shuffling is infeasible at the model's
 /// operating point (the caller should check
 /// [`InjectionModel::shuffle_feasible`] for exotic parameters).
-pub fn patch_shuffling_volume(n: usize, depth: usize, model: &InjectionModel) -> RotationStrategyReport {
+pub fn patch_shuffling_volume(
+    n: usize,
+    depth: usize,
+    model: &InjectionModel,
+) -> RotationStrategyReport {
     assert!(n >= 8, "rotation-strategy model starts at 8 qubits");
     assert!(
         model.shuffle_feasible(),

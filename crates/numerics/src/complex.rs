@@ -341,14 +341,16 @@ mod tests {
             let theta = k as f64 * 0.4321;
             let z = Complex::cis(theta);
             assert!((z.abs() - 1.0).abs() < TOL);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min(
-                    (z.arg() + 2.0 * std::f64::consts::PI
-                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI))
                     .abs()
-                )
-                < 1e-9);
+                    .min(
+                        (z.arg() + 2.0 * std::f64::consts::PI
+                            - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                        .abs()
+                    )
+                    < 1e-9
+            );
         }
     }
 

@@ -157,8 +157,7 @@ impl Mat2 {
             for j in 0..2 {
                 for k in 0..2 {
                     for l in 0..2 {
-                        out.m[(2 * i + k) * 4 + (2 * j + l)] =
-                            self.m[i * 2 + j] * rhs.m[k * 2 + l];
+                        out.m[(2 * i + k) * 4 + (2 * j + l)] = self.m[i * 2 + j] * rhs.m[k * 2 + l];
                     }
                 }
             }
@@ -437,12 +436,7 @@ mod tests {
     #[test]
     fn mat4_trace_and_apply() {
         assert!(Mat4::identity().trace().approx_eq(Complex::real(4.0), TOL));
-        let v = Mat4::cnot().apply([
-            Complex::ZERO,
-            Complex::ZERO,
-            Complex::ONE,
-            Complex::ZERO,
-        ]);
+        let v = Mat4::cnot().apply([Complex::ZERO, Complex::ZERO, Complex::ONE, Complex::ZERO]);
         assert!(v[3].approx_eq(Complex::ONE, TOL));
     }
 

@@ -96,7 +96,10 @@ mod tests {
         let root = SeedSequence::new(123);
         let mut seen = HashSet::new();
         for label in ["a", "b", "ab", "ba", "noise", "optimizer", ""] {
-            assert!(seen.insert(root.derive(label).seed()), "collision on {label}");
+            assert!(
+                seen.insert(root.derive(label).seed()),
+                "collision on {label}"
+            );
         }
     }
 

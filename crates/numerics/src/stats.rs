@@ -124,12 +124,16 @@ impl Geometric {
 
 /// Minimum of a slice (`NaN`-free input assumed). Returns `NaN` when empty.
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NAN, |a, b| if a < b { a } else { b })
+    xs.iter()
+        .copied()
+        .fold(f64::NAN, |a, b| if a < b { a } else { b })
 }
 
 /// Maximum of a slice (`NaN`-free input assumed). Returns `NaN` when empty.
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NAN, |a, b| if a > b { a } else { b })
+    xs.iter()
+        .copied()
+        .fold(f64::NAN, |a, b| if a > b { a } else { b })
 }
 
 /// Linearly spaced grid of `n ≥ 2` points from `a` to `b` inclusive.
@@ -189,8 +193,16 @@ mod tests {
         let d = 11.0f64;
         let p_pass = 1.0 - 2.0 * p * (1.0 - p) * (d * d - 1.0);
         let g = Geometric::new(p_pass);
-        assert!((g.trials_to_one_sigma() - 1.959).abs() < 2e-3, "{}", g.trials_to_one_sigma());
-        assert!((g.prob_within_one_sigma() - 0.9391).abs() < 2e-3, "{}", g.prob_within_one_sigma());
+        assert!(
+            (g.trials_to_one_sigma() - 1.959).abs() < 2e-3,
+            "{}",
+            g.trials_to_one_sigma()
+        );
+        assert!(
+            (g.prob_within_one_sigma() - 0.9391).abs() < 2e-3,
+            "{}",
+            g.prob_within_one_sigma()
+        );
     }
 
     #[test]

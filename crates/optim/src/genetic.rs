@@ -77,7 +77,10 @@ where
 {
     assert!(genome_len > 0, "genome must be non-empty");
     assert!(config.population >= 2, "population must be at least 2");
-    assert!(config.elites < config.population, "elites must leave room for offspring");
+    assert!(
+        config.elites < config.population,
+        "elites must leave room for offspring"
+    );
     assert!(config.tournament >= 1, "tournament size must be positive");
     assert!(config.allele_count >= 1, "allele count must be positive");
 
@@ -187,12 +190,7 @@ mod tests {
 
     /// Count of genes differing from the target pattern — a discrete bowl.
     fn mismatch_fitness(target: &[u8]) -> impl Fn(&[u8]) -> f64 + Sync + '_ {
-        move |g: &[u8]| {
-            g.iter()
-                .zip(target.iter())
-                .filter(|(a, b)| a != b)
-                .count() as f64
-        }
+        move |g: &[u8]| g.iter().zip(target.iter()).filter(|(a, b)| a != b).count() as f64
     }
 
     #[test]

@@ -139,8 +139,7 @@ mod tests {
 
     #[test]
     fn rosenbrock_2d() {
-        let mut f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let nm = NelderMead {
             max_iters: 2000,
             ..NelderMead::default()

@@ -112,7 +112,11 @@ mod tests {
         };
         let r = spsa.minimize(&mut f, &[2.0, -2.0, 1.0]);
         // Converges near the noise floor.
-        assert!(r.best_params.iter().all(|p| p.abs() < 0.5), "{:?}", r.best_params);
+        assert!(
+            r.best_params.iter().all(|p| p.abs() < 0.5),
+            "{:?}",
+            r.best_params
+        );
     }
 
     #[test]

@@ -287,7 +287,10 @@ impl PauliString {
     /// Panics if `state.len() != 1 << n`, if `out.len() != state.len()`, or
     /// if `n > 30` (state would not be addressable).
     pub fn accumulate_apply(&self, coeff: Complex, state: &[Complex], out: &mut [Complex]) {
-        assert!(self.n <= 30, "state-vector application limited to 30 qubits");
+        assert!(
+            self.n <= 30,
+            "state-vector application limited to 30 qubits"
+        );
         let dim = 1usize << self.n;
         assert_eq!(state.len(), dim, "state length must be 2^n");
         assert_eq!(out.len(), dim, "output length must match state");
@@ -311,7 +314,10 @@ impl PauliString {
     ///
     /// Same conditions as [`PauliString::accumulate_apply`].
     pub fn expectation(&self, state: &[Complex]) -> Complex {
-        assert!(self.n <= 30, "state-vector expectation limited to 30 qubits");
+        assert!(
+            self.n <= 30,
+            "state-vector expectation limited to 30 qubits"
+        );
         let dim = 1usize << self.n;
         assert_eq!(state.len(), dim, "state length must be 2^n");
         let xm = self.x_mask_u64() as usize;

@@ -155,7 +155,10 @@ impl PauliSum {
     /// # Panics
     ///
     /// Panics if `n > 30` (state vector would not fit).
-    pub fn ground_energy(&self, options: LanczosOptions) -> Result<f64, eftq_numerics::LanczosError> {
+    pub fn ground_energy(
+        &self,
+        options: LanczosOptions,
+    ) -> Result<f64, eftq_numerics::LanczosError> {
         assert!(self.n <= 30, "ground_energy limited to 30 qubits");
         if self.terms.is_empty() {
             return Ok(0.0);
@@ -227,7 +230,11 @@ impl PauliSum {
                 let key = prod.without_phase().to_string();
                 // Phase exponent of prod is 1 or 3 (anticommuting
                 // Hermitian strings multiply to ±i·Hermitian).
-                let sign = if prod.phase_exponent() == 1 { 1.0 } else { -1.0 };
+                let sign = if prod.phase_exponent() == 1 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let entry = acc.entry(key).or_insert((0.0, 0.0));
                 entry.0 += 2.0 * a.coefficient * b.coefficient * sign;
                 entry.1 += 1.0;
@@ -399,6 +406,7 @@ mod tests {
         let mut simplified = total.clone();
         simplified.simplify(1e-12);
         assert_eq!(simplified.num_terms(), 2); // 3·XI + ZZ
+
         // XI · XI = II with coefficient 2; XI · ZZ = -i YZ → rejected by
         // Hermiticity... instead use commuting factors:
         let mut c = PauliSum::new(2);
@@ -419,7 +427,12 @@ mod tests {
         // ⟨H²⟩ on the Bell state (⟨XX⟩=⟨ZZ⟩=1, ⟨YY⟩=−1): 2 + 2 = 4 = ⟨H⟩².
         use eftq_numerics::Complex;
         let s = 0.5f64.sqrt();
-        let bell = [Complex::real(s), Complex::ZERO, Complex::ZERO, Complex::real(s)];
+        let bell = [
+            Complex::real(s),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(s),
+        ];
         assert!((h2.expectation(&bell) - 4.0).abs() < 1e-10);
         assert!((h.expectation(&bell) - 2.0).abs() < 1e-10);
     }
@@ -434,6 +447,7 @@ mod tests {
         let mut c = PauliSum::new(2);
         c.push_str(1.0, "ZI");
         assert!(!a.commutes_with(&c)); // XX and ZI anticommute on qubit 0
+
         // Sum that commutes only in aggregate: [XX+YY, ZZ] = 0? XX·ZZ and
         // YY·ZZ both commute with ZZ actually; use a subtler pair:
         let mut d = PauliSum::new(2);

@@ -34,7 +34,10 @@ impl DeviceModel {
     /// Panics if `physical_qubits == 0` or `p_phys` outside `(0, 1)`.
     pub fn new(physical_qubits: usize, p_phys: f64) -> Self {
         assert!(physical_qubits > 0, "device needs qubits");
-        assert!(p_phys > 0.0 && p_phys < 1.0, "p_phys out of range: {p_phys}");
+        assert!(
+            p_phys > 0.0 && p_phys < 1.0,
+            "p_phys out of range: {p_phys}"
+        );
         DeviceModel {
             physical_qubits,
             p_phys,

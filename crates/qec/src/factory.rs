@@ -47,7 +47,10 @@ impl FactoryConfig {
     ///
     /// Panics unless `0 < p_phys < 1`.
     pub fn output_error(&self, p_phys: f64) -> f64 {
-        assert!(p_phys > 0.0 && p_phys < 1.0, "p_phys out of range: {p_phys}");
+        assert!(
+            p_phys > 0.0 && p_phys < 1.0,
+            "p_phys out of range: {p_phys}"
+        );
         (self.output_error_at_1e3 * (p_phys / 1e-3).powi(3)).min(1.0)
     }
 

@@ -31,7 +31,10 @@ impl InjectionModel {
     /// Panics if `distance < 3`, or `p_phys` outside `(0, 1)`.
     pub fn new(distance: usize, p_phys: f64) -> Self {
         assert!(distance >= 3, "distance must be at least 3, got {distance}");
-        assert!(p_phys > 0.0 && p_phys < 1.0, "p_phys out of range: {p_phys}");
+        assert!(
+            p_phys > 0.0 && p_phys < 1.0,
+            "p_phys out of range: {p_phys}"
+        );
         InjectionModel { distance, p_phys }
     }
 
@@ -222,15 +225,31 @@ mod tests {
     #[test]
     fn section9_trials_and_probability() {
         let inj = InjectionModel::eft_default();
-        assert!((inj.trials_to_one_sigma() - 1.959).abs() < 2e-3, "{}", inj.trials_to_one_sigma());
-        assert!((inj.high_probability() - 0.9391).abs() < 2e-3, "{}", inj.high_probability());
+        assert!(
+            (inj.trials_to_one_sigma() - 1.959).abs() < 2e-3,
+            "{}",
+            inj.trials_to_one_sigma()
+        );
+        assert!(
+            (inj.high_probability() - 0.9391).abs() < 2e-3,
+            "{}",
+            inj.high_probability()
+        );
     }
 
     #[test]
     fn section9_alpha_beta() {
         let inj = InjectionModel::eft_default();
-        assert!((inj.shuffle_alpha() - 0.003811).abs() < 5e-6, "{}", inj.shuffle_alpha());
-        assert!((inj.shuffle_beta() - 0.996189).abs() < 5e-6, "{}", inj.shuffle_beta());
+        assert!(
+            (inj.shuffle_alpha() - 0.003811).abs() < 5e-6,
+            "{}",
+            inj.shuffle_alpha()
+        );
+        assert!(
+            (inj.shuffle_beta() - 0.996189).abs() < 5e-6,
+            "{}",
+            inj.shuffle_beta()
+        );
         assert!(inj.shuffle_feasible());
     }
 

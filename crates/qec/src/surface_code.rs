@@ -40,8 +40,14 @@ impl SurfaceCodeModel {
     /// Panics if `distance` is zero or even (rotated surface codes use odd
     /// distances), or `p_phys` is outside `(0, 1)`.
     pub fn new(distance: usize, p_phys: f64) -> Self {
-        assert!(distance >= 1 && distance % 2 == 1, "distance must be odd, got {distance}");
-        assert!(p_phys > 0.0 && p_phys < 1.0, "p_phys out of range: {p_phys}");
+        assert!(
+            distance >= 1 && distance % 2 == 1,
+            "distance must be odd, got {distance}"
+        );
+        assert!(
+            p_phys > 0.0 && p_phys < 1.0,
+            "p_phys out of range: {p_phys}"
+        );
         SurfaceCodeModel { distance, p_phys }
     }
 
@@ -63,8 +69,7 @@ impl SurfaceCodeModel {
     /// Logical error rate per logical operation (d code cycles):
     /// `A·(p/p_th)^{(d+1)/2}`.
     pub fn logical_error_rate(&self) -> f64 {
-        SUPPRESSION_PREFACTOR
-            * (self.p_phys / THRESHOLD).powf((self.distance as f64 + 1.0) / 2.0)
+        SUPPRESSION_PREFACTOR * (self.p_phys / THRESHOLD).powf((self.distance as f64 + 1.0) / 2.0)
     }
 
     /// Logical error probability accumulated over `cycles` code cycles
@@ -170,8 +175,14 @@ mod tests {
     fn min_distance_for_target() {
         // At p = 1e-3, d = 11 reaches 1e-7 (tolerance for the float
         // representation of 0.1·(0.1)^6).
-        assert_eq!(SurfaceCodeModel::min_distance_for_rate(1e-3, 1.001e-7), Some(11));
-        assert_eq!(SurfaceCodeModel::min_distance_for_rate(1e-3, 1.001e-5), Some(7));
+        assert_eq!(
+            SurfaceCodeModel::min_distance_for_rate(1e-3, 1.001e-7),
+            Some(11)
+        );
+        assert_eq!(
+            SurfaceCodeModel::min_distance_for_rate(1e-3, 1.001e-5),
+            Some(7)
+        );
         assert_eq!(SurfaceCodeModel::min_distance_for_rate(2e-2, 1e-7), None);
     }
 

@@ -91,9 +91,14 @@ pub struct NoisyCliffordRun {
     pub shots: usize,
 }
 
-fn sample_depolarizing<R: Rng + ?Sized>(rng: &mut R, q: usize, n: usize, p: f64) -> Option<PauliString> {
+fn sample_depolarizing<R: Rng + ?Sized>(
+    rng: &mut R,
+    q: usize,
+    n: usize,
+    p: f64,
+) -> Option<PauliString> {
     if p > 0.0 && rng.gen_bool(p) {
-        let letter = Pauli::NON_IDENTITY[rng.gen_range(0..3)];
+        let letter = Pauli::NON_IDENTITY[rng.gen_range(0..3usize)];
         Some(PauliString::single(n, q, letter))
     } else {
         None
@@ -109,7 +114,7 @@ fn sample_depolarizing_2q<R: Rng + ?Sized>(
 ) -> Option<PauliString> {
     if p > 0.0 && rng.gen_bool(p) {
         // Uniform over the 15 non-identity two-qubit Paulis.
-        let idx = rng.gen_range(1..16);
+        let idx = rng.gen_range(1..16usize);
         let pa = Pauli::ALL[idx / 4];
         let pb = Pauli::ALL[idx % 4];
         let mut s = PauliString::identity(n);

@@ -369,13 +369,7 @@ impl Tableau {
                         let mut az = self.zw(row).to_vec();
                         let mut ar = self.r[row];
                         // row ← row_p · row
-                        mul_planes(
-                            (&px, &pz, pr),
-                            &mut ax,
-                            &mut az,
-                            &mut ar,
-                            self.words,
-                        );
+                        mul_planes((&px, &pz, pr), &mut ax, &mut az, &mut ar, self.words);
                         self.x[row * self.words..(row + 1) * self.words].copy_from_slice(&ax);
                         self.z[row * self.words..(row + 1) * self.words].copy_from_slice(&az);
                         self.r[row] = ar;
@@ -383,8 +377,10 @@ impl Tableau {
                 }
                 // Destabilizer p−n becomes the old row p; row p becomes ±Z_q.
                 let d = p - self.n;
-                self.x.copy_within(p * self.words..(p + 1) * self.words, d * self.words);
-                self.z.copy_within(p * self.words..(p + 1) * self.words, d * self.words);
+                self.x
+                    .copy_within(p * self.words..(p + 1) * self.words, d * self.words);
+                self.z
+                    .copy_within(p * self.words..(p + 1) * self.words, d * self.words);
                 self.r[d] = self.r[p];
                 for w in 0..self.words {
                     self.x[p * self.words + w] = 0;
@@ -407,7 +403,10 @@ impl Tableau {
 /// tableau state (each shot measures a fresh copy — measurement collapses).
 /// Returns bitstrings with qubit `q` at bit `q`.
 pub fn sample_counts<R: Rng + ?Sized>(t: &Tableau, shots: usize, rng: &mut R) -> Vec<u64> {
-    assert!(t.num_qubits() <= 64, "bitstring sampling limited to 64 qubits");
+    assert!(
+        t.num_qubits() <= 64,
+        "bitstring sampling limited to 64 qubits"
+    );
     (0..shots)
         .map(|_| {
             let mut copy = t.clone();
@@ -447,13 +446,7 @@ fn pauli_planes(p: &PauliString, words: usize) -> (Vec<u64>, Vec<u64>) {
 }
 
 /// `A ← S · A` where `S = (sx, sz, sr)`, phase-exact.
-fn mul_planes(
-    s: (&[u64], &[u64], u8),
-    ax: &mut [u64],
-    az: &mut [u64],
-    ar: &mut u8,
-    words: usize,
-) {
+fn mul_planes(s: (&[u64], &[u64], u8), ax: &mut [u64], az: &mut [u64], ar: &mut u8, words: usize) {
     let (sx, sz, sr) = s;
     let mut plus = 0u64;
     let mut minus = 0u64;

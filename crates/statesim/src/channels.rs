@@ -30,7 +30,10 @@ impl KrausChannel {
     ///
     /// Panics if `ops` is empty.
     pub fn new(ops: Vec<Mat2>) -> Self {
-        assert!(!ops.is_empty(), "a channel needs at least one Kraus operator");
+        assert!(
+            !ops.is_empty(),
+            "a channel needs at least one Kraus operator"
+        );
         KrausChannel { ops }
     }
 
@@ -141,7 +144,10 @@ impl KrausChannel {
     ///
     /// Panics unless `0 ≤ lambda ≤ 1`.
     pub fn phase_damping(lambda: f64) -> Self {
-        assert!((0.0..=1.0).contains(&lambda), "lambda out of range: {lambda}");
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda out of range: {lambda}"
+        );
         let k0 = Mat2::new([
             Complex::ONE,
             Complex::ZERO,
@@ -271,7 +277,11 @@ mod tests {
         ]);
         let out = ch.apply_to_block(&plus);
         let want = 0.5 * (-t / t2).exp();
-        assert!((out.m[1].re - want).abs() < 1e-10, "{} vs {want}", out.m[1].re);
+        assert!(
+            (out.m[1].re - want).abs() < 1e-10,
+            "{} vs {want}",
+            out.m[1].re
+        );
     }
 
     #[test]

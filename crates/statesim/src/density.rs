@@ -43,7 +43,10 @@ impl DensityMatrix {
     /// Panics if `n == 0` or `n > 13` (memory: a 13-qubit density matrix is
     /// already a gigabyte).
     pub fn zero_state(n: usize) -> Self {
-        assert!(n >= 1 && n <= 13, "density matrix supports 1..=13 qubits, got {n}");
+        assert!(
+            n >= 1 && n <= 13,
+            "density matrix supports 1..=13 qubits, got {n}"
+        );
         let dim = 1usize << n;
         let mut rho = vec![Complex::ZERO; dim * dim];
         rho[0] = Complex::ONE;
@@ -248,9 +251,14 @@ impl DensityMatrix {
             // P|b⟩ = φ(b)|b ⊕ x⟩ (σ = ⊕x is an involution).
             let xm = pauli.x_mask_u64() as usize;
             let zm = pauli.z_mask_u64() as usize;
-            let base = Complex::i_pow((pauli.phase_exponent() as usize + pauli.y_count()) as u8 % 4);
+            let base =
+                Complex::i_pow((pauli.phase_exponent() as usize + pauli.y_count()) as u8 % 4);
             let phase = |b: usize| {
-                let s = if ((b & zm).count_ones() & 1) == 1 { -1.0 } else { 1.0 };
+                let s = if ((b & zm).count_ones() & 1) == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 base * s
             };
             for r in 0..self.dim {
@@ -275,7 +283,10 @@ impl DensityMatrix {
     /// the inner loop of every noisy CNOT).
     pub fn apply_depolarizing_2q(&mut self, a: usize, b: usize, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        assert!(a < self.n && b < self.n && a != b, "bad qubit pair ({a}, {b})");
+        assert!(
+            a < self.n && b < self.n && a != b,
+            "bad qubit pair ({a}, {b})"
+        );
         if p == 0.0 {
             return;
         }
@@ -354,7 +365,11 @@ impl DensityMatrix {
         // Tr(Pρ) = Σ_b φ(b ⊕ x) ρ_{b⊕x, b} with φ the diagonal phase of P.
         for b in 0..self.dim {
             let bx = b ^ xm;
-            let s = if ((bx & zm).count_ones() & 1) == 1 { -1.0 } else { 1.0 };
+            let s = if ((bx & zm).count_ones() & 1) == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             acc += self.rho[bx * self.dim + b] * s;
         }
         (acc * base).re

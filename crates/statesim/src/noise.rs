@@ -202,8 +202,7 @@ fn apply_gate_with_noise(
             rho.apply_gate(g);
             let q = g.qubits()[0];
             let is_rz_like = matches!(g, Gate::Rz(..)) && !g.is_clifford(1e-9);
-            let is_xy_rotation =
-                matches!(g, Gate::Rx(..) | Gate::Ry(..)) && !g.is_clifford(1e-9);
+            let is_xy_rotation = matches!(g, Gate::Rx(..) | Gate::Ry(..)) && !g.is_clifford(1e-9);
             let p = if is_rz_like {
                 noise.depol_rz
             } else if is_xy_rotation {
@@ -217,7 +216,8 @@ fn apply_gate_with_noise(
             }
             // Virtual-Z convention: an Rz in the NISQ regime is free and
             // instantaneous, so it contributes no relaxation window.
-            let is_virtual_z = matches!(g, Gate::Rz(..)) && noise.relaxation.is_some() && !is_rz_like;
+            let is_virtual_z =
+                matches!(g, Gate::Rz(..)) && noise.relaxation.is_some() && !is_rz_like;
             if let Some(r) = noise.relaxation {
                 if !is_virtual_z && !matches!(g, Gate::Rz(..)) {
                     rho.apply_channel(q, &KrausChannel::thermal_relaxation(r.t_1q, r.t1, r.t2));

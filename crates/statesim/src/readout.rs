@@ -77,7 +77,11 @@ impl ReadoutModel {
     /// Panics if `probs.len() != 2^n`.
     pub fn apply_to_probs(&self, probs: &mut [f64]) {
         let n = self.num_qubits();
-        assert_eq!(probs.len(), 1 << n, "probability vector must have 2^n entries");
+        assert_eq!(
+            probs.len(),
+            1 << n,
+            "probability vector must have 2^n entries"
+        );
         for q in 0..n {
             let (a, b) = (self.p01[q], self.p10[q]);
             transform_axis(probs, q, [1.0 - a, b, a, 1.0 - b]);
@@ -89,7 +93,11 @@ impl ReadoutModel {
     /// inversion-based mitigation; callers typically clamp or renormalize.
     pub fn mitigate_probs(&self, probs: &[f64]) -> Vec<f64> {
         let n = self.num_qubits();
-        assert_eq!(probs.len(), 1 << n, "probability vector must have 2^n entries");
+        assert_eq!(
+            probs.len(),
+            1 << n,
+            "probability vector must have 2^n entries"
+        );
         let mut out = probs.to_vec();
         for q in 0..n {
             let (a, b) = (self.p01[q], self.p10[q]);
@@ -204,7 +212,9 @@ mod tests {
     fn sampling_flip_rate() {
         let m = ReadoutModel::uniform(1, 0.2, 0.0);
         let mut rng = StdRng::seed_from_u64(11);
-        let flips = (0..5000).filter(|_| m.sample_flips(0, &mut rng) == 1).count();
+        let flips = (0..5000)
+            .filter(|_| m.sample_flips(0, &mut rng) == 1)
+            .count();
         let rate = flips as f64 / 5000.0;
         assert!((rate - 0.2).abs() < 0.03, "{rate}");
     }

@@ -115,7 +115,6 @@ pub fn estimate_energy_sampled<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use eftq_numerics::SeedSequence;
-    use eftq_pauli::PauliString;
 
     fn bell() -> StateVector {
         let mut c = Circuit::new(2);
@@ -138,7 +137,11 @@ mod tests {
         let exact = psi.expectation(&h);
         let mut rng = SeedSequence::new(1).rng();
         let est = estimate_energy_sampled(&psi, &h, 20_000, None, false, &mut rng);
-        assert!((est.energy - exact).abs() < 0.05, "{} vs {exact}", est.energy);
+        assert!(
+            (est.energy - exact).abs() < 0.05,
+            "{} vs {exact}",
+            est.energy
+        );
         assert_eq!(est.groups, 2); // {ZZ, ZI} and {XX}
     }
 

@@ -30,7 +30,10 @@ impl StateVector {
     ///
     /// Panics if `n > 26` (memory) or `n == 0`.
     pub fn zero_state(n: usize) -> Self {
-        assert!(n >= 1 && n <= 26, "state vector supports 1..=26 qubits, got {n}");
+        assert!(
+            n >= 1 && n <= 26,
+            "state vector supports 1..=26 qubits, got {n}"
+        );
         let mut amps = vec![Complex::ZERO; 1 << n];
         amps[0] = Complex::ONE;
         StateVector { n, amps }

@@ -50,12 +50,17 @@ pub struct TrajectoryRun {
     pub shots: usize,
 }
 
-fn sample_1q_error<R: Rng + ?Sized>(rng: &mut R, n: usize, q: usize, p: f64) -> Option<PauliString> {
+fn sample_1q_error<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    q: usize,
+    p: f64,
+) -> Option<PauliString> {
     if p > 0.0 && rng.gen_bool(p) {
         Some(PauliString::single(
             n,
             q,
-            Pauli::NON_IDENTITY[rng.gen_range(0..3)],
+            Pauli::NON_IDENTITY[rng.gen_range(0..3usize)],
         ))
     } else {
         None
@@ -78,7 +83,7 @@ pub fn run_trajectory<R: Rng + ?Sized>(
         let err = match *g {
             Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => {
                 if noise.depol_2q > 0.0 && rng.gen_bool(noise.depol_2q) {
-                    let idx = rng.gen_range(1..16);
+                    let idx = rng.gen_range(1..16usize);
                     let mut s = PauliString::identity(n);
                     s.set_pauli(a, Pauli::ALL[idx / 4]);
                     s.set_pauli(b, Pauli::ALL[idx % 4]);

@@ -28,7 +28,9 @@ fn main() {
         .unwrap_or(20);
     println!("== EFT ansatz design for {n} qubits ==\n");
 
-    println!("Section-4.4 rule: pQEC wins at depth when CNOT growth > {RATIO_THRESHOLD} x Rz growth\n");
+    println!(
+        "Section-4.4 rule: pQEC wins at depth when CNOT growth > {RATIO_THRESHOLD} x Rz growth\n"
+    );
     println!("{:<22} {:>8}   verdict", "ansatz", "ratio");
     println!(
         "{:<22} {:>8.3}   {}",

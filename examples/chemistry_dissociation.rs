@@ -13,7 +13,9 @@
 //! cargo run --release --example chemistry_dissociation
 //! ```
 
-use eft_vqa::clifford_vqe::{clifford_vqe_in_regime, noiseless_reference_energy, CliffordVqeConfig};
+use eft_vqa::clifford_vqe::{
+    clifford_vqe_in_regime, noiseless_reference_energy, CliffordVqeConfig,
+};
 use eft_vqa::hamiltonians::{molecular, Molecule, BOND_LENGTHS};
 use eft_vqa::{relative_improvement, ExecutionRegime};
 use eftq_circuit::ansatz::fully_connected_hea;

@@ -58,7 +58,10 @@ fn main() {
                 r.cycles,
                 r.t_count
             ),
-            None => println!("{:<28} does not fit", format!("Clifford+T {}", factory.name)),
+            None => println!(
+                "{:<28} does not fit",
+                format!("Clifford+T {}", factory.name)
+            ),
         }
     }
 

@@ -25,7 +25,10 @@ fn main() {
     };
     println!("== mitigation toolkit on the {n}-qubit Heisenberg chain (E0 = {e0:.4}) ==");
 
-    for regime in [ExecutionRegime::nisq_default(), ExecutionRegime::pqec_default()] {
+    for regime in [
+        ExecutionRegime::nisq_default(),
+        ExecutionRegime::pqec_default(),
+    ] {
         println!("\n-- {} --", regime.name());
 
         // 1. VarSaw: measurement mitigation inside the VQE loop.
@@ -58,7 +61,11 @@ fn main() {
             "OPR transfer: noiseless energy of noisy optimum {:.4} vs random {:.4} -> {}",
             opr.transferred,
             opr.random_baseline,
-            if opr.opr_holds() { "OPR holds" } else { "OPR fails" }
+            if opr.opr_holds() {
+                "OPR holds"
+            } else {
+                "OPR fails"
+            }
         );
         println!(
             "              transfer closes {:.0}% of the random-to-ground gap",

@@ -37,8 +37,18 @@ fn main() {
         restarts: 4,
         ..VqeConfig::default()
     };
-    let nisq = run_vqe(&ansatz, &hamiltonian, &ExecutionRegime::nisq_default(), &config);
-    let pqec = run_vqe(&ansatz, &hamiltonian, &ExecutionRegime::pqec_default(), &config);
+    let nisq = run_vqe(
+        &ansatz,
+        &hamiltonian,
+        &ExecutionRegime::nisq_default(),
+        &config,
+    );
+    let pqec = run_vqe(
+        &ansatz,
+        &hamiltonian,
+        &ExecutionRegime::pqec_default(),
+        &config,
+    );
     println!("best energy under NISQ          = {:.6}", nisq.best_energy);
     println!("best energy under pQEC          = {:.6}", pqec.best_energy);
 

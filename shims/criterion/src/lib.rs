@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container cannot reach crates.io, so the workspace vendors the
+//! subset of the Criterion API its benches use: [`Criterion`],
+//! benchmark groups with `sample_size`/`bench_function`/
+//! `bench_with_input`/`finish`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a short warm-up, then
+//! `sample_size` timed samples whose median is printed as a single line
+//! per benchmark. There are no HTML reports, statistics, or baselines;
+//! when the real crate becomes available, dropping the shim restores all
+//! of that without touching the bench sources.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from the standard library.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`<function>/<parameter>`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass: one untimed sample so lazy setup is excluded.
+    let mut warmup = Bencher {
+        iters_per_sample: 1,
+        sample_size: 1,
+        samples: Vec::with_capacity(1),
+    };
+    f(&mut warmup);
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench: {id:<48} median {median:>12.2?} ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The container cannot reach crates.io, so the workspace vendors the one
+//! crossbeam API it uses: [`thread::scope`] with scope-receiving spawn
+//! closures and a `Result` return that captures child panics. It is a
+//! thin wrapper over `std::thread::scope` (stable since Rust 1.63, which
+//! is why upstream crossbeam deprecated its own version).
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of a panicking child.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; unlike `std`, crossbeam passes it to each spawned
+    /// closure as well.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further siblings, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; joins them all before returning.
+    ///
+    /// Returns `Err` if any spawned thread (or `f` itself) panicked.
+    /// Unlike real crossbeam, the payload of a *child* panic is
+    /// `std::thread::scope`'s generic re-panic payload, not the child's
+    /// own — callers that downcast payloads need the real crate. In-tree
+    /// callers only check `is_err()`/`expect`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4, 5, 6];
+        let mut out = vec![0u64; 6];
+        thread::scope(|scope| {
+            for (slot, chunk) in out.chunks_mut(2).zip(data.chunks(2)) {
+                scope.spawn(move |_| {
+                    for (s, v) in slot.iter_mut().zip(chunk) {
+                        *s = v * 10;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let r = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("no panics");
+        assert_eq!(r, 42);
+    }
+}

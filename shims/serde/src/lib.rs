@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op [`Serialize`] / [`Deserialize`] derive macros
+//! from the vendored `serde_derive` shim so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without
+//! crates.io access. No serialization framework is provided — nothing in
+//! the workspace serializes yet. Swapping this shim for real `serde`
+//! (with the `derive` feature) requires no source changes in the models.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`: no-op `Serialize` / `Deserialize`
+//! derive macros.
+//!
+//! The container cannot reach crates.io, and nothing in the workspace
+//! serializes yet — the derives on the model structs only declare intent.
+//! These macros accept the same derive positions and expand to nothing,
+//! so the annotations compile today and can be switched to the real
+//! `serde_derive` without touching any model source.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

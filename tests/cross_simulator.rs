@@ -52,7 +52,7 @@ fn random_observable(n: usize, terms: usize, seed: u64) -> PauliSum {
     let mut h = PauliSum::new(n);
     for _ in 0..terms {
         let letters: Vec<eftq_pauli::Pauli> = (0..n)
-            .map(|_| eftq_pauli::Pauli::ALL[rng.gen_range(0..4)])
+            .map(|_| eftq_pauli::Pauli::ALL[rng.gen_range(0..4usize)])
             .collect();
         h.push(rng.gen::<f64>() - 0.5, PauliString::from_paulis(letters));
     }
@@ -92,7 +92,9 @@ fn density_matrix_matches_statevector_noiselessly() {
 #[test]
 fn noiseless_stabilizer_estimate_matches_statevector_for_clifford_ansatz() {
     let ansatz = linear_hea(6, 1);
-    let ks: Vec<u8> = (0..ansatz.num_params()).map(|i| ((i * 3) % 4) as u8).collect();
+    let ks: Vec<u8> = (0..ansatz.num_params())
+        .map(|i| ((i * 3) % 4) as u8)
+        .collect();
     let circuit = ansatz.bind_clifford(&ks);
     let h = eft_vqa::hamiltonians::ising_1d(6, 1.0);
     let sv = StateVector::from_circuit(&circuit).expectation(&h);
@@ -152,5 +154,9 @@ fn noisy_dm_and_noisy_stabilizer_agree_on_depolarized_bell_zz() {
 
     let analytic = 1.0 - 16.0 * p / 15.0;
     assert!((dm_value - analytic).abs() < 1e-10);
-    assert!((mc.energy - analytic).abs() < 0.03, "{} vs {analytic}", mc.energy);
+    assert!(
+        (mc.energy - analytic).abs() < 0.03,
+        "{} vs {analytic}",
+        mc.energy
+    );
 }

@@ -42,7 +42,10 @@ fn opr_transfer_holds() {
         restarts: 2,
         ..VqeConfig::default()
     };
-    for regime in [ExecutionRegime::pqec_default(), ExecutionRegime::nisq_default()] {
+    for regime in [
+        ExecutionRegime::pqec_default(),
+        ExecutionRegime::nisq_default(),
+    ] {
         let r = parameter_transfer(&a, &h, &regime, &config, 15);
         assert!(r.opr_holds(), "{}: {r:?}", regime.name());
     }
@@ -75,7 +78,11 @@ fn sampled_estimation_pipeline() {
     let model = ReadoutModel::uniform(4, 0.05, 0.05);
     let mut rng = SeedSequence::new(77).rng();
     let est = estimate_energy_sampled(&psi, &h, 8000, Some(&model), true, &mut rng);
-    assert!((est.energy - exact).abs() < 0.15, "{} vs {exact}", est.energy);
+    assert!(
+        (est.energy - exact).abs() < 0.15,
+        "{} vs {exact}",
+        est.energy
+    );
     assert!(est.groups >= 2);
 }
 
@@ -85,7 +92,9 @@ fn sampled_estimation_pipeline() {
 #[test]
 fn trajectory_agrees_with_stabilizer_on_clifford_circuit() {
     let a = fully_connected_hea(5, 1);
-    let ks: Vec<u8> = (0..a.num_params()).map(|i| ((i * 2 + 1) % 4) as u8).collect();
+    let ks: Vec<u8> = (0..a.num_params())
+        .map(|i| ((i * 2 + 1) % 4) as u8)
+        .collect();
     let circuit = a.bind_clifford(&ks);
     let h = ising_1d(5, 0.5);
     let regime = ExecutionRegime::pqec_default();

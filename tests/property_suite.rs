@@ -20,40 +20,43 @@ fn arb_angle() -> impl Strategy<Value = f64> {
 }
 
 fn arb_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0usize..7, 0usize..n, 0usize..n.max(2) - 1, arb_angle()), len)
-        .prop_map(move |ops| {
-            let mut c = Circuit::new(n);
-            for (kind, q, other, angle) in ops {
-                let b = if other >= q { other + 1 } else { other } % n;
-                match kind {
-                    0 => {
-                        c.h(q);
-                    }
-                    1 => {
-                        c.s(q);
-                    }
-                    2 => {
-                        c.rz(q, angle);
-                    }
-                    3 => {
-                        c.rx(q, angle);
-                    }
-                    4 => {
-                        c.ry(q, angle);
-                    }
-                    5 if b != q => {
-                        c.cx(q, b);
-                    }
-                    _ if b != q => {
-                        c.cz(q, b);
-                    }
-                    _ => {
-                        c.x(q);
-                    }
+    proptest::collection::vec(
+        (0usize..7, 0usize..n, 0usize..n.max(2) - 1, arb_angle()),
+        len,
+    )
+    .prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (kind, q, other, angle) in ops {
+            let b = if other >= q { other + 1 } else { other } % n;
+            match kind {
+                0 => {
+                    c.h(q);
+                }
+                1 => {
+                    c.s(q);
+                }
+                2 => {
+                    c.rz(q, angle);
+                }
+                3 => {
+                    c.rx(q, angle);
+                }
+                4 => {
+                    c.ry(q, angle);
+                }
+                5 if b != q => {
+                    c.cx(q, b);
+                }
+                _ if b != q => {
+                    c.cz(q, b);
+                }
+                _ => {
+                    c.x(q);
                 }
             }
-            c
-        })
+        }
+        c
+    })
 }
 
 proptest! {
