@@ -6,9 +6,11 @@ use eftq_circuit::ansatz::fully_connected_hea;
 use eftq_circuit::Circuit;
 use eftq_numerics::SeedSequence;
 use eftq_pauli::PauliSum;
-use eftq_stabilizer::{estimate_energy, Tableau};
+use eftq_stabilizer::{estimate_energy, estimate_energy_tableau, run_noisy_frames, Tableau};
 use eftq_statesim::noise::run_noisy;
 use eftq_statesim::{DensityMatrix, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_statevector(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector");
@@ -68,10 +70,83 @@ fn bench_tableau(c: &mut Criterion) {
     group.finish();
 }
 
+/// The word-parallel gate kernels in isolation: dense single- and
+/// two-qubit layers on registers spanning one to several row words.
+fn bench_tableau_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_gates");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("dense_layers", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Tableau::new(n);
+                for q in 0..n {
+                    t.h(q);
+                }
+                for q in 0..n {
+                    t.cx(q, (q + 1) % n);
+                }
+                for q in 0..n {
+                    t.s(q);
+                }
+                for q in 0..n - 1 {
+                    t.cz(q, q + 1);
+                }
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Pauli-frame propagation throughput: noisy shots per circuit walk.
+fn bench_frame_shots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_shots");
+    group.sample_size(20);
+    let n = 16;
+    let ansatz = fully_connected_hea(n, 2);
+    let ks: Vec<u8> = (0..ansatz.num_params()).map(|i| (i % 4) as u8).collect();
+    let circuit: Circuit = ansatz.bind_clifford(&ks);
+    let noise = eft_vqa::ExecutionRegime::nisq_default().stabilizer_noise();
+    for shots in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("nisq_16q_p2", shots), &shots, |b, &s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                run_noisy_frames(&circuit, &noise, s, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance-criterion workload: 16-qubit, 2-layer HEA with NISQ
+/// noise at 256 shots — frame-batched estimator vs the per-shot tableau
+/// reference path (the seed implementation).
+fn bench_estimate_energy_16q(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_energy_16q");
+    let n = 16;
+    let h: PauliSum = eft_vqa::hamiltonians::ising_1d(n, 1.0);
+    let ansatz = fully_connected_hea(n, 2);
+    let ks: Vec<u8> = (0..ansatz.num_params()).map(|i| (i % 4) as u8).collect();
+    let circuit: Circuit = ansatz.bind_clifford(&ks);
+    let noise = eft_vqa::ExecutionRegime::nisq_default().stabilizer_noise();
+    group.sample_size(20);
+    group.bench_function("frame_256shots", |b| {
+        b.iter(|| estimate_energy(&circuit, &h, &noise, 256, SeedSequence::new(7)));
+    });
+    group.sample_size(10);
+    group.bench_function("per_shot_tableau_256shots", |b| {
+        b.iter(|| estimate_energy_tableau(&circuit, &h, &noise, 256, SeedSequence::new(7)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_statevector,
     bench_density_matrix,
-    bench_tableau
+    bench_tableau,
+    bench_tableau_gates,
+    bench_frame_shots,
+    bench_estimate_energy_16q
 );
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 /// Whether the paper-scale configuration was requested via `EFT_FULL=1`.
 pub fn full_scale() -> bool {
-    std::env::var("EFT_FULL").map_or(false, |v| v == "1" || v.eq_ignore_ascii_case("true"))
+    std::env::var("EFT_FULL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 /// Prints a rule-of-dashes header for a table.

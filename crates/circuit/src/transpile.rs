@@ -57,8 +57,8 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
             }
         }
     }
-    for q in 0..circuit.num_qubits() {
-        let mut slot = pending[q].take();
+    for (q, p) in pending.iter_mut().enumerate() {
+        let mut slot = p.take();
         flush(&mut out, q, &mut slot);
     }
     return out;

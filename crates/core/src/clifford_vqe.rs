@@ -149,13 +149,16 @@ mod tests {
     use eftq_circuit::ansatz::{blocked_all_to_all, fully_connected_hea, linear_hea};
 
     fn quick() -> CliffordVqeConfig {
+        // The frame-batched estimator makes shots nearly free, so the
+        // quick config can afford enough of them that few-shot sampling
+        // luck does not dominate the search.
         CliffordVqeConfig {
             ga: GeneticConfig {
                 population: 16,
                 generations: 20,
                 ..GeneticConfig::default()
             },
-            shots: 4,
+            shots: 16,
             ..CliffordVqeConfig::default()
         }
     }
@@ -169,38 +172,65 @@ mod tests {
         let e_ref = noiseless_reference_energy(&a, &h, &quick());
         let e0 = h.ground_energy_default().unwrap();
         // Clifford states reach most of the gap for weakly coupled Ising.
-        assert!(e_ref < 0.8 * e0.abs() * -1.0 + 0.0, "{e_ref} vs {e0}");
+        assert!(e_ref < -(0.8 * e0.abs()) + 0.0, "{e_ref} vs {e0}");
         assert!(e_ref >= e0 - 1e-9);
     }
 
     #[test]
     fn noisy_energy_is_above_noiseless() {
+        // The *unbiased* noisy energy of the NISQ winner sits at or above
+        // that genome's own noiseless energy (the raw search estimate may
+        // dip below it — minimizing over few-shot estimates exploits
+        // sampling noise; and a noisy search may find a genome the exact
+        // noiseless search missed, so the floor is per-genome).
         let h = hamiltonians::ising_1d(6, 0.5);
         let a = linear_hea(6, 1);
-        let noiseless = noiseless_reference_energy(&a, &h, &quick());
-        let nisq = clifford_vqe_in_regime(&a, &h, &ExecutionRegime::nisq_default(), &quick());
-        assert!(
-            nisq.best_energy >= noiseless - 0.2,
-            "{} vs {noiseless}",
-            nisq.best_energy
-        );
+        let noise = ExecutionRegime::nisq_default().stabilizer_noise();
+        let nisq = clifford_vqe(&a, &h, &noise, &quick());
+        let floor = noiseless_reference_energy(&a, &h, &quick()).min(genome_energy(
+            &a,
+            &h,
+            &nisq.best_genome,
+        ));
+        let honest = reevaluate_genome(&a, &h, &noise, &nisq.best_genome, 512, 23);
+        assert!(honest >= floor - 0.2, "{honest} vs {floor}");
     }
 
     #[test]
     fn pqec_beats_nisq_on_heisenberg() {
-        // Figure 12's mechanism at 8 qubits: the pQEC Clifford VQE reaches
-        // a lower noisy energy than the NISQ one.
+        // Figure 12's mechanism at 8 qubits: pQEC's noise floor degrades a
+        // good candidate far less than NISQ's. Both regimes evaluate the
+        // *same* genome — the best one any search found — so the
+        // comparison isolates the regimes' noise, not search luck.
         let h = hamiltonians::heisenberg_1d(8, 1.0);
         let a = fully_connected_hea(8, 1);
         let cfg = quick();
         let pqec = clifford_vqe_in_regime(&a, &h, &ExecutionRegime::pqec_default(), &cfg);
         let nisq = clifford_vqe_in_regime(&a, &h, &ExecutionRegime::nisq_default(), &cfg);
-        assert!(
-            pqec.best_energy < nisq.best_energy,
-            "pQEC {} vs NISQ {}",
-            pqec.best_energy,
-            nisq.best_energy
+        let best = if genome_energy(&a, &h, &pqec.best_genome)
+            <= genome_energy(&a, &h, &nisq.best_genome)
+        {
+            pqec.best_genome
+        } else {
+            nisq.best_genome
+        };
+        let e_pqec = reevaluate_genome(
+            &a,
+            &h,
+            &ExecutionRegime::pqec_default().stabilizer_noise(),
+            &best,
+            512,
+            19,
         );
+        let e_nisq = reevaluate_genome(
+            &a,
+            &h,
+            &ExecutionRegime::nisq_default().stabilizer_noise(),
+            &best,
+            512,
+            19,
+        );
+        assert!(e_pqec < e_nisq, "pQEC {e_pqec} vs NISQ {e_nisq}");
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub fn fig11_curves(n: usize, max_depth: usize) -> Vec<CrossoverPoint> {
 pub fn pqec_wins_at_depth(n: usize, depth: usize) -> bool {
     let w = Workload::blocked(n, depth);
     let device = DeviceModel::eft_default();
-    pqec_fidelity(&w, &device).map_or(false, |r| r.fidelity > nisq_fidelity(&w, device.p_phys))
+    pqec_fidelity(&w, &device).is_some_and(|r| r.fidelity > nisq_fidelity(&w, device.p_phys))
 }
 
 #[cfg(test)]

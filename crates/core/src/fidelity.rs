@@ -191,7 +191,7 @@ pub fn conventional_fidelity(
     let t_total = w.rotations * t_per_rotation;
     let max_factories = device.physical_qubits / factory.physical_qubits;
     let mut best: Option<CliffordTReport> = None;
-    for n_fact in 1..=max_factories.max(0) {
+    for n_fact in 1..=max_factories {
         let leftover = device.leftover(n_fact * factory.physical_qubits);
         let Some(distance) = best_distance(w.tiles, leftover) else {
             continue;

@@ -188,6 +188,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division via the reciprocal is the intended formula, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()

@@ -126,7 +126,7 @@ impl Mat2 {
     pub fn scale(&self, k: Complex) -> Mat2 {
         let mut out = *self;
         for e in &mut out.m {
-            *e = *e * k;
+            *e *= k;
         }
         out
     }
@@ -299,9 +299,9 @@ impl Mat4 {
     /// Applies the matrix to a 4-vector.
     pub fn apply(&self, v: [Complex; 4]) -> [Complex; 4] {
         let mut out = [Complex::ZERO; 4];
-        for i in 0..4 {
-            for j in 0..4 {
-                out[i] += self.m[i * 4 + j] * v[j];
+        for (i, o) in out.iter_mut().enumerate() {
+            for (j, vj) in v.iter().enumerate() {
+                *o += self.m[i * 4 + j] * *vj;
             }
         }
         out
@@ -401,7 +401,7 @@ mod tests {
     fn kron_dimensions_and_values() {
         let zx = Mat2::pauli_z().kron(&Mat2::pauli_x());
         // ⟨00| Z⊗X |01⟩ = 1 (Z on |0⟩ → +, X flips low bit).
-        assert!(zx.m[0 * 4 + 1].approx_eq(Complex::ONE, TOL));
+        assert!(zx.m[1].approx_eq(Complex::ONE, TOL));
         // ⟨10| Z⊗X |11⟩ = -1.
         assert!(zx.m[2 * 4 + 3].approx_eq(-Complex::ONE, TOL));
         assert!(zx.is_unitary(TOL));

@@ -97,7 +97,7 @@ mod tests {
                 .map(|(i, v)| (v - i as f64 * 0.1).powi(2))
                 .sum::<f64>()
         };
-        let r = CoordinateSearch::default().minimize(&mut f, &vec![1.0; 10]);
+        let r = CoordinateSearch::default().minimize(&mut f, &[1.0; 10]);
         assert!(r.best_value < 1e-6, "{}", r.best_value);
     }
 

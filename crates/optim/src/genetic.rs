@@ -11,6 +11,7 @@ use crossbeam::thread;
 use eftq_numerics::SeedSequence;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of the genetic search.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,8 +58,11 @@ pub struct GeneticResult {
     pub best_fitness: f64,
     /// Best fitness after each generation.
     pub history: Vec<f64>,
-    /// Total fitness evaluations.
+    /// Fitness evaluations actually performed (memoization cache misses).
     pub evaluations: usize,
+    /// Individuals scored from the memoization cache instead of being
+    /// re-evaluated (elites and duplicate offspring).
+    pub cache_hits: usize,
 }
 
 /// Minimizes `fitness` over genomes of length `genome_len`.
@@ -66,6 +70,13 @@ pub struct GeneticResult {
 /// `fitness` must be `Sync` so generations can be evaluated on
 /// `config.threads` crossbeam scoped threads; with `threads == 1` the
 /// evaluation is sequential.
+///
+/// Fitness values are memoized by genome: elites carried between
+/// generations and duplicate offspring are never re-evaluated, so
+/// `fitness` must be a pure function of its genome (the Clifford VQE
+/// satisfies this — every candidate is estimated with the same shot
+/// seed). NaN fitness values are tolerated: they sort after every finite
+/// value (`f64::total_cmp`) and can never win a tournament or the run.
 ///
 /// # Panics
 ///
@@ -96,16 +107,40 @@ where
         .collect();
 
     let mut evaluations = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache: HashMap<Vec<u8>, f64> = HashMap::new();
     let mut history = Vec::with_capacity(config.generations);
     let mut best_genome = population[0].clone();
     let mut best_fitness = f64::INFINITY;
 
     for _gen in 0..config.generations {
-        let scores = evaluate(&population, &fitness, config.threads);
-        evaluations += scores.len();
-        // Track the champion.
+        // Bound the cache: a production-scale run would otherwise retain
+        // one entry per distinct genome ever seen. Keeping the current
+        // population's scores preserves the elite/duplicate fast path.
+        if cache.len() > 64 * config.population.max(16) {
+            let keep: HashSet<&Vec<u8>> = population.iter().collect();
+            cache.retain(|g, _| keep.contains(g));
+        }
+        // Evaluate only genomes not seen before (dedup within the
+        // generation too); everything else is served from the cache.
+        let mut fresh: Vec<Vec<u8>> = Vec::new();
+        let mut queued: HashSet<&Vec<u8>> = HashSet::new();
+        for g in &population {
+            if !cache.contains_key(g) && queued.insert(g) {
+                fresh.push(g.clone());
+            }
+        }
+        let fresh_scores = evaluate(&fresh, &fitness, config.threads);
+        evaluations += fresh.len();
+        cache_hits += population.len() - fresh.len();
+        for (g, s) in fresh.into_iter().zip(fresh_scores) {
+            cache.insert(g, s);
+        }
+        let scores: Vec<f64> = population.iter().map(|g| cache[g]).collect();
+        // Track the champion. `total_cmp` keeps NaN fitness values at the
+        // end of the order instead of panicking (or corrupting the sort).
         let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
         if scores[order[0]] < best_fitness {
             best_fitness = scores[order[0]];
             best_genome = population[order[0]].clone();
@@ -132,6 +167,7 @@ where
         best_fitness,
         history,
         evaluations,
+        cache_hits,
     }
 }
 
@@ -161,7 +197,8 @@ fn tournament_pick(scores: &[f64], config: &GeneticConfig, rng: &mut StdRng) -> 
     let mut best = rng.gen_range(0..scores.len());
     for _ in 1..config.tournament {
         let c = rng.gen_range(0..scores.len());
-        if scores[c] < scores[best] {
+        // total_cmp: a NaN contestant never beats a finite one.
+        if scores[c].total_cmp(&scores[best]).is_lt() {
             best = c;
         }
     }
@@ -213,10 +250,64 @@ mod tests {
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0]);
         }
-        assert_eq!(
-            r.evaluations,
-            GeneticConfig::default().population * GeneticConfig::default().generations
+        // Memoization: every individual is scored, but elites and
+        // duplicate offspring come from the cache, never re-evaluation.
+        let scored = GeneticConfig::default().population * GeneticConfig::default().generations;
+        assert_eq!(r.evaluations + r.cache_hits, scored);
+        assert!(r.evaluations < scored, "{} evaluations", r.evaluations);
+        // Elites alone guarantee hits every generation after the first.
+        let min_hits = GeneticConfig::default().elites * (GeneticConfig::default().generations - 1);
+        assert!(r.cache_hits >= min_hits, "{} cache hits", r.cache_hits);
+    }
+
+    #[test]
+    fn memoization_never_reevaluates_a_genome() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let calls = AtomicUsize::new(0);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let target = vec![3u8; 10];
+        let r = minimize_genetic(
+            10,
+            &GeneticConfig {
+                population: 20,
+                generations: 25,
+                ..GeneticConfig::default()
+            },
+            |g: &[u8]| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    seen.lock().unwrap().insert(g.to_vec()),
+                    "fitness re-evaluated for {g:?}"
+                );
+                mismatch_fitness(&target)(g)
+            },
         );
+        assert_eq!(r.evaluations, calls.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn nan_fitness_never_panics_or_wins() {
+        // Regression: partial_cmp().unwrap() used to panic on NaN, and a
+        // NaN could poison tournament selection. Genomes starting with
+        // allele 0 are "invalid" here and return NaN.
+        let r = minimize_genetic(
+            6,
+            &GeneticConfig {
+                population: 16,
+                generations: 15,
+                ..GeneticConfig::default()
+            },
+            |g: &[u8]| {
+                if g[0] == 0 {
+                    f64::NAN
+                } else {
+                    g.iter().map(|&x| f64::from(x)).sum()
+                }
+            },
+        );
+        assert!(r.best_fitness.is_finite(), "{}", r.best_fitness);
+        assert_ne!(r.best_genome[0], 0);
     }
 
     #[test]

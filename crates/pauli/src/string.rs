@@ -460,7 +460,7 @@ mod tests {
                     Pauli::I | Pauli::Z => bit,
                     Pauli::X | Pauli::Y => 1 - bit,
                 };
-                amp = amp * mat.m[out_bit * 2 + bit];
+                amp *= mat.m[out_bit * 2 + bit];
                 row = (row & !(1 << q)) | (out_bit << q);
             }
             m[row * dim + col] = amp;

@@ -1,0 +1,482 @@
+//! Pauli-frame simulation: 64 noisy shots per machine word.
+//!
+//! For a Clifford circuit `C` under stochastic Pauli noise, the state of a
+//! noisy shot is `F·C|0…0⟩` where the *frame* `F` is the product of that
+//! shot's sampled error Paulis, each conjugated through the remainder of
+//! the circuit. Conjugating a Pauli by a Clifford gate yields a Pauli, so
+//! a frame is just two bits (x, z) per qubit per shot — and 64 shots pack
+//! into one `u64` lane, letting a single circuit walk propagate 64
+//! trajectories with XOR/swap word kernels.
+//!
+//! Frame *signs* are deliberately untracked: for expectation values only
+//! commutation matters, because `⟨ψ|F†PF|ψ⟩ = ±⟨ψ|P|ψ⟩` with the sign −1
+//! exactly when `F` anticommutes with `P`. The noisy estimate of a
+//! Hamiltonian term is therefore the noiseless tableau expectation,
+//! sign-flipped per shot by [`PauliFrames::flip_plane`] — the equivalence
+//! argument behind [`crate::estimate_energy`], validated against the
+//! per-shot tableau path by the `frame_equivalence` property suite.
+
+use crate::noise::StabilizerNoise;
+use crate::tableau::quarter_turns;
+use eftq_circuit::{Angle, Circuit, Gate};
+use eftq_pauli::{Pauli, PauliString};
+use rand::Rng;
+
+const WORD_BITS: usize = 64;
+
+/// A batch of Pauli frames: one (x, z) Pauli per qubit per shot, packed
+/// 64 shots to the `u64` lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PauliFrames {
+    n: usize,
+    shots: usize,
+    /// Lane words per qubit: ⌈shots/64⌉. Bit `s` of lane word `w` belongs
+    /// to shot `64w + s`; padding bits past `shots` stay zero.
+    words: usize,
+    /// X bit-lanes, qubit-major: qubit `q` is `fx[q*words..(q+1)*words]`.
+    fx: Vec<u64>,
+    /// Z bit-lanes, same layout.
+    fz: Vec<u64>,
+}
+
+impl PauliFrames {
+    /// `shots` identity frames over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `shots == 0`.
+    pub fn new(n: usize, shots: usize) -> Self {
+        assert!(n > 0, "frames need at least one qubit");
+        assert!(shots > 0, "frames need at least one shot");
+        let words = shots.div_ceil(WORD_BITS);
+        PauliFrames {
+            n,
+            shots,
+            words,
+            fx: vec![0; n * words],
+            fz: vec![0; n * words],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shots in the batch.
+    pub fn num_shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Propagates the frames through one Clifford gate (conjugation,
+    /// signs dropped). Measurements are ignored; Paulis commute with the
+    /// frame up to sign and are no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford or symbolic rotations.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let wl = self.words;
+        match *gate {
+            Gate::H(q) => {
+                let b = q * wl;
+                for w in 0..wl {
+                    std::mem::swap(&mut self.fx[b + w], &mut self.fz[b + w]);
+                }
+            }
+            Gate::S(q) | Gate::Sdg(q) => {
+                let b = q * wl;
+                for w in 0..wl {
+                    self.fz[b + w] ^= self.fx[b + w];
+                }
+            }
+            Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::Measure(_) => {}
+            Gate::Cx(c, t) => {
+                let (bc, bt) = (c * wl, t * wl);
+                for w in 0..wl {
+                    let xc = self.fx[bc + w];
+                    let zt = self.fz[bt + w];
+                    self.fx[bt + w] ^= xc;
+                    self.fz[bc + w] ^= zt;
+                }
+            }
+            Gate::Cz(a, b) => {
+                let (ba, bb) = (a * wl, b * wl);
+                for w in 0..wl {
+                    let xa = self.fx[ba + w];
+                    let xb = self.fx[bb + w];
+                    self.fz[bb + w] ^= xa;
+                    self.fz[ba + w] ^= xb;
+                }
+            }
+            Gate::Swap(a, b) => {
+                let (ba, bb) = (a * wl, b * wl);
+                for w in 0..wl {
+                    self.fx.swap(ba + w, bb + w);
+                    self.fz.swap(ba + w, bb + w);
+                }
+            }
+            Gate::Rz(q, Angle::Value(v)) => {
+                if quarter_turns(v, gate) % 2 == 1 {
+                    let b = q * wl;
+                    for w in 0..wl {
+                        self.fz[b + w] ^= self.fx[b + w];
+                    }
+                }
+            }
+            Gate::Rx(q, Angle::Value(v)) => {
+                if quarter_turns(v, gate) % 2 == 1 {
+                    let b = q * wl;
+                    for w in 0..wl {
+                        self.fx[b + w] ^= self.fz[b + w];
+                    }
+                }
+            }
+            Gate::Ry(q, Angle::Value(v)) => {
+                if quarter_turns(v, gate) % 2 == 1 {
+                    let b = q * wl;
+                    for w in 0..wl {
+                        std::mem::swap(&mut self.fx[b + w], &mut self.fz[b + w]);
+                    }
+                }
+            }
+            ref g => panic!("frames cannot apply gate {g}"),
+        }
+    }
+
+    /// XORs a sampled Pauli letter into shot `s` on qubit `q`.
+    #[inline]
+    fn inject(&mut self, q: usize, s: usize, letter: Pauli) {
+        let idx = q * self.words + s / WORD_BITS;
+        let bit = 1u64 << (s % WORD_BITS);
+        if letter.x_bit() {
+            self.fx[idx] ^= bit;
+        }
+        if letter.z_bit() {
+            self.fz[idx] ^= bit;
+        }
+    }
+
+    /// Samples single-qubit depolarizing noise on `q` independently per
+    /// shot: with probability `p` a uniform X/Y/Z hits the shot's frame.
+    /// The letter draw is shared with the per-shot tableau path.
+    pub fn inject_depolarizing<R: Rng + ?Sized>(&mut self, q: usize, p: f64, rng: &mut R) {
+        if p <= 0.0 {
+            return;
+        }
+        for s in 0..self.shots {
+            if rng.gen_bool(p) {
+                let letter = crate::noise::depolarizing_letter(rng);
+                self.inject(q, s, letter);
+            }
+        }
+    }
+
+    /// Samples two-qubit depolarizing noise on `(a, b)` independently per
+    /// shot: with probability `p` a uniform non-identity two-qubit Pauli.
+    /// The letter draw is shared with the per-shot tableau path.
+    pub fn inject_depolarizing_2q<R: Rng + ?Sized>(
+        &mut self,
+        a: usize,
+        b: usize,
+        p: f64,
+        rng: &mut R,
+    ) {
+        if p <= 0.0 {
+            return;
+        }
+        for s in 0..self.shots {
+            if rng.gen_bool(p) {
+                let (pa, pb) = crate::noise::depolarizing_letters_2q(rng);
+                self.inject(a, s, pa);
+                self.inject(b, s, pb);
+            }
+        }
+    }
+
+    /// Samples Pauli-twirled idle noise `(px, py, pz)` on `q` per shot,
+    /// via the ladder shared with the per-shot tableau path.
+    pub fn inject_idle<R: Rng + ?Sized>(
+        &mut self,
+        q: usize,
+        idle: &crate::noise::TwirledIdle,
+        rng: &mut R,
+    ) {
+        if idle.total() <= 0.0 {
+            return;
+        }
+        for s in 0..self.shots {
+            if let Some(l) = idle.sample(rng) {
+                self.inject(q, s, l);
+            }
+        }
+    }
+
+    /// One bit per shot: set iff that shot's frame anticommutes with `p`
+    /// (i.e. the shot's expectation of `p` is sign-flipped). Word-parallel:
+    /// `O(weight(p) · shots/64)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn flip_plane(&self, p: &PauliString) -> Vec<u64> {
+        assert_eq!(p.num_qubits(), self.n, "pauli size mismatch");
+        let wl = self.words;
+        let mut acc = vec![0u64; wl];
+        for q in 0..self.n {
+            let letter = p.pauli_at(q);
+            if letter.z_bit() {
+                for (a, &x) in acc.iter_mut().zip(&self.fx[q * wl..(q + 1) * wl]) {
+                    *a ^= x;
+                }
+            }
+            if letter.x_bit() {
+                for (a, &z) in acc.iter_mut().zip(&self.fz[q * wl..(q + 1) * wl]) {
+                    *a ^= z;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Number of shots whose frame anticommutes with `p`.
+    pub fn flip_count(&self, p: &PauliString) -> usize {
+        self.flip_plane(p)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Extracts shot `s`'s frame as a (sign-free) Pauli string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_shots()`.
+    pub fn frame(&self, s: usize) -> PauliString {
+        assert!(s < self.shots, "shot {s} out of range");
+        let (w, b) = (s / WORD_BITS, s % WORD_BITS);
+        PauliString::from_paulis((0..self.n).map(|q| {
+            Pauli::from_bits(
+                self.fx[q * self.words + w] >> b & 1 == 1,
+                self.fz[q * self.words + w] >> b & 1 == 1,
+            )
+        }))
+    }
+}
+
+/// Propagates `shots` Pauli frames through a bound Clifford circuit under
+/// the given noise model, sampling errors at exactly the locations the
+/// per-shot executor [`crate::noise::run_noisy_shot`] samples them
+/// (after each gate, per gate class; twirled idle noise on every qubit
+/// idle in a layer). Measurement gates are skipped and leave their qubit
+/// idle, matching the per-shot path.
+pub fn run_noisy_frames<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    noise: &StabilizerNoise,
+    shots: usize,
+    rng: &mut R,
+) -> PauliFrames {
+    let n = circuit.num_qubits();
+    let mut f = PauliFrames::new(n, shots);
+    for layer in circuit.layers() {
+        let mut busy = vec![false; n];
+        for g in &layer {
+            if g.is_measurement() {
+                continue;
+            }
+            for q in g.qubits() {
+                busy[q] = true;
+            }
+            f.apply_gate(g);
+            match *g {
+                Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => {
+                    f.inject_depolarizing_2q(a, b, noise.depol_2q, rng);
+                }
+                Gate::Rz(q, _) => f.inject_depolarizing(q, noise.depol_rz, rng),
+                Gate::Rx(q, _) | Gate::Ry(q, _) => {
+                    f.inject_depolarizing(q, noise.depol_rot_xy, rng);
+                }
+                ref g1 => f.inject_depolarizing(g1.qubits()[0], noise.depol_1q, rng),
+            }
+        }
+        if noise.idle.total() > 0.0 {
+            for (q, &b) in busy.iter().enumerate() {
+                if !b {
+                    f.inject_idle(q, &noise.idle, rng);
+                }
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::TwirledIdle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pauli(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn identity_frames_never_flip() {
+        let f = PauliFrames::new(3, 100);
+        assert_eq!(f.flip_count(&pauli("XYZ")), 0);
+        assert_eq!(f.num_shots(), 100);
+        assert_eq!(f.num_qubits(), 3);
+    }
+
+    #[test]
+    fn injected_error_propagates_through_cx() {
+        // X on the control before a CX becomes XX after it: anticommutes
+        // with ZI and IZ, commutes with XX and ZZ.
+        let mut f = PauliFrames::new(2, 64);
+        for s in 0..64 {
+            f.inject(0, s, Pauli::X);
+        }
+        f.apply_gate(&Gate::Cx(0, 1));
+        assert_eq!(f.flip_count(&pauli("ZI")), 64);
+        assert_eq!(f.flip_count(&pauli("IZ")), 64);
+        assert_eq!(f.flip_count(&pauli("XX")), 0);
+        assert_eq!(f.flip_count(&pauli("ZZ")), 0);
+        assert_eq!(f.frame(17), pauli("XX"));
+    }
+
+    #[test]
+    fn hadamard_exchanges_frame_letters() {
+        let mut f = PauliFrames::new(1, 1);
+        f.inject(0, 0, Pauli::X);
+        f.apply_gate(&Gate::H(0));
+        assert_eq!(f.frame(0), pauli("Z"));
+        f.apply_gate(&Gate::H(0));
+        assert_eq!(f.frame(0), pauli("X"));
+    }
+
+    #[test]
+    fn phase_gates_turn_x_into_y() {
+        let mut f = PauliFrames::new(1, 1);
+        f.inject(0, 0, Pauli::X);
+        f.apply_gate(&Gate::S(0));
+        assert_eq!(f.frame(0), pauli("Y"));
+        // S† also maps X ↔ ±Y; sign-free frames coincide.
+        f.apply_gate(&Gate::Sdg(0));
+        assert_eq!(f.frame(0), pauli("X"));
+    }
+
+    #[test]
+    fn pauli_gates_leave_frames_unchanged() {
+        let mut f = PauliFrames::new(2, 64);
+        for s in 0..64 {
+            f.inject(0, s, Pauli::Y);
+        }
+        let before = f.clone();
+        f.apply_gate(&Gate::X(0));
+        f.apply_gate(&Gate::Z(1));
+        f.apply_gate(&Gate::Y(0));
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn certain_depolarizing_hits_every_shot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut f = PauliFrames::new(1, 130);
+        f.inject_depolarizing(0, 1.0, &mut rng);
+        // Every shot has a non-identity letter: it anticommutes with at
+        // least one of X, Z — and X+Z flip counts total ≥ shots.
+        let fx = f.flip_count(&pauli("Z"));
+        let fz = f.flip_count(&pauli("X"));
+        assert!(fx + fz >= 130, "{fx} + {fz}");
+        for s in 0..130 {
+            assert!(!f.frame(s).is_identity(), "shot {s}");
+        }
+    }
+
+    #[test]
+    fn padding_bits_stay_clear_for_ragged_shot_counts() {
+        // 65 shots spans two lane words with 63 padding bits.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut f = PauliFrames::new(2, 65);
+        f.inject_depolarizing(0, 1.0, &mut rng);
+        f.inject_depolarizing_2q(0, 1, 0.7, &mut rng);
+        f.apply_gate(&Gate::H(0));
+        f.apply_gate(&Gate::Cx(0, 1));
+        for p in ["ZI", "IZ", "XX", "YY", "XI"] {
+            assert!(f.flip_count(&pauli(p)) <= 65, "{p}");
+        }
+        let plane = f.flip_plane(&pauli("ZI"));
+        assert_eq!(plane[1] & !1, 0, "padding bits must stay zero");
+    }
+
+    #[test]
+    fn single_shot_batch_works() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut f = PauliFrames::new(3, 1);
+        f.inject_depolarizing(1, 1.0, &mut rng);
+        assert!(!f.frame(0).is_identity());
+        assert_eq!(f.frame(0).pauli_at(0), Pauli::I);
+        assert_eq!(f.frame(0).pauli_at(2), Pauli::I);
+    }
+
+    #[test]
+    fn idle_injection_rate_tracks_probabilities() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut f = PauliFrames::new(1, 6400);
+        let idle = TwirledIdle {
+            px: 0.25,
+            py: 0.0,
+            pz: 0.0,
+        };
+        f.inject_idle(0, &idle, &mut rng);
+        // Only X errors: flip ⟨Z⟩ on ~25% of shots.
+        let flips = f.flip_count(&pauli("Z"));
+        assert_eq!(f.flip_count(&pauli("X")), 0);
+        let frac = flips as f64 / 6400.0;
+        assert!((frac - 0.25).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn swap_exchanges_frame_columns() {
+        let mut f = PauliFrames::new(2, 70);
+        for s in 0..70 {
+            f.inject(0, s, Pauli::X);
+        }
+        f.inject(1, 3, Pauli::Z);
+        f.apply_gate(&Gate::Swap(0, 1));
+        assert_eq!(f.frame(0), pauli("IX"));
+        assert_eq!(f.frame(3), pauli("ZX"));
+        assert_eq!(f.flip_count(&pauli("IZ")), 70);
+        assert_eq!(f.flip_count(&pauli("XI")), 1);
+    }
+
+    #[test]
+    fn rotation_propagation_matches_gate_decomposition() {
+        use std::f64::consts::FRAC_PI_2;
+        // Rz(π/2) acts on frames as S; Rx(π/2) maps Z-frames onto Y.
+        let mut a = PauliFrames::new(1, 2);
+        a.inject(0, 0, Pauli::X);
+        a.inject(0, 1, Pauli::Z);
+        let mut b = a.clone();
+        a.apply_gate(&Gate::Rz(0, Angle::Value(FRAC_PI_2)));
+        b.apply_gate(&Gate::S(0));
+        assert_eq!(a, b);
+        let mut c = PauliFrames::new(1, 1);
+        c.inject(0, 0, Pauli::Z);
+        c.apply_gate(&Gate::Rx(0, Angle::Value(FRAC_PI_2)));
+        assert_eq!(c.frame(0), pauli("Y"));
+        // Full-turn rotations are Paulis: no frame change.
+        let mut d = PauliFrames::new(1, 1);
+        d.inject(0, 0, Pauli::X);
+        d.apply_gate(&Gate::Ry(0, Angle::Value(std::f64::consts::PI)));
+        assert_eq!(d.frame(0), pauli("X"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford rotation")]
+    fn non_clifford_rotation_rejected() {
+        let mut f = PauliFrames::new(1, 1);
+        f.apply_gate(&Gate::Rz(0, Angle::Value(0.4)));
+    }
+}

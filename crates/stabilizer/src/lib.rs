@@ -8,10 +8,23 @@
 //! * [`Tableau`] — the destabilizer/stabilizer tableau with the standard
 //!   gate set, measurement, and *Pauli-expectation* queries
 //!   (⟨P⟩ ∈ {−1, 0, +1} for stabilizer states), which is what Hamiltonian
-//!   energy evaluation needs.
+//!   energy evaluation needs. Stored column-major (Stim-style): each gate
+//!   is `O(2n/64)` XOR/AND word operations over per-qubit bit-columns,
+//!   and expectation phases accumulate via popcount/prefix-XOR word
+//!   arithmetic.
+//! * [`frame`] — the batched Pauli-frame simulator: noise propagates as
+//!   per-shot Pauli frames, 64 shots per `u64` lane, so one circuit walk
+//!   yields 64 noisy trajectories. A noisy shot's state is `F·C|0…0⟩`, and
+//!   `⟨P⟩` per shot is the noiseless value sign-flipped iff the frame `F`
+//!   anticommutes with `P` — the frame path is therefore statistically
+//!   identical to re-running a noisy tableau per shot, at a fraction of
+//!   the cost.
 //! * [`noise`] — Monte-Carlo Pauli channels (depolarizing, bit-flip,
 //!   Pauli-twirled thermal relaxation per Ghosh et al.) and the noisy
-//!   energy estimator averaging stabilizer expectations over shots.
+//!   energy estimator: [`estimate_energy`] (frame-batched hot path, one
+//!   tableau run + XOR frames) and
+//!   [`noise::estimate_energy_tableau`] (per-shot reference path the
+//!   equivalence property tests check against).
 //!
 //! # Examples
 //!
@@ -29,8 +42,10 @@
 //! assert_eq!(t.expectation(&"ZII".parse().unwrap()), 0.0);
 //! ```
 
+pub mod frame;
 pub mod noise;
 pub mod tableau;
 
-pub use noise::{estimate_energy, NoisyCliffordRun, StabilizerNoise};
+pub use frame::{run_noisy_frames, PauliFrames};
+pub use noise::{estimate_energy, estimate_energy_tableau, NoisyCliffordRun, StabilizerNoise};
 pub use tableau::{sample_counts, Tableau};

@@ -50,6 +50,37 @@ impl TwirledIdle {
     pub fn total(&self) -> f64 {
         self.px + self.py + self.pz
     }
+
+    /// Samples one idle-window error from the `(px, py, pz)` ladder.
+    ///
+    /// Both the per-shot tableau executor and the Pauli-frame batch path
+    /// draw from this single implementation, so their noise models cannot
+    /// drift apart.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Pauli> {
+        let r: f64 = rng.gen();
+        if r < self.px {
+            Some(Pauli::X)
+        } else if r < self.px + self.py {
+            Some(Pauli::Y)
+        } else if r < self.total() {
+            Some(Pauli::Z)
+        } else {
+            None
+        }
+    }
+}
+
+/// A uniform non-identity Pauli letter — the single-qubit depolarizing
+/// draw shared by the tableau and frame paths.
+pub(crate) fn depolarizing_letter<R: Rng + ?Sized>(rng: &mut R) -> Pauli {
+    Pauli::NON_IDENTITY[rng.gen_range(0..3usize)]
+}
+
+/// A uniform non-identity two-qubit Pauli — the two-qubit depolarizing
+/// draw shared by the tableau and frame paths.
+pub(crate) fn depolarizing_letters_2q<R: Rng + ?Sized>(rng: &mut R) -> (Pauli, Pauli) {
+    let idx = rng.gen_range(1..16usize);
+    (Pauli::ALL[idx / 4], Pauli::ALL[idx % 4])
 }
 
 /// Per-gate-class Pauli noise strengths for the Monte-Carlo executor.
@@ -98,8 +129,7 @@ fn sample_depolarizing<R: Rng + ?Sized>(
     p: f64,
 ) -> Option<PauliString> {
     if p > 0.0 && rng.gen_bool(p) {
-        let letter = Pauli::NON_IDENTITY[rng.gen_range(0..3usize)];
-        Some(PauliString::single(n, q, letter))
+        Some(PauliString::single(n, q, depolarizing_letter(rng)))
     } else {
         None
     }
@@ -113,10 +143,7 @@ fn sample_depolarizing_2q<R: Rng + ?Sized>(
     p: f64,
 ) -> Option<PauliString> {
     if p > 0.0 && rng.gen_bool(p) {
-        // Uniform over the 15 non-identity two-qubit Paulis.
-        let idx = rng.gen_range(1..16usize);
-        let pa = Pauli::ALL[idx / 4];
-        let pb = Pauli::ALL[idx % 4];
+        let (pa, pb) = depolarizing_letters_2q(rng);
         let mut s = PauliString::identity(n);
         s.set_pauli(a, pa);
         s.set_pauli(b, pb);
@@ -160,21 +187,8 @@ pub fn run_noisy_shot<R: Rng + ?Sized>(
             }
         }
         if noise.idle.total() > 0.0 {
-            for q in 0..n {
-                if busy[q] {
-                    continue;
-                }
-                let r: f64 = rng.gen();
-                let letter = if r < noise.idle.px {
-                    Some(Pauli::X)
-                } else if r < noise.idle.px + noise.idle.py {
-                    Some(Pauli::Y)
-                } else if r < noise.idle.total() {
-                    Some(Pauli::Z)
-                } else {
-                    None
-                };
-                if let Some(l) = letter {
+            for (q, _) in busy.iter().enumerate().filter(|&(_, &b)| !b) {
+                if let Some(l) = noise.idle.sample(rng) {
                     t.apply_pauli_error(&PauliString::single(n, q, l));
                 }
             }
@@ -188,10 +202,74 @@ pub fn run_noisy_shot<R: Rng + ?Sized>(
 /// applied analytically: each term's expectation is damped by
 /// `(1 − 2·meas_flip)^{weight}`.
 ///
+/// Implemented with the batched Pauli-frame engine: the noiseless tableau
+/// runs *once*, noise is propagated as [`crate::frame::PauliFrames`]
+/// (64 shots per word), and each term's noisy expectation is its noiseless
+/// value sign-flipped per shot by frame/term anticommutation. The
+/// statistical model is identical to running `shots` independent noisy
+/// tableaus (see [`estimate_energy_tableau`]); only the RNG stream
+/// differs.
+///
 /// # Panics
 ///
 /// Panics if `shots == 0` or the circuit/observable sizes mismatch.
 pub fn estimate_energy(
+    circuit: &Circuit,
+    observable: &PauliSum,
+    noise: &StabilizerNoise,
+    shots: usize,
+    seed: SeedSequence,
+) -> NoisyCliffordRun {
+    assert!(shots > 0, "at least one shot required");
+    assert_eq!(
+        circuit.num_qubits(),
+        observable.num_qubits(),
+        "circuit/observable size mismatch"
+    );
+    let mut ideal = Tableau::new(circuit.num_qubits());
+    ideal.run(circuit);
+    let mut rng = seed.derive("pauli-frames").rng();
+    let frames = crate::frame::run_noisy_frames(circuit, noise, shots, &mut rng);
+    let mut energies = vec![0.0f64; shots];
+    for term in observable.terms() {
+        let e0 = ideal.expectation(&term.string);
+        if e0 == 0.0 {
+            continue;
+        }
+        let damp = (1.0 - 2.0 * noise.meas_flip).powi(term.string.weight() as i32);
+        let v = term.coefficient * damp * e0;
+        if v == 0.0 {
+            continue;
+        }
+        for e in energies.iter_mut() {
+            *e += v;
+        }
+        // Anticommuting frames see −v instead of +v.
+        for (w, &word) in frames.flip_plane(&term.string).iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                energies[s] -= 2.0 * v;
+                bits &= bits - 1;
+            }
+        }
+    }
+    NoisyCliffordRun {
+        energy: eftq_numerics::stats::mean(&energies),
+        std_error: eftq_numerics::stats::standard_error(&energies),
+        shots,
+    }
+}
+
+/// Reference implementation of [`estimate_energy`]: one full noisy tableau
+/// per shot. Statistically identical to the frame-batched estimator and
+/// kept for the equivalence property tests and as the benchmark baseline —
+/// use [`estimate_energy`] everywhere else; this path is `O(shots)` slower.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or the circuit/observable sizes mismatch.
+pub fn estimate_energy_tableau(
     circuit: &Circuit,
     observable: &PauliSum,
     noise: &StabilizerNoise,

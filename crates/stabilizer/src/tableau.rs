@@ -1,4 +1,11 @@
 //! The destabilizer/stabilizer tableau (Aaronson & Gottesman 2004).
+//!
+//! Storage is *column-major* (Stim-style): for every qubit, the X and Z
+//! bits of all `2n` generator rows are packed into `u64` words. A gate on
+//! one or two qubits therefore touches `O(2n/64)` contiguous words with
+//! XOR/AND kernels instead of `2n` bit-at-a-time updates, and
+//! [`Tableau::expectation`] accumulates the product phase with
+//! popcount/prefix-XOR word arithmetic rather than per-qubit scans.
 
 use eftq_circuit::{Angle, Circuit, Gate};
 use eftq_pauli::PauliString;
@@ -14,17 +21,74 @@ const WORD_BITS: usize = 64;
 /// rotations at multiples of π/2), computational-basis measurement, and
 /// Pauli-expectation queries — the operations the Clifford-restricted VQE
 /// of Section 5.2.2 needs. Scales comfortably past 100 qubits
-/// (`O(n²)` memory, `O(n)` per gate, `O(n²)` per measurement/expectation).
+/// (`O(n²)` memory, `O(n/32)` words touched per gate, `O(n²/64)` per
+/// measurement/expectation).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tableau {
     n: usize,
-    words: usize,
-    /// X bit-planes for 2n rows (destabilizers then stabilizers), row-major.
+    /// Words per column: ⌈2n/64⌉. Bit `r` of a column is generator row
+    /// `r`; rows `0..n` are destabilizers, rows `n..2n` stabilizers. Bits
+    /// at positions ≥ 2n are kept zero as an invariant.
+    rwords: usize,
+    /// X bit-columns, qubit-major: column `q` is `x[q*rwords..(q+1)*rwords]`.
     x: Vec<u64>,
-    /// Z bit-planes, same layout.
+    /// Z bit-columns, same layout.
     z: Vec<u64>,
-    /// Phase exponent of each row (0 or 2 — stabilizer rows are Hermitian).
-    r: Vec<u8>,
+    /// Sign bit-plane over rows: bit set ⇔ the row carries a −1 phase.
+    /// Destabilizer signs are tracked only modulo factors of `i` (their
+    /// exact phase never influences any query, as in Aaronson–Gottesman).
+    sgn: Vec<u64>,
+}
+
+/// Mask of the bits in word `w` whose global bit index is `< bound`.
+#[inline]
+fn lo_mask(bound: usize, w: usize) -> u64 {
+    let base = w * WORD_BITS;
+    if bound >= base + WORD_BITS {
+        !0
+    } else if bound <= base {
+        0
+    } else {
+        !0 >> (WORD_BITS - (bound - base))
+    }
+}
+
+#[inline]
+fn plane_get(plane: &[u64], bit: usize) -> bool {
+    plane[bit / WORD_BITS] >> (bit % WORD_BITS) & 1 == 1
+}
+
+/// Returns `src` shifted up by `k` bit positions (bit `i` → bit `i + k`).
+fn shifted_up(src: &[u64], k: usize) -> Vec<u64> {
+    let words = src.len();
+    let (ws, bs) = (k / WORD_BITS, k % WORD_BITS);
+    let mut out = vec![0u64; words];
+    for w in (ws..words).rev() {
+        let mut v = src[w - ws] << bs;
+        if bs > 0 && w > ws {
+            v |= src[w - ws - 1] >> (WORD_BITS - bs);
+        }
+        out[w] = v;
+    }
+    out
+}
+
+/// Word-parallel *exclusive* prefix XOR: bit `i` of the result is the XOR
+/// of all bits `< i` of `v`, seeded by `carry` (all-ones when the parity
+/// of the preceding words is odd, all-zeros otherwise). Updates `carry`
+/// with `v`'s own parity so multi-word planes chain correctly.
+#[inline]
+fn prefix_xor_excl(v: u64, carry: &mut u64) -> u64 {
+    let mut p = v;
+    p ^= p << 1;
+    p ^= p << 2;
+    p ^= p << 4;
+    p ^= p << 8;
+    p ^= p << 16;
+    p ^= p << 32;
+    let excl = (p << 1) ^ *carry;
+    *carry ^= 0u64.wrapping_sub(p >> 63);
+    excl
 }
 
 impl Tableau {
@@ -35,17 +99,19 @@ impl Tableau {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "tableau needs at least one qubit");
-        let words = n.div_ceil(WORD_BITS);
+        let rwords = (2 * n).div_ceil(WORD_BITS);
         let mut t = Tableau {
             n,
-            words,
-            x: vec![0; 2 * n * words],
-            z: vec![0; 2 * n * words],
-            r: vec![0; 2 * n],
+            rwords,
+            x: vec![0; n * rwords],
+            z: vec![0; n * rwords],
+            sgn: vec![0; rwords],
         };
         for i in 0..n {
-            t.set_x(i, i, true); // destabilizer i = X_i
-            t.set_z(n + i, i, true); // stabilizer i = Z_i
+            // Destabilizer i = X_i (row bit i of column i), stabilizer
+            // i = Z_i (row bit n + i).
+            t.x[i * rwords + i / WORD_BITS] |= 1 << (i % WORD_BITS);
+            t.z[i * rwords + (n + i) / WORD_BITS] |= 1 << ((n + i) % WORD_BITS);
         }
         t
     }
@@ -56,45 +122,13 @@ impl Tableau {
     }
 
     #[inline]
-    fn xw(&self, row: usize) -> &[u64] {
-        &self.x[row * self.words..(row + 1) * self.words]
+    fn xcol(&self, q: usize) -> &[u64] {
+        &self.x[q * self.rwords..(q + 1) * self.rwords]
     }
 
     #[inline]
-    fn zw(&self, row: usize) -> &[u64] {
-        &self.z[row * self.words..(row + 1) * self.words]
-    }
-
-    #[inline]
-    fn get_x(&self, row: usize, q: usize) -> bool {
-        self.x[row * self.words + q / WORD_BITS] >> (q % WORD_BITS) & 1 == 1
-    }
-
-    #[inline]
-    fn get_z(&self, row: usize, q: usize) -> bool {
-        self.z[row * self.words + q / WORD_BITS] >> (q % WORD_BITS) & 1 == 1
-    }
-
-    #[inline]
-    fn set_x(&mut self, row: usize, q: usize, v: bool) {
-        let idx = row * self.words + q / WORD_BITS;
-        let mask = 1u64 << (q % WORD_BITS);
-        if v {
-            self.x[idx] |= mask;
-        } else {
-            self.x[idx] &= !mask;
-        }
-    }
-
-    #[inline]
-    fn set_z(&mut self, row: usize, q: usize, v: bool) {
-        let idx = row * self.words + q / WORD_BITS;
-        let mask = 1u64 << (q % WORD_BITS);
-        if v {
-            self.z[idx] |= mask;
-        } else {
-            self.z[idx] &= !mask;
-        }
+    fn zcol(&self, q: usize) -> &[u64] {
+        &self.z[q * self.rwords..(q + 1) * self.rwords]
     }
 
     // --- gates -------------------------------------------------------------
@@ -102,95 +136,101 @@ impl Tableau {
     /// Hadamard on `q`: X ↔ Z, Y → −Y.
     pub fn h(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
-        for row in 0..2 * self.n {
-            let xv = self.get_x(row, q);
-            let zv = self.get_z(row, q);
-            if xv && zv {
-                self.r[row] = (self.r[row] + 2) % 4;
-            }
-            self.set_x(row, q, zv);
-            self.set_z(row, q, xv);
+        let b = q * self.rwords;
+        for w in 0..self.rwords {
+            let xv = self.x[b + w];
+            let zv = self.z[b + w];
+            self.sgn[w] ^= xv & zv;
+            self.x[b + w] = zv;
+            self.z[b + w] = xv;
         }
     }
 
     /// Phase gate S on `q`: X → Y, Y → −X.
     pub fn s(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
-        for row in 0..2 * self.n {
-            let xv = self.get_x(row, q);
-            let zv = self.get_z(row, q);
-            if xv && zv {
-                self.r[row] = (self.r[row] + 2) % 4;
-            }
-            self.set_z(row, q, zv ^ xv);
+        let b = q * self.rwords;
+        for w in 0..self.rwords {
+            let xv = self.x[b + w];
+            self.sgn[w] ^= xv & self.z[b + w];
+            self.z[b + w] ^= xv;
         }
     }
 
-    /// Inverse phase gate S†.
+    /// Inverse phase gate S†: X → −Y, Y → X.
     pub fn sdg(&mut self, q: usize) {
-        self.s(q);
-        self.s(q);
-        self.s(q);
+        assert!(q < self.n, "qubit {q} out of range");
+        let b = q * self.rwords;
+        for w in 0..self.rwords {
+            let xv = self.x[b + w];
+            self.sgn[w] ^= xv & !self.z[b + w];
+            self.z[b + w] ^= xv;
+        }
     }
 
     /// Pauli X on `q` (sign update only).
     pub fn x_gate(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
-        for row in 0..2 * self.n {
-            if self.get_z(row, q) {
-                self.r[row] = (self.r[row] + 2) % 4;
-            }
+        let b = q * self.rwords;
+        for w in 0..self.rwords {
+            self.sgn[w] ^= self.z[b + w];
         }
     }
 
     /// Pauli Z on `q`.
     pub fn z_gate(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
-        for row in 0..2 * self.n {
-            if self.get_x(row, q) {
-                self.r[row] = (self.r[row] + 2) % 4;
-            }
+        let b = q * self.rwords;
+        for w in 0..self.rwords {
+            self.sgn[w] ^= self.x[b + w];
         }
     }
 
     /// Pauli Y on `q`.
     pub fn y_gate(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
-        for row in 0..2 * self.n {
-            if self.get_x(row, q) ^ self.get_z(row, q) {
-                self.r[row] = (self.r[row] + 2) % 4;
-            }
+        let b = q * self.rwords;
+        for w in 0..self.rwords {
+            self.sgn[w] ^= self.x[b + w] ^ self.z[b + w];
         }
     }
 
     /// CNOT with `control` and `target`.
     pub fn cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n && target < self.n && control != target);
-        for row in 0..2 * self.n {
-            let xc = self.get_x(row, control);
-            let zc = self.get_z(row, control);
-            let xt = self.get_x(row, target);
-            let zt = self.get_z(row, target);
-            if xc && zt && (xt == zc) {
-                self.r[row] = (self.r[row] + 2) % 4;
-            }
-            self.set_x(row, target, xt ^ xc);
-            self.set_z(row, control, zc ^ zt);
+        let (bc, bt) = (control * self.rwords, target * self.rwords);
+        for w in 0..self.rwords {
+            let xc = self.x[bc + w];
+            let zc = self.z[bc + w];
+            let xt = self.x[bt + w];
+            let zt = self.z[bt + w];
+            self.sgn[w] ^= xc & zt & !(xt ^ zc);
+            self.x[bt + w] = xt ^ xc;
+            self.z[bc + w] = zc ^ zt;
         }
     }
 
     /// CZ between `a` and `b`.
     pub fn cz(&mut self, a: usize, b: usize) {
-        self.h(b);
-        self.cx(a, b);
-        self.h(b);
+        assert!(a < self.n && b < self.n && a != b);
+        let (ba, bb) = (a * self.rwords, b * self.rwords);
+        for w in 0..self.rwords {
+            let xa = self.x[ba + w];
+            let xb = self.x[bb + w];
+            self.sgn[w] ^= xa & xb & (self.z[ba + w] ^ self.z[bb + w]);
+            self.z[ba + w] ^= xb;
+            self.z[bb + w] ^= xa;
+        }
     }
 
     /// SWAP of `a` and `b`.
     pub fn swap(&mut self, a: usize, b: usize) {
-        self.cx(a, b);
-        self.cx(b, a);
-        self.cx(a, b);
+        assert!(a < self.n && b < self.n && a != b);
+        let (ba, bb) = (a * self.rwords, b * self.rwords);
+        for w in 0..self.rwords {
+            self.x.swap(ba + w, bb + w);
+            self.z.swap(ba + w, bb + w);
+        }
     }
 
     /// Applies one Clifford gate (rotations must be at multiples of π/2;
@@ -262,43 +302,29 @@ impl Tableau {
         }
     }
 
-    // --- row algebra --------------------------------------------------------
-
-    /// Whether row `row` anticommutes with the (x, z) planes of `p`.
-    fn row_anticommutes(&self, row: usize, px: &[u64], pz: &[u64]) -> bool {
-        let rx = self.xw(row);
-        let rz = self.zw(row);
-        let mut acc = 0u32;
-        for w in 0..self.words {
-            acc ^= (rx[w] & pz[w]).count_ones() & 1;
-            acc ^= (rz[w] & px[w]).count_ones() & 1;
-        }
-        acc & 1 == 1
-    }
-
-    /// Multiplies row `src` into the scratch Pauli `(ax, az, ar)`:
-    /// `A ← row_src · A`, with exact phase tracking.
-    fn mul_row_into(&self, src: usize, ax: &mut [u64], az: &mut [u64], ar: &mut u8) {
-        let sx = self.xw(src);
-        let sz = self.zw(src);
-        let mut plus = 0u64;
-        let mut minus = 0u64;
-        for w in 0..self.words {
-            let (bx, bz) = (ax[w], az[w]);
-            let (cx_, cz_) = (sx[w], sz[w]);
-            // Phase of product (row_src) · A, per-site rule as in eftq-pauli.
-            let p = (cx_ & !cz_ & bx & bz) | (cx_ & cz_ & !bx & bz) | (!cx_ & cz_ & bx & !bz);
-            let m = (cx_ & !cz_ & !bx & bz) | (cx_ & cz_ & bx & !bz) | (!cx_ & cz_ & bx & bz);
-            plus += u64::from(p.count_ones());
-            minus += u64::from(m.count_ones());
-            ax[w] ^= cx_;
-            az[w] ^= cz_;
-        }
-        let delta = (plus + 3 * minus) % 4;
-        *ar = ((u64::from(*ar) + u64::from(self.r[src]) + delta) % 4) as u8;
-    }
-
     // --- queries ------------------------------------------------------------
+
+    /// One bit per generator row: set iff the row anticommutes with `p`.
+    /// Word-parallel over all `2n` rows: `O(weight(p) · 2n/64)`.
+    fn anticommute_plane(&self, p: &PauliString) -> Vec<u64> {
+        let mut acc = vec![0u64; self.rwords];
+        for q in 0..self.n {
+            let letter = p.pauli_at(q);
+            if letter.z_bit() {
+                let col = self.xcol(q);
+                for w in 0..self.rwords {
+                    acc[w] ^= col[w];
+                }
+            }
+            if letter.x_bit() {
+                let col = self.zcol(q);
+                for w in 0..self.rwords {
+                    acc[w] ^= col[w];
+                }
+            }
+        }
+        acc
+    }
 
     /// Expectation value of a Hermitian Pauli string on this stabilizer
     /// state: +1 / −1 when `±P` is in the stabilizer group, 0 otherwise.
@@ -309,26 +335,69 @@ impl Tableau {
     pub fn expectation(&self, p: &PauliString) -> f64 {
         assert_eq!(p.num_qubits(), self.n, "pauli size mismatch");
         assert!(p.is_hermitian(), "expectation needs a Hermitian Pauli");
-        let (px, pz) = pauli_planes(p, self.words);
-        // Anticommuting with any stabilizer ⇒ expectation 0.
-        for srow in self.n..2 * self.n {
-            if self.row_anticommutes(srow, &px, &pz) {
+        let rw = self.rwords;
+        let anti = self.anticommute_plane(p);
+        // Anticommuting with any stabilizer (row bits n..2n) ⇒ 0.
+        for (w, &a) in anti.iter().enumerate() {
+            if a & !lo_mask(self.n, w) != 0 {
                 return 0.0;
             }
         }
         // P commutes with the whole group ⇒ P = ±Π selected stabilizers,
         // where stabilizer i is selected iff P anticommutes with
-        // destabilizer i.
-        let mut ax = vec![0u64; self.words];
-        let mut az = vec![0u64; self.words];
-        let mut ar = 0u8;
-        for i in 0..self.n {
-            if self.row_anticommutes(i, &px, &pz) {
-                self.mul_row_into(self.n + i, &mut ax, &mut az, &mut ar);
+        // destabilizer i. The destabilizer bits of `anti` shifted up by n
+        // give the selection mask over stabilizer-row bit positions.
+        let sel = shifted_up(&anti, self.n);
+        // Phase of the ordered product Π_{i∈sel} stab_i, word-parallel:
+        // Pauli multiplication is site-local, and at each site the letter
+        // accumulated before row r is the prefix XOR of the selected rows
+        // below r — so the per-site i-power table becomes mask algebra on
+        // the (row-letter, prefix-letter) bit-planes, tallied by popcount.
+        let mut sign2 = 0u64;
+        for (&sg, &sl) in self.sgn.iter().zip(&sel) {
+            sign2 += u64::from((sg & sl).count_ones());
+        }
+        let mut plus = 0u64;
+        let mut minus = 0u64;
+        for q in 0..self.n {
+            let (xc, zc) = (self.xcol(q), self.zcol(q));
+            let (mut carry_x, mut carry_z) = (0u64, 0u64);
+            #[cfg(debug_assertions)]
+            let (mut par_x, mut par_z) = (0u32, 0u32);
+            for w in 0..rw {
+                let xq = xc[w] & sel[w];
+                let zq = zc[w] & sel[w];
+                if xq == 0 && zq == 0 {
+                    continue; // no letter here: prefixes and phase unchanged
+                }
+                let bx = prefix_xor_excl(xq, &mut carry_x);
+                let bz = prefix_xor_excl(zq, &mut carry_z);
+                let pm = (xq & !zq & bx & bz) | (xq & zq & !bx & bz) | (!xq & zq & bx & !bz);
+                let mm = (xq & !zq & !bx & bz) | (xq & zq & bx & !bz) | (!xq & zq & bx & bz);
+                plus += u64::from(pm.count_ones());
+                minus += u64::from(mm.count_ones());
+                #[cfg(debug_assertions)]
+                {
+                    par_x ^= xq.count_ones() & 1;
+                    par_z ^= zq.count_ones() & 1;
+                }
+            }
+            #[cfg(debug_assertions)]
+            {
+                let letter = p.pauli_at(q);
+                debug_assert_eq!(
+                    par_x == 1,
+                    letter.x_bit(),
+                    "pauli part mismatch in expectation"
+                );
+                debug_assert_eq!(
+                    par_z == 1,
+                    letter.z_bit(),
+                    "pauli part mismatch in expectation"
+                );
             }
         }
-        debug_assert_eq!(ax, px, "pauli part mismatch in expectation");
-        debug_assert_eq!(az, pz, "pauli part mismatch in expectation");
+        let ar = ((2 * sign2 + plus + 3 * minus) % 4) as u8;
         if ar == p.phase_exponent() {
             1.0
         } else {
@@ -349,53 +418,92 @@ impl Tableau {
     /// Returns the outcome bit.
     pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
         assert!(q < self.n, "qubit {q} out of range");
+        let rw = self.rwords;
         // Random outcome iff some stabilizer anticommutes with Z_q, i.e.
-        // has x_q = 1.
+        // has x_q = 1: find the lowest such row.
         let mut pivot = None;
-        for row in self.n..2 * self.n {
-            if self.get_x(row, q) {
-                pivot = Some(row);
+        for w in 0..rw {
+            let bits = self.x[q * rw + w] & !lo_mask(self.n, w);
+            if bits != 0 {
+                pivot = Some(w * WORD_BITS + bits.trailing_zeros() as usize);
                 break;
             }
         }
-        match pivot {
-            Some(p) => {
-                let outcome = rng.gen_bool(0.5);
-                // All other rows with x_q = 1 absorb row p.
-                let (px, pz, pr) = (self.xw(p).to_vec(), self.zw(p).to_vec(), self.r[p]);
-                for row in 0..2 * self.n {
-                    if row != p && self.get_x(row, q) {
-                        let mut ax = self.xw(row).to_vec();
-                        let mut az = self.zw(row).to_vec();
-                        let mut ar = self.r[row];
-                        // row ← row_p · row
-                        mul_planes((&px, &pz, pr), &mut ax, &mut az, &mut ar, self.words);
-                        self.x[row * self.words..(row + 1) * self.words].copy_from_slice(&ax);
-                        self.z[row * self.words..(row + 1) * self.words].copy_from_slice(&az);
-                        self.r[row] = ar;
-                    }
-                }
-                // Destabilizer p−n becomes the old row p; row p becomes ±Z_q.
-                let d = p - self.n;
-                self.x
-                    .copy_within(p * self.words..(p + 1) * self.words, d * self.words);
-                self.z
-                    .copy_within(p * self.words..(p + 1) * self.words, d * self.words);
-                self.r[d] = self.r[p];
-                for w in 0..self.words {
-                    self.x[p * self.words + w] = 0;
-                    self.z[p * self.words + w] = 0;
-                }
-                self.set_z(p, q, true);
-                self.r[p] = if outcome { 2 } else { 0 };
-                outcome
+        let Some(p) = pivot else {
+            // Deterministic: ⟨Z_q⟩ = ±1.
+            let zq = PauliString::single(self.n, q, eftq_pauli::Pauli::Z);
+            return self.expectation(&zq) < 0.0;
+        };
+        let outcome = rng.gen_bool(0.5);
+        // All other rows with x_q = 1 absorb row p: row ← row_p · row.
+        let mut m: Vec<u64> = self.xcol(q).to_vec();
+        m[p / WORD_BITS] &= !(1 << (p % WORD_BITS));
+        let sign_p = plane_get(&self.sgn, p);
+        // Per-row 2-bit accumulator of the i-power picked up by the
+        // products (stabilizer rows always end even; destabilizer rows may
+        // end odd, which is dropped — their phase is never observed).
+        let mut d1 = vec![0u64; rw];
+        let mut d2 = vec![0u64; rw];
+        for j in 0..self.n {
+            let base = j * rw;
+            let cxj = plane_get(&self.x[base..base + rw], p);
+            let czj = plane_get(&self.z[base..base + rw], p);
+            if !cxj && !czj {
+                continue;
             }
-            None => {
-                // Deterministic: ⟨Z_q⟩ = ±1; compute via the scratch row.
-                let zq = PauliString::single(self.n, q, eftq_pauli::Pauli::Z);
-                self.expectation(&zq) < 0.0
+            for w in 0..rw {
+                let mw = m[w];
+                if mw == 0 {
+                    continue;
+                }
+                let bx = self.x[base + w] & mw;
+                let bz = self.z[base + w] & mw;
+                // Phase of (row_p letter)·(row letter) at this site: +i
+                // rows into pm, −i rows into mm.
+                let (pm, mm) = match (cxj, czj) {
+                    (true, false) => (bx & bz, !bx & bz & mw),
+                    (true, true) => (!bx & bz & mw, bx & !bz),
+                    (false, true) => (bx & !bz, bx & bz),
+                    (false, false) => unreachable!(),
+                };
+                let carry = d1[w] & pm;
+                d1[w] ^= pm;
+                d2[w] ^= carry;
+                let borrow = mm & !d1[w];
+                d1[w] ^= mm;
+                d2[w] ^= borrow;
+                if cxj {
+                    self.x[base + w] ^= mw;
+                }
+                if czj {
+                    self.z[base + w] ^= mw;
+                }
             }
         }
+        for w in 0..rw {
+            let mut flip = d2[w] & m[w];
+            if sign_p {
+                flip ^= m[w];
+            }
+            self.sgn[w] ^= flip;
+        }
+        // Destabilizer p−n becomes the old row p; row p becomes ±Z_q.
+        let d = p - self.n;
+        let (wp, bp) = (p / WORD_BITS, p % WORD_BITS);
+        let (wd, bd) = (d / WORD_BITS, d % WORD_BITS);
+        for j in 0..self.n {
+            let base = j * rw;
+            let xb = self.x[base + wp] >> bp & 1;
+            self.x[base + wd] = (self.x[base + wd] & !(1 << bd)) | (xb << bd);
+            self.x[base + wp] &= !(1 << bp);
+            let zb = self.z[base + wp] >> bp & 1;
+            self.z[base + wd] = (self.z[base + wd] & !(1 << bd)) | (zb << bd);
+            self.z[base + wp] &= !(1 << bp);
+        }
+        self.z[q * rw + wp] |= 1 << bp;
+        self.sgn[wd] = (self.sgn[wd] & !(1 << bd)) | (u64::from(sign_p) << bd);
+        self.sgn[wp] = (self.sgn[wp] & !(1 << bp)) | (u64::from(outcome) << bp);
+        outcome
     }
 }
 
@@ -421,7 +529,7 @@ pub fn sample_counts<R: Rng + ?Sized>(t: &Tableau, shots: usize, rng: &mut R) ->
         .collect()
 }
 
-fn quarter_turns(v: f64, gate: &Gate) -> u8 {
+pub(crate) fn quarter_turns(v: f64, gate: &Gate) -> u8 {
     let k = (v / FRAC_PI_2).round();
     assert!(
         (v - k * FRAC_PI_2).abs() < 1e-9,
@@ -429,41 +537,6 @@ fn quarter_turns(v: f64, gate: &Gate) -> u8 {
     );
     (k as i64).rem_euclid(4) as u8
 }
-
-fn pauli_planes(p: &PauliString, words: usize) -> (Vec<u64>, Vec<u64>) {
-    let mut px = vec![0u64; words];
-    let mut pz = vec![0u64; words];
-    for q in 0..p.num_qubits() {
-        let letter = p.pauli_at(q);
-        if letter.x_bit() {
-            px[q / WORD_BITS] |= 1 << (q % WORD_BITS);
-        }
-        if letter.z_bit() {
-            pz[q / WORD_BITS] |= 1 << (q % WORD_BITS);
-        }
-    }
-    (px, pz)
-}
-
-/// `A ← S · A` where `S = (sx, sz, sr)`, phase-exact.
-fn mul_planes(s: (&[u64], &[u64], u8), ax: &mut [u64], az: &mut [u64], ar: &mut u8, words: usize) {
-    let (sx, sz, sr) = s;
-    let mut plus = 0u64;
-    let mut minus = 0u64;
-    for w in 0..words {
-        let (bx, bz) = (ax[w], az[w]);
-        let (cx_, cz_) = (sx[w], sz[w]);
-        let p = (cx_ & !cz_ & bx & bz) | (cx_ & cz_ & !bx & bz) | (!cx_ & cz_ & bx & !bz);
-        let m = (cx_ & !cz_ & !bx & bz) | (cx_ & cz_ & bx & !bz) | (!cx_ & cz_ & bx & bz);
-        plus += u64::from(p.count_ones());
-        minus += u64::from(m.count_ones());
-        ax[w] ^= cx_;
-        az[w] ^= cz_;
-    }
-    let delta = (plus + 3 * minus) % 4;
-    *ar = ((u64::from(*ar) + u64::from(sr) + delta) % 4) as u8;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,7 +680,7 @@ mod tests {
             let n = 2 + (trial % 4);
             let mut c = Circuit::new(n);
             for _ in 0..30 {
-                match rng.gen_range(0..7) {
+                match rng.gen_range(0..9) {
                     0 => {
                         c.h(rng.gen_range(0..n));
                     }
@@ -624,9 +697,18 @@ mod tests {
                         c.sdg(rng.gen_range(0..n));
                     }
                     5 => {
+                        let k = rng.gen_range(0..4);
+                        c.rx(rng.gen_range(0..n), f64::from(k) * FRAC_PI_2);
+                    }
+                    6 => {
                         let a = rng.gen_range(0..n);
                         let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
                         c.cx(a, b);
+                    }
+                    7 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.swap(a, b);
                     }
                     _ => {
                         let a = rng.gen_range(0..n);
@@ -673,6 +755,42 @@ mod tests {
         zz.set_pauli(41, eftq_pauli::Pauli::Z);
         zz.set_pauli(42, eftq_pauli::Pauli::Z);
         assert_eq!(t.expectation(&zz), 1.0);
+    }
+
+    #[test]
+    fn swap_matches_cx_composition() {
+        // The direct column-swap kernel must equal SWAP = CX·CX·CX on a
+        // state with distinct letters and a sign in play on both qubits.
+        let mut a = Tableau::new(3);
+        a.h(0);
+        a.s(0);
+        a.x_gate(1);
+        a.cx(0, 1);
+        let mut b = a.clone();
+        a.swap(0, 1);
+        b.cx(0, 1);
+        b.cx(1, 0);
+        b.cx(0, 1);
+        assert_eq!(a, b);
+        // And the state is physically permuted: ⟨P₀P₁⟩ ↔ ⟨P₁P₀⟩.
+        let mut t = Tableau::new(2);
+        t.x_gate(0);
+        t.swap(0, 1);
+        assert_eq!(t.expectation(&pauli("ZI")), 1.0);
+        assert_eq!(t.expectation(&pauli("IZ")), -1.0);
+    }
+
+    #[test]
+    fn rx_rotation_consistency() {
+        // Rx(π/2)|0⟩ has ⟨Y⟩ = −1 (since Rx(π/2) = e^{−iπX/4}).
+        let mut t = Tableau::new(1);
+        t.apply_gate(&Gate::Rx(0, Angle::Value(FRAC_PI_2)));
+        assert_eq!(t.expectation(&pauli("Y")), -1.0);
+        assert_eq!(t.expectation(&pauli("Z")), 0.0);
+        // Rx(3π/2) is the inverse: ⟨Y⟩ = +1.
+        let mut t2 = Tableau::new(1);
+        t2.apply_gate(&Gate::Rx(0, Angle::Value(3.0 * FRAC_PI_2)));
+        assert_eq!(t2.expectation(&pauli("Y")), 1.0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl DensityMatrix {
     /// already a gigabyte).
     pub fn zero_state(n: usize) -> Self {
         assert!(
-            n >= 1 && n <= 13,
+            (1..=13).contains(&n),
             "density matrix supports 1..=13 qubits, got {n}"
         );
         let dim = 1usize << n;
@@ -311,11 +311,11 @@ impl DensityMatrix {
                 for &x in &pair {
                     avg += self.rho[(r_base | x) * dim + (c_base | x)];
                 }
-                avg = avg * 0.25;
+                avg *= 0.25;
                 for &ra in &pair {
                     for &ca in &pair {
                         let e = &mut self.rho[(r_base | ra) * dim + (c_base | ca)];
-                        *e = *e * keep;
+                        *e *= keep;
                         if ra == ca {
                             *e += avg * mix;
                         }

@@ -140,10 +140,7 @@ pub fn run_noisy(circuit: &Circuit, noise: &NoiseModel) -> (DensityMatrix, Noisy
         // Idle noise for untouched qubits.
         let idle_needed = noise.relaxation.is_some() || noise.idle_depol > 0.0;
         if idle_needed {
-            for q in 0..n {
-                if busy[q] {
-                    continue;
-                }
+            for (q, _) in busy.iter().enumerate().filter(|&(_, &b)| !b) {
                 report.idle_slots += 1;
                 if let Some(r) = noise.relaxation {
                     if layer_duration > 0.0 {

@@ -227,7 +227,7 @@ mod tests {
         m.apply_to_probs(&mut probs);
         let z = probs[0] - probs[1];
         assert!((z - (-0.4)).abs() < 1e-12);
-        assert!((m.z_damping(0) * -1.0 + m.z_bias(0) - z).abs() < 1e-12);
+        assert!((-m.z_damping(0) + m.z_bias(0) - z).abs() < 1e-12);
     }
 
     #[test]

@@ -31,7 +31,7 @@ impl StateVector {
     /// Panics if `n > 26` (memory) or `n == 0`.
     pub fn zero_state(n: usize) -> Self {
         assert!(
-            n >= 1 && n <= 26,
+            (1..=26).contains(&n),
             "state vector supports 1..=26 qubits, got {n}"
         );
         let mut amps = vec![Complex::ZERO; 1 << n];

@@ -54,7 +54,24 @@ impl Bencher {
     }
 }
 
+/// Whether the binary was invoked as `cargo bench -- --test`: run each
+/// routine once to prove it still works, skipping all timing. Mirrors the
+/// real Criterion's test mode so CI can smoke the benches cheaply.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode() {
+        let mut once = Bencher {
+            iters_per_sample: 1,
+            sample_size: 1,
+            samples: Vec::with_capacity(1),
+        };
+        f(&mut once);
+        println!("test:  {id:<48} ok");
+        return;
+    }
     // Warm-up pass: one untimed sample so lazy setup is excluded.
     let mut warmup = Bencher {
         iters_per_sample: 1,

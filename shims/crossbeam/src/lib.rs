@@ -57,7 +57,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4, 5, 6];
+        let data = [1u64, 2, 3, 4, 5, 6];
         let mut out = vec![0u64; 6];
         thread::scope(|scope| {
             for (slot, chunk) in out.chunks_mut(2).zip(data.chunks(2)) {

@@ -14,14 +14,17 @@ use eftq_optim::GeneticConfig;
 fn quick_clifford() -> CliffordVqeConfig {
     // Large enough that both regimes' searches reliably reach near-optimal
     // genomes (so γ reflects the regimes' noise floors, not search luck),
-    // small enough that the suite stays fast.
+    // small enough that the suite stays fast. The frame-batched estimator,
+    // fitness memoization, and threaded evaluation make this budget far
+    // cheaper than the seed's smaller one.
     CliffordVqeConfig {
         ga: GeneticConfig {
-            population: 24,
-            generations: 30,
+            population: 40,
+            generations: 60,
+            threads: 4,
             ..GeneticConfig::default()
         },
-        shots: 12,
+        shots: 16,
         ..CliffordVqeConfig::default()
     }
 }
