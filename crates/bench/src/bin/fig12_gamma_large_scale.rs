@@ -11,7 +11,7 @@ use eft_vqa::clifford_vqe::{
 };
 use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d, COUPLINGS};
 use eft_vqa::{relative_improvement, ExecutionRegime};
-use eftq_bench::{fmt, full_scale, header};
+use eftq_bench::{fmt, full_scale, header, Row};
 use eftq_circuit::ansatz::fully_connected_hea;
 use eftq_optim::GeneticConfig;
 
@@ -63,6 +63,7 @@ fn main() {
                     &pqec.best_genome,
                     reeval_shots,
                     17,
+                    config.ga.threads,
                 );
                 let e_nisq = reevaluate_genome(
                     &ansatz,
@@ -71,6 +72,7 @@ fn main() {
                     &nisq.best_genome,
                     reeval_shots,
                     17,
+                    config.ga.threads,
                 );
                 // E0: lowest noiseless stabilizer energy seen anywhere.
                 let e0 = noiseless_reference_energy(&ansatz, &h, &config)
@@ -85,6 +87,15 @@ fn main() {
                     fmt(e_nisq),
                     fmt(gamma)
                 );
+                Row::new("fig12")
+                    .str("model", model_name)
+                    .int("qubits", n as i64)
+                    .num("j", j)
+                    .num("e0", e0)
+                    .num("e_pqec", e_pqec)
+                    .num("e_nisq", e_nisq)
+                    .num("gamma", gamma)
+                    .emit();
             }
         }
     }

@@ -59,6 +59,7 @@ fn main() {
                         &eb_run.best_genome,
                         reeval_shots,
                         23,
+                        config.ga.threads,
                     ),
                     ..eb_run.clone()
                 };
@@ -70,6 +71,7 @@ fn main() {
                         &ef_run.best_genome,
                         reeval_shots,
                         23,
+                        config.ga.threads,
                     ),
                     ..ef_run.clone()
                 };

@@ -2,7 +2,7 @@
 //! relative to the proposed layout, averaged over 8..=164 qubits (step 4)
 //! for the linear, fully-connected and blocked_all_to_all ansatze.
 
-use eftq_bench::header;
+use eftq_bench::{header, Row};
 use eftq_circuit::AnsatzKind;
 use eftq_layout::layouts::LayoutKind;
 use eftq_layout::schedule::spacetime_ratio;
@@ -25,14 +25,25 @@ fn main() {
         LayoutKind::Grid,
     ] {
         print!("{:>14}", baseline.name());
+        let mut rows = Vec::new();
         for kind in ansatze {
             let ratios: Vec<f64> = (8..=164)
                 .step_by(4)
                 .map(|n| spacetime_ratio(kind, n, 1, baseline))
                 .collect();
-            print!("{:>18.2}", eftq_numerics::stats::mean(&ratios));
+            let mean = eftq_numerics::stats::mean(&ratios);
+            print!("{mean:>18.2}");
+            rows.push(
+                Row::new("table1")
+                    .str("layout", baseline.name())
+                    .str("ansatz", kind.name())
+                    .num("mean_ratio", mean),
+            );
         }
         println!();
+        for row in &rows {
+            row.emit();
+        }
     }
     println!("\npaper values:  Compact 1.04/1.02/1.81  Intermediate 1.19/1.15/1.93  Fast 2.7/2.6/4.06  Grid 5.3/5.08/7.92");
     println!("shape checks: every ratio >= 1; ordering Compact <= Intermediate <= Fast <= Grid; blocked column largest");

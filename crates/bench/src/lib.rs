@@ -7,7 +7,12 @@
 //! Binaries run a *reduced* configuration by default so the whole harness
 //! finishes in minutes; set `EFT_FULL=1` for the paper-scale sweeps
 //! (12-qubit density matrices, 100-qubit Clifford VQE, the full 8–164
-//! layout sweep).
+//! layout sweep). Pass `--json` (or `EFT_JSON=1`) to also emit each data
+//! point as a JSONL [`Row`] for diffing and plotting.
+
+pub mod rows;
+
+pub use rows::{json_mode, Row};
 
 /// Whether the paper-scale configuration was requested via `EFT_FULL=1`.
 pub fn full_scale() -> bool {

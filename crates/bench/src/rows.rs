@@ -1,0 +1,159 @@
+//! Machine-readable output rows for the figure/table binaries.
+//!
+//! The binaries print human tables by default; pass `--json` (or set
+//! `EFT_JSON=1`) and each data point is *also* emitted as one JSON object
+//! per line (JSONL), so sweeps can be diffed, joined and plotted without
+//! scraping the table layout. The serialization is hand-rolled — the
+//! vendored `serde` shim has no-op derives, and a flat `key: value` row
+//! needs nothing more.
+
+use std::fmt::Write as _;
+
+/// One serializable field value.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Num(f64),
+    Int(i64),
+    Str(String),
+}
+
+/// A flat output row: ordered `key → value` pairs with a hand-rolled
+/// JSON encoder.
+///
+/// # Examples
+///
+/// ```
+/// let row = eftq_bench::Row::new("fig12")
+///     .str("model", "Ising")
+///     .int("qubits", 16)
+///     .num("gamma", 6.83);
+/// assert_eq!(
+///     row.to_json_row(),
+///     r#"{"row":"fig12","model":"Ising","qubits":16,"gamma":6.83}"#
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    fields: Vec<(String, Value)>,
+}
+
+impl Row {
+    /// Starts a row tagged with its figure/table name (the `"row"` key).
+    pub fn new(label: &str) -> Self {
+        Row {
+            fields: vec![("row".into(), Value::Str(label.into()))],
+        }
+    }
+
+    /// Appends a float field. Non-finite values serialize as `null`
+    /// (JSON has no NaN/Infinity).
+    #[must_use]
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.into(), Value::Num(v)));
+        self
+    }
+
+    /// Appends an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, v: i64) -> Self {
+        self.fields.push((key.into(), Value::Int(v)));
+        self
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields.push((key.into(), Value::Str(v.into())));
+        self
+    }
+
+    /// Serializes the row as one JSON object (no trailing newline).
+    pub fn to_json_row(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push(':');
+            match v {
+                Value::Num(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Num(_) => out.push_str("null"),
+                Value::Int(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Str(s) => write_json_string(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prints the row as a JSONL line when [`json_mode`] is active.
+    pub fn emit(&self) {
+        if json_mode() {
+            println!("{}", self.to_json_row());
+        }
+    }
+}
+
+/// Whether machine-readable row output was requested, via a `--json`
+/// command-line flag or `EFT_JSON=1` in the environment.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+        || std::env::var("EFT_JSON").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_all_field_kinds() {
+        let row = Row::new("t1")
+            .str("name", "fche")
+            .int("n", 64)
+            .num("v", 0.5);
+        assert_eq!(
+            row.to_json_row(),
+            r#"{"row":"t1","name":"fche","n":64,"v":0.5}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let row = Row::new("x").str("s", "a\"b\\c\nd");
+        assert_eq!(row.to_json_row(), r#"{"row":"x","s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        let row = Row::new("x").num("nan", f64::NAN).num("inf", f64::INFINITY);
+        assert_eq!(row.to_json_row(), r#"{"row":"x","nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn json_mode_defaults_off_in_tests() {
+        assert!(!json_mode());
+    }
+}

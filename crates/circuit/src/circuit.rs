@@ -289,9 +289,9 @@ impl Circuit {
         let mut ready = vec![0usize; self.n];
         let mut depth = 0;
         for g in &self.gates {
-            let qs = g.qubits();
-            let start = qs.iter().map(|&q| ready[q]).max().unwrap_or(0);
-            for q in qs {
+            let (qs, k) = g.qubits_inline();
+            let start = qs[..k].iter().map(|&q| ready[q]).max().unwrap_or(0);
+            for &q in &qs[..k] {
                 ready[q] = start + 1;
             }
             depth = depth.max(start + 1);
@@ -346,9 +346,9 @@ impl Circuit {
         let mut ready = vec![0usize; self.n];
         let mut layers: Vec<Vec<Gate>> = Vec::new();
         for g in &self.gates {
-            let qs = g.qubits();
-            let start = qs.iter().map(|&q| ready[q]).max().unwrap_or(0);
-            for q in qs {
+            let (qs, k) = g.qubits_inline();
+            let start = qs[..k].iter().map(|&q| ready[q]).max().unwrap_or(0);
+            for &q in &qs[..k] {
                 ready[q] = start + 1;
             }
             if layers.len() <= start {

@@ -92,6 +92,17 @@ pub enum Gate {
 impl Gate {
     /// The qubits this gate touches (one or two entries).
     pub fn qubits(&self) -> Vec<usize> {
+        let (qs, n) = self.qubits_inline();
+        qs[..n].to_vec()
+    }
+
+    /// The qubits this gate touches, allocation-free: a fixed pair plus
+    /// the live count (`&arr[..n]` are the touched qubits). Hot loops —
+    /// circuit layering, noise-program compilation, the frame executors —
+    /// call this once per gate, so the `Vec` of [`Gate::qubits`] would
+    /// put a heap allocation on every gate visit.
+    #[inline]
+    pub fn qubits_inline(&self) -> ([usize; 2], usize) {
         match *self {
             Gate::H(q)
             | Gate::S(q)
@@ -104,8 +115,8 @@ impl Gate {
             | Gate::Rz(q, _)
             | Gate::Rx(q, _)
             | Gate::Ry(q, _)
-            | Gate::Measure(q) => vec![q],
-            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            | Gate::Measure(q) => ([q, 0], 1),
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => ([a, b], 2),
         }
     }
 

@@ -13,7 +13,7 @@ use eftq_circuit::Ansatz;
 use eftq_numerics::SeedSequence;
 use eftq_optim::genetic::{minimize_genetic, GeneticConfig};
 use eftq_pauli::PauliSum;
-use eftq_stabilizer::{estimate_energy, StabilizerNoise};
+use eftq_stabilizer::{estimate_energy, estimate_energy_threaded, StabilizerNoise};
 
 /// Configuration of a Clifford VQE run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -110,6 +110,11 @@ pub fn noiseless_reference_energy(
 /// budget. Use this to re-evaluate a GA winner: the search itself sees
 /// few-shot estimates and exploits their sampling noise, so the winning
 /// *estimate* is optimistically biased — re-evaluation removes the bias.
+///
+/// Re-evaluation is a single large estimate, so — unlike the search,
+/// where the GA parallelizes across genomes — the shot batches themselves
+/// shard across `threads` workers (pass the GA's `threads` knob). The
+/// result is bit-identical for every `threads` value.
 pub fn reevaluate_genome(
     ansatz: &Ansatz,
     observable: &PauliSum,
@@ -117,14 +122,16 @@ pub fn reevaluate_genome(
     genome: &[u8],
     shots: usize,
     seed: u64,
+    threads: usize,
 ) -> f64 {
     let circuit = ansatz.bind_clifford(genome);
-    estimate_energy(
+    estimate_energy_threaded(
         &circuit,
         observable,
         noise,
         shots,
         SeedSequence::new(seed).derive("reeval"),
+        threads,
     )
     .energy
 }
@@ -192,7 +199,7 @@ mod tests {
             &h,
             &nisq.best_genome,
         ));
-        let honest = reevaluate_genome(&a, &h, &noise, &nisq.best_genome, 512, 23);
+        let honest = reevaluate_genome(&a, &h, &noise, &nisq.best_genome, 512, 23, 2);
         assert!(honest >= floor - 0.2, "{honest} vs {floor}");
     }
 
@@ -221,6 +228,7 @@ mod tests {
             &best,
             512,
             19,
+            1,
         );
         let e_nisq = reevaluate_genome(
             &a,
@@ -229,6 +237,7 @@ mod tests {
             &best,
             512,
             19,
+            1,
         );
         assert!(e_pqec < e_nisq, "pQEC {e_pqec} vs NISQ {e_nisq}");
     }
@@ -262,7 +271,7 @@ mod tests {
         let a = linear_hea(6, 1);
         let noise = ExecutionRegime::nisq_default().stabilizer_noise();
         let out = clifford_vqe(&a, &h, &noise, &quick());
-        let reeval = reevaluate_genome(&a, &h, &noise, &out.best_genome, 200, 7);
+        let reeval = reevaluate_genome(&a, &h, &noise, &out.best_genome, 200, 7, 1);
         // The few-shot search estimate is optimistically biased: the
         // honest re-evaluation is typically higher (never dramatically
         // lower).

@@ -1,0 +1,371 @@
+//! Bit-sliced batched Bernoulli sampling.
+//!
+//! Monte-Carlo noise injection asks the same question millions of times:
+//! "does an error fire at this (site, shot) trial?" Answering with one
+//! `rng.gen_bool(p)` per trial costs a full RNG draw *per shot per site*.
+//! [`BernoulliWords`] answers 64 trials per machine word in `O(words)`
+//! amortized, with two regimes chosen automatically from `p`:
+//!
+//! * **Geometric skipping** (sparse `p`): successive hits in an infinite
+//!   Bernoulli(`p`) trial stream are separated by geometric gaps, so the
+//!   sampler draws `gap = ⌊ln(u)/ln(1−p)⌋` and jumps straight to the next
+//!   hit. The cursor persists across calls, so a *program* of many sites
+//!   sharing one probability consumes the flat `(site × shot)` bit-grid
+//!   with one logarithm per **hit**, not per site — cost `O(expected
+//!   hits)` plus `O(1)` bookkeeping per site.
+//! * **Bit-slice refinement** (dense `p`): write `p ≈ 0.b₁b₂…b₃₂` in
+//!   binary and fold uniform random words from the least-significant
+//!   slice upward — `r = rand | r` where `bᵢ = 1`, `r = rand & r` where
+//!   `bᵢ = 0` — which leaves every lane set with probability `p` to
+//!   within `2⁻³²`, branch-free and word-parallel.
+//!
+//! Determinism: the sampler is a pure function of its RNG stream, so
+//! callers that derive one RNG per fixed-size batch (e.g. via
+//! [`crate::SeedSequence::derive_index`]) get results that are
+//! bit-identical for a fixed seed and independent of how batches are
+//! scheduled across threads.
+
+use rand::Rng;
+
+/// Trials per output word.
+const WORD_BITS: usize = 64;
+
+/// Resolution of the bit-slice approximation: `p` is quantized to a
+/// multiple of `2⁻³²`.
+const SLICE_BITS: u32 = 32;
+
+/// Probability below which geometric skipping beats slice composition.
+/// A slice word costs up to 32 RNG draws; a geometric hit costs one draw
+/// plus a logarithm, and a *miss* costs nothing — so sparse sites want
+/// skipping and dense sites want slices. The crossover sits near
+/// `64·p · c_hit ≈ 32 · c_draw`.
+const GEOMETRIC_THRESHOLD: f64 = 0.05;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Mode {
+    /// `p ≤ 0`: no trial ever fires.
+    Never,
+    /// `p ≥ 1` (after quantization): every trial fires.
+    Always,
+    /// Sparse: skip geometric gaps through the flat trial stream.
+    /// `gap` is the number of future misses before the next hit
+    /// (`None` until the first draw).
+    Geometric { ln_q: f64, gap: Option<u64> },
+    /// Dense: compose `popcount + zeros` random words per output word.
+    /// `pattern / 2³²` approximates `p`; bit 31 carries weight `1/2`.
+    Slice { pattern: u32 },
+}
+
+/// A batched Bernoulli(`p`) sampler producing 64 independent trials per
+/// `u64` (bit `i` set ⇔ trial `i` fired). See the module docs for the
+/// geometric-skip / bit-slice split and the seeding discipline.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_numerics::BernoulliWords;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut sampler = BernoulliWords::new(0.25);
+/// let mut mask = [0u64; 16];
+/// sampler.fill_mask(&mut mask, 1024, &mut rng);
+/// let hits: u32 = mask.iter().map(|w| w.count_ones()).sum();
+/// // ~256 expected; loose 5σ band.
+/// assert!((hits as f64 - 256.0).abs() < 5.0 * (1024.0f64 * 0.25 * 0.75).sqrt());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BernoulliWords {
+    p: f64,
+    mode: Mode,
+}
+
+impl BernoulliWords {
+    /// Builds a sampler for success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let mode = if p <= 0.0 {
+            Mode::Never
+        } else if p < GEOMETRIC_THRESHOLD {
+            Mode::Geometric {
+                ln_q: (1.0 - p).ln(),
+                gap: None,
+            }
+        } else {
+            let pattern = (p * (1u64 << SLICE_BITS) as f64).round();
+            if pattern >= 2f64.powi(SLICE_BITS as i32) {
+                Mode::Always
+            } else {
+                Mode::Slice {
+                    pattern: pattern as u32,
+                }
+            }
+        };
+        BernoulliWords { p, mode }
+    }
+
+    /// The success probability this sampler was built for.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Whether the sampler uses geometric skipping (sparse regime) rather
+    /// than bit-slice composition.
+    pub fn uses_geometric_skipping(&self) -> bool {
+        matches!(self.mode, Mode::Geometric { .. })
+    }
+
+    /// Calls `f(i)` for every firing trial `i < span`, consuming exactly
+    /// `span` trials from the sampler's stream (the geometric cursor
+    /// carries any remaining gap into the next call).
+    pub fn for_each_hit<R, F>(&mut self, span: usize, rng: &mut R, mut f: F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize),
+    {
+        match self.mode {
+            Mode::Never => {}
+            Mode::Always => {
+                for s in 0..span {
+                    f(s);
+                }
+            }
+            Mode::Geometric { ln_q, ref mut gap } => {
+                let mut pos = gap.take().unwrap_or_else(|| geometric_gap(ln_q, rng));
+                while pos < span as u64 {
+                    f(pos as usize);
+                    pos = pos
+                        .saturating_add(1)
+                        .saturating_add(geometric_gap(ln_q, rng));
+                }
+                *gap = Some(pos - span as u64);
+            }
+            Mode::Slice { pattern } => {
+                let mut base = 0usize;
+                while base < span {
+                    let lanes = (span - base).min(WORD_BITS);
+                    let mut w = slice_word(pattern, rng);
+                    if lanes < WORD_BITS {
+                        w &= (1u64 << lanes) - 1;
+                    }
+                    while w != 0 {
+                        f(base + w.trailing_zeros() as usize);
+                        w &= w - 1;
+                    }
+                    base += WORD_BITS;
+                }
+            }
+        }
+    }
+
+    /// Overwrites `words` with a flip mask for `span` trials: bit `i` of
+    /// the grid (lane `i % 64` of word `i / 64`) is set iff trial `i`
+    /// fired. Bits at and beyond `span` are left clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `⌈span/64⌉`.
+    pub fn fill_mask<R: Rng + ?Sized>(&mut self, words: &mut [u64], span: usize, rng: &mut R) {
+        let needed = span.div_ceil(WORD_BITS);
+        assert!(
+            words.len() >= needed,
+            "mask too short: {} words for span {span}",
+            words.len()
+        );
+        match self.mode {
+            Mode::Slice { pattern } => {
+                for (w, word) in words.iter_mut().enumerate().take(needed) {
+                    let lanes = (span - w * WORD_BITS).min(WORD_BITS);
+                    let mut v = slice_word(pattern, rng);
+                    if lanes < WORD_BITS {
+                        v &= (1u64 << lanes) - 1;
+                    }
+                    *word = v;
+                }
+                for word in words.iter_mut().skip(needed) {
+                    *word = 0;
+                }
+            }
+            _ => {
+                words.fill(0);
+                self.for_each_hit(span, rng, |s| {
+                    words[s / WORD_BITS] |= 1u64 << (s % WORD_BITS);
+                });
+            }
+        }
+    }
+}
+
+/// One geometric gap (number of misses before the next hit) with
+/// parameter `p`, via inversion: `⌊ln(u)/ln(1−p)⌋` for `u ∈ (0, 1]`.
+#[inline]
+fn geometric_gap<R: Rng + ?Sized>(ln_q: f64, rng: &mut R) -> u64 {
+    // `gen::<f64>()` is uniform on [0, 1); reflect to (0, 1] so ln is
+    // finite. ln_q < 0, so the ratio is ≥ 0.
+    let u = 1.0 - rng.gen::<f64>();
+    let g = u.ln() / ln_q;
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
+    }
+}
+
+/// One word of 64 Bernoulli(`pattern/2³²`) lanes by bit-slice
+/// composition, folding from the lowest set slice upward.
+#[inline]
+fn slice_word<R: Rng + ?Sized>(pattern: u32, rng: &mut R) -> u64 {
+    debug_assert!(pattern != 0);
+    let mut r = 0u64;
+    for i in pattern.trailing_zeros()..SLICE_BITS {
+        let w = rng.gen::<u64>();
+        if pattern >> i & 1 == 1 {
+            r |= w;
+        } else {
+            r &= w;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_rate(p: f64, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = BernoulliWords::new(p);
+        let mut hits = 0usize;
+        sampler.for_each_hit(trials, &mut rng, |_| hits += 1);
+        hits as f64 / trials as f64
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut never = BernoulliWords::new(0.0);
+        let mut always = BernoulliWords::new(1.0);
+        let mut mask = [0u64; 2];
+        never.fill_mask(&mut mask, 100, &mut rng);
+        assert_eq!(mask, [0, 0]);
+        always.fill_mask(&mut mask, 100, &mut rng);
+        assert_eq!(mask[0], !0u64);
+        assert_eq!(mask[1], (1u64 << 36) - 1);
+    }
+
+    #[test]
+    fn mode_selection_tracks_probability() {
+        assert!(BernoulliWords::new(1e-4).uses_geometric_skipping());
+        assert!(BernoulliWords::new(0.049).uses_geometric_skipping());
+        assert!(!BernoulliWords::new(0.5).uses_geometric_skipping());
+        assert!(!BernoulliWords::new(0.0).uses_geometric_skipping());
+    }
+
+    #[test]
+    fn sparse_rate_within_binomial_tolerance() {
+        for (p, seed) in [(0.001, 2u64), (0.01, 3), (0.04, 4)] {
+            let n = 400_000;
+            let rate = empirical_rate(p, n, seed);
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((rate - p).abs() < 5.0 * sigma, "p={p}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn dense_rate_within_binomial_tolerance() {
+        for (p, seed) in [(0.05, 5u64), (0.25, 6), (0.5, 7), (0.9, 8)] {
+            let n = 200_000;
+            let rate = empirical_rate(p, n, seed);
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((rate - p).abs() < 5.0 * sigma, "p={p}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn cursor_spans_call_boundaries_unbiased() {
+        // Many small spans must see the same rate as one big span: the
+        // geometric cursor may not reset between calls.
+        let p = 0.002;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sampler = BernoulliWords::new(p);
+        let mut hits = 0usize;
+        let spans = [1usize, 7, 64, 65, 13, 256, 3];
+        let mut total = 0usize;
+        for _ in 0..4000 {
+            for &s in &spans {
+                total += s;
+                sampler.for_each_hit(s, &mut rng, |_| hits += 1);
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        let sigma = (p * (1.0 - p) / total as f64).sqrt();
+        assert!((rate - p).abs() < 5.0 * sigma, "rate {rate}");
+    }
+
+    #[test]
+    fn fill_mask_matches_for_each_hit() {
+        for p in [0.004, 0.3] {
+            let mut a = BernoulliWords::new(p);
+            let mut b = a.clone();
+            let mut rng_a = StdRng::seed_from_u64(11);
+            let mut rng_b = StdRng::seed_from_u64(11);
+            let span = 130;
+            let mut mask = [0u64; 3];
+            a.fill_mask(&mut mask, span, &mut rng_a);
+            let mut from_hits = [0u64; 3];
+            b.for_each_hit(span, &mut rng_b, |s| from_hits[s / 64] |= 1 << (s % 64));
+            assert_eq!(mask, from_hits, "p={p}");
+        }
+    }
+
+    #[test]
+    fn padding_bits_stay_clear() {
+        for p in [0.01, 0.7, 1.0] {
+            let mut sampler = BernoulliWords::new(p);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut mask = [!0u64; 2];
+            sampler.fill_mask(&mut mask, 70, &mut rng);
+            assert_eq!(mask[1] & !((1u64 << 6) - 1), 0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        for p in [0.003, 0.4] {
+            let run = |seed| {
+                let mut sampler = BernoulliWords::new(p);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut mask = vec![0u64; 8];
+                sampler.fill_mask(&mut mask, 512, &mut rng);
+                mask
+            };
+            assert_eq!(run(42), run(42));
+            assert_ne!(run(42), run(43));
+        }
+    }
+
+    #[test]
+    fn slice_pattern_is_faithful_for_dyadic_p() {
+        // p = 0.5 needs exactly one slice; its lanes must match one raw
+        // RNG word drawn from the same stream.
+        let mut sampler = BernoulliWords::new(0.5);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut reference = StdRng::seed_from_u64(17);
+        let mut mask = [0u64; 1];
+        sampler.fill_mask(&mut mask, 64, &mut rng);
+        assert_eq!(mask[0], reference.gen::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = BernoulliWords::new(1.2);
+    }
+}

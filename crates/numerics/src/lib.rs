@@ -19,6 +19,9 @@
 //!   by the paper's Section-9 patch-shuffling proof.
 //! * [`rng`] — deterministic RNG plumbing (seed splitting) so every
 //!   stochastic experiment in the workspace is reproducible.
+//! * [`bernoulli`] — [`BernoulliWords`], the batched Bernoulli sampler
+//!   (geometric skipping for sparse probabilities, bit-slice refinement
+//!   for dense ones) behind the stabilizer noise engine.
 //!
 //! # Examples
 //!
@@ -31,12 +34,14 @@
 //! assert_eq!(Complex::I * Complex::I, -Complex::ONE);
 //! ```
 
+pub mod bernoulli;
 pub mod complex;
 pub mod lanczos;
 pub mod mat;
 pub mod rng;
 pub mod stats;
 
+pub use bernoulli::BernoulliWords;
 pub use complex::Complex;
 pub use lanczos::{lanczos, LanczosError, LanczosOptions, LanczosResult};
 pub use mat::{Mat2, Mat4};

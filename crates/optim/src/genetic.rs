@@ -175,10 +175,15 @@ fn evaluate<F>(population: &[Vec<u8>], fitness: &F, threads: usize) -> Vec<f64>
 where
     F: Fn(&[u8]) -> f64 + Sync,
 {
-    if threads <= 1 || population.len() < 2 * threads {
+    // Memoization leaves late generations with only a handful of fresh
+    // genomes, so parallelize any batch of two or more: with a heavy
+    // fitness (the Clifford VQE estimator) even a half-filled worker set
+    // beats running the stragglers sequentially.
+    if threads <= 1 || population.len() < 2 {
         return population.iter().map(|g| fitness(g)).collect();
     }
-    let chunk = population.len().div_ceil(threads);
+    let workers = threads.min(population.len());
+    let chunk = population.len().div_ceil(workers);
     let mut scores = vec![0.0f64; population.len()];
     thread::scope(|scope| {
         for (slot, genomes) in scores.chunks_mut(chunk).zip(population.chunks(chunk)) {

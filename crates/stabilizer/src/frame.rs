@@ -76,77 +76,118 @@ impl PauliFrames {
     ///
     /// Panics on non-Clifford or symbolic rotations.
     pub fn apply_gate(&mut self, gate: &Gate) {
-        let wl = self.words;
         match *gate {
-            Gate::H(q) => {
-                let b = q * wl;
-                for w in 0..wl {
-                    std::mem::swap(&mut self.fx[b + w], &mut self.fz[b + w]);
-                }
-            }
-            Gate::S(q) | Gate::Sdg(q) => {
-                let b = q * wl;
-                for w in 0..wl {
-                    self.fz[b + w] ^= self.fx[b + w];
-                }
-            }
+            Gate::H(q) => self.kernel_hadamard(q),
+            Gate::S(q) | Gate::Sdg(q) => self.kernel_phase(q),
             Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::Measure(_) => {}
-            Gate::Cx(c, t) => {
-                let (bc, bt) = (c * wl, t * wl);
-                for w in 0..wl {
-                    let xc = self.fx[bc + w];
-                    let zt = self.fz[bt + w];
-                    self.fx[bt + w] ^= xc;
-                    self.fz[bc + w] ^= zt;
-                }
-            }
-            Gate::Cz(a, b) => {
-                let (ba, bb) = (a * wl, b * wl);
-                for w in 0..wl {
-                    let xa = self.fx[ba + w];
-                    let xb = self.fx[bb + w];
-                    self.fz[bb + w] ^= xa;
-                    self.fz[ba + w] ^= xb;
-                }
-            }
-            Gate::Swap(a, b) => {
-                let (ba, bb) = (a * wl, b * wl);
-                for w in 0..wl {
-                    self.fx.swap(ba + w, bb + w);
-                    self.fz.swap(ba + w, bb + w);
-                }
-            }
+            Gate::Cx(c, t) => self.kernel_cx(c, t),
+            Gate::Cz(a, b) => self.kernel_cz(a, b),
+            Gate::Swap(a, b) => self.kernel_swap(a, b),
             Gate::Rz(q, Angle::Value(v)) => {
                 if quarter_turns(v, gate) % 2 == 1 {
-                    let b = q * wl;
-                    for w in 0..wl {
-                        self.fz[b + w] ^= self.fx[b + w];
-                    }
+                    self.kernel_phase(q);
                 }
             }
             Gate::Rx(q, Angle::Value(v)) => {
                 if quarter_turns(v, gate) % 2 == 1 {
-                    let b = q * wl;
-                    for w in 0..wl {
-                        self.fx[b + w] ^= self.fz[b + w];
-                    }
+                    self.kernel_sqrt_x(q);
                 }
             }
             Gate::Ry(q, Angle::Value(v)) => {
                 if quarter_turns(v, gate) % 2 == 1 {
-                    let b = q * wl;
-                    for w in 0..wl {
-                        std::mem::swap(&mut self.fx[b + w], &mut self.fz[b + w]);
-                    }
+                    self.kernel_hadamard(q);
                 }
             }
             ref g => panic!("frames cannot apply gate {g}"),
         }
     }
 
+    /// H-conjugation kernel: swaps the X and Z planes of `q` (also the
+    /// action of an odd-quarter-turn `Ry`, sign-free).
+    #[inline]
+    pub(crate) fn kernel_hadamard(&mut self, q: usize) {
+        let b = q * self.words;
+        for w in 0..self.words {
+            std::mem::swap(&mut self.fx[b + w], &mut self.fz[b + w]);
+        }
+    }
+
+    /// S/S†-conjugation kernel: `fz ^= fx` on `q` (also odd `Rz`).
+    #[inline]
+    pub(crate) fn kernel_phase(&mut self, q: usize) {
+        let b = q * self.words;
+        for w in 0..self.words {
+            self.fz[b + w] ^= self.fx[b + w];
+        }
+    }
+
+    /// √X-conjugation kernel: `fx ^= fz` on `q` (odd `Rx`).
+    #[inline]
+    pub(crate) fn kernel_sqrt_x(&mut self, q: usize) {
+        let b = q * self.words;
+        for w in 0..self.words {
+            self.fx[b + w] ^= self.fz[b + w];
+        }
+    }
+
+    /// CX-conjugation kernel.
+    #[inline]
+    pub(crate) fn kernel_cx(&mut self, c: usize, t: usize) {
+        let (bc, bt) = (c * self.words, t * self.words);
+        for w in 0..self.words {
+            let xc = self.fx[bc + w];
+            let zt = self.fz[bt + w];
+            self.fx[bt + w] ^= xc;
+            self.fz[bc + w] ^= zt;
+        }
+    }
+
+    /// CZ-conjugation kernel.
+    #[inline]
+    pub(crate) fn kernel_cz(&mut self, a: usize, b: usize) {
+        let (ba, bb) = (a * self.words, b * self.words);
+        for w in 0..self.words {
+            let xa = self.fx[ba + w];
+            let xb = self.fx[bb + w];
+            self.fz[bb + w] ^= xa;
+            self.fz[ba + w] ^= xb;
+        }
+    }
+
+    /// SWAP kernel: exchanges both planes of `a` and `b`.
+    #[inline]
+    pub(crate) fn kernel_swap(&mut self, a: usize, b: usize) {
+        let (ba, bb) = (a * self.words, b * self.words);
+        for w in 0..self.words {
+            self.fx.swap(ba + w, bb + w);
+            self.fz.swap(ba + w, bb + w);
+        }
+    }
+
+    /// Copies another frame batch into this one at `word_offset` lane
+    /// words — the splice step that reassembles independently evaluated
+    /// shot batches (see [`crate::program::NoiseProgram::run_threaded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch or if the source does not fit.
+    pub(crate) fn splice_words(&mut self, word_offset: usize, src: &PauliFrames) {
+        assert_eq!(src.n, self.n, "qubit count mismatch");
+        assert!(
+            word_offset + src.words <= self.words,
+            "batch splice out of range"
+        );
+        for q in 0..self.n {
+            let dst = q * self.words + word_offset;
+            let s = q * src.words;
+            self.fx[dst..dst + src.words].copy_from_slice(&src.fx[s..s + src.words]);
+            self.fz[dst..dst + src.words].copy_from_slice(&src.fz[s..s + src.words]);
+        }
+    }
+
     /// XORs a sampled Pauli letter into shot `s` on qubit `q`.
     #[inline]
-    fn inject(&mut self, q: usize, s: usize, letter: Pauli) {
+    pub fn inject(&mut self, q: usize, s: usize, letter: Pauli) {
         let idx = q * self.words + s / WORD_BITS;
         let bit = 1u64 << (s % WORD_BITS);
         if letter.x_bit() {
@@ -157,9 +198,107 @@ impl PauliFrames {
         }
     }
 
+    /// XORs single-qubit depolarizing errors into every shot whose bit is
+    /// set in `mask`: each hit lane receives a uniform X/Y/Z letter,
+    /// chosen word-parallel — two random words give each lane a candidate
+    /// `(x, z)` pair and the (identity) `(0, 0)` lanes are redrawn until
+    /// none remain, which leaves the three non-identity letters exactly
+    /// uniform.
+    ///
+    /// This is the dense half of the batched sampler; the hit mask itself
+    /// comes from [`eftq_numerics::BernoulliWords`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is shorter than the lane-word count.
+    pub fn inject_depolarizing_masked<R: Rng + ?Sized>(
+        &mut self,
+        q: usize,
+        mask: &[u64],
+        rng: &mut R,
+    ) {
+        assert!(mask.len() >= self.words, "mask too short");
+        let b = q * self.words;
+        for (w, &h) in mask.iter().enumerate().take(self.words) {
+            if h == 0 {
+                continue;
+            }
+            let (x, z) = uniform_nonzero_pair(h, rng);
+            self.fx[b + w] ^= x;
+            self.fz[b + w] ^= z;
+        }
+    }
+
+    /// Two-qubit analogue of [`PauliFrames::inject_depolarizing_masked`]:
+    /// every hit lane receives a uniform non-identity two-qubit Pauli
+    /// (four random words, `(0,0,0,0)` lanes redrawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is shorter than the lane-word count.
+    pub fn inject_depolarizing_2q_masked<R: Rng + ?Sized>(
+        &mut self,
+        a: usize,
+        b: usize,
+        mask: &[u64],
+        rng: &mut R,
+    ) {
+        assert!(mask.len() >= self.words, "mask too short");
+        let (ba, bb) = (a * self.words, b * self.words);
+        for (w, &h) in mask.iter().enumerate().take(self.words) {
+            if h == 0 {
+                continue;
+            }
+            let mut xa = rng.gen::<u64>() & h;
+            let mut za = rng.gen::<u64>() & h;
+            let mut xb = rng.gen::<u64>() & h;
+            let mut zb = rng.gen::<u64>() & h;
+            let mut bad = h & !(xa | za | xb | zb);
+            while bad != 0 {
+                xa |= bad & rng.gen::<u64>();
+                za |= bad & rng.gen::<u64>();
+                xb |= bad & rng.gen::<u64>();
+                zb |= bad & rng.gen::<u64>();
+                bad &= !(xa | za | xb | zb);
+            }
+            self.fx[ba + w] ^= xa;
+            self.fz[ba + w] ^= za;
+            self.fx[bb + w] ^= xb;
+            self.fz[bb + w] ^= zb;
+        }
+    }
+
+    /// XORs twirled-idle errors into every shot whose bit is set in
+    /// `mask`, drawing each hit's letter from the ladder's conditional
+    /// distribution (the mask already encodes the Bernoulli(`total`)
+    /// outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is shorter than the lane-word count.
+    pub fn inject_idle_masked<R: Rng + ?Sized>(
+        &mut self,
+        q: usize,
+        mask: &[u64],
+        ladder: &crate::noise::IdleLadder,
+        rng: &mut R,
+    ) {
+        assert!(mask.len() >= self.words, "mask too short");
+        for (w, &h) in mask.iter().enumerate().take(self.words) {
+            let mut bits = h;
+            while bits != 0 {
+                let s = w * WORD_BITS + bits.trailing_zeros() as usize;
+                self.inject(q, s, ladder.conditional_letter(rng));
+                bits &= bits - 1;
+            }
+        }
+    }
+
     /// Samples single-qubit depolarizing noise on `q` independently per
     /// shot: with probability `p` a uniform X/Y/Z hits the shot's frame.
-    /// The letter draw is shared with the per-shot tableau path.
+    /// The letter draw is shared with the per-shot tableau path. This is
+    /// the per-call reference sampler; the production path draws whole
+    /// flip masks (see [`crate::program::NoiseProgram`]).
     pub fn inject_depolarizing<R: Rng + ?Sized>(&mut self, q: usize, p: f64, rng: &mut R) {
         if p <= 0.0 {
             return;
@@ -220,9 +359,23 @@ impl PauliFrames {
     ///
     /// Panics on qubit-count mismatch.
     pub fn flip_plane(&self, p: &PauliString) -> Vec<u64> {
+        let mut acc = vec![0u64; self.words];
+        self.flip_plane_into(p, &mut acc);
+        acc
+    }
+
+    /// [`PauliFrames::flip_plane`] into a caller-owned buffer (cleared
+    /// first), so per-term loops over large observables reuse one
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch or a short buffer.
+    pub fn flip_plane_into(&self, p: &PauliString, acc: &mut [u64]) {
         assert_eq!(p.num_qubits(), self.n, "pauli size mismatch");
+        assert!(acc.len() >= self.words, "flip-plane buffer too short");
         let wl = self.words;
-        let mut acc = vec![0u64; wl];
+        acc.fill(0);
         for q in 0..self.n {
             let letter = p.pauli_at(q);
             if letter.z_bit() {
@@ -236,7 +389,6 @@ impl PauliFrames {
                 }
             }
         }
-        acc
     }
 
     /// Number of shots whose frame anticommutes with `p`.
@@ -264,13 +416,53 @@ impl PauliFrames {
     }
 }
 
+/// Word-parallel uniform draw over the three non-identity `(x, z)` letter
+/// pairs, restricted to the lanes of `h`: `(0, 0)` lanes are redrawn
+/// until none remain (each round keeps 3 of 4 candidates, so the loop
+/// terminates geometrically fast).
+#[inline]
+fn uniform_nonzero_pair<R: Rng + ?Sized>(h: u64, rng: &mut R) -> (u64, u64) {
+    let mut x = rng.gen::<u64>() & h;
+    let mut z = rng.gen::<u64>() & h;
+    let mut bad = h & !(x | z);
+    while bad != 0 {
+        x |= bad & rng.gen::<u64>();
+        z |= bad & rng.gen::<u64>();
+        bad &= !(x | z);
+    }
+    (x, z)
+}
+
 /// Propagates `shots` Pauli frames through a bound Clifford circuit under
-/// the given noise model, sampling errors at exactly the locations the
-/// per-shot executor [`crate::noise::run_noisy_shot`] samples them
-/// (after each gate, per gate class; twirled idle noise on every qubit
-/// idle in a layer). Measurement gates are skipped and leave their qubit
-/// idle, matching the per-shot path.
-pub fn run_noisy_frames<R: Rng + ?Sized>(
+/// the given noise model, using the compiled batched sampler: the circuit
+/// and noise model are flattened into a [`crate::program::NoiseProgram`]
+/// once, then injection sites draw whole Bernoulli flip-mask words
+/// instead of one RNG call per (gate, shot) pair. Shot batches derive
+/// their RNG streams from `seed` and their batch index, so the result is
+/// deterministic and identical to the threaded runner at any worker
+/// count.
+///
+/// Statistically equivalent to [`run_noisy_frames_percall`], the per-call
+/// reference sampler the equivalence suite checks against.
+pub fn run_noisy_frames(
+    circuit: &Circuit,
+    noise: &StabilizerNoise,
+    shots: usize,
+    seed: eftq_numerics::SeedSequence,
+) -> PauliFrames {
+    crate::program::NoiseProgram::compile(circuit, noise).run(shots, seed)
+}
+
+/// Reference implementation of [`run_noisy_frames`]: walks the circuit
+/// drawing one `rng.gen_bool(p)` per (site, shot) pair, sampling errors
+/// at exactly the locations the per-shot executor
+/// [`crate::noise::run_noisy_shot`] samples them (after each gate, per
+/// gate class; twirled idle noise on every qubit idle in a layer).
+/// Measurement gates are skipped and leave their qubit idle, matching
+/// the per-shot path. Kept as the ground truth for the statistical
+/// equivalence suite and the sampling benchmarks — `O(sites × shots)`
+/// RNG draws, so use [`run_noisy_frames`] everywhere else.
+pub fn run_noisy_frames_percall<R: Rng + ?Sized>(
     circuit: &Circuit,
     noise: &StabilizerNoise,
     shots: usize,
@@ -284,7 +476,8 @@ pub fn run_noisy_frames<R: Rng + ?Sized>(
             if g.is_measurement() {
                 continue;
             }
-            for q in g.qubits() {
+            let (qs, k) = g.qubits_inline();
+            for &q in &qs[..k] {
                 busy[q] = true;
             }
             f.apply_gate(g);
@@ -296,7 +489,7 @@ pub fn run_noisy_frames<R: Rng + ?Sized>(
                 Gate::Rx(q, _) | Gate::Ry(q, _) => {
                     f.inject_depolarizing(q, noise.depol_rot_xy, rng);
                 }
-                ref g1 => f.inject_depolarizing(g1.qubits()[0], noise.depol_1q, rng),
+                _ => f.inject_depolarizing(qs[0], noise.depol_1q, rng),
             }
         }
         if noise.idle.total() > 0.0 {

@@ -19,9 +19,16 @@
 //!   anticommutes with `P` — the frame path is therefore statistically
 //!   identical to re-running a noisy tableau per shot, at a fraction of
 //!   the cost.
+//! * [`program`] — the compiled noise engine: a circuit + noise model
+//!   flattens once into a [`NoiseProgram`] of gates and injection sites,
+//!   sites draw whole Bernoulli flip-mask words (geometric skipping /
+//!   bit-slice sampling via [`eftq_numerics::BernoulliWords`]), and shot
+//!   batches shard across crossbeam workers with per-batch seeds, so
+//!   results are thread-count-invariant.
 //! * [`noise`] — Monte-Carlo Pauli channels (depolarizing, bit-flip,
 //!   Pauli-twirled thermal relaxation per Ghosh et al.) and the noisy
-//!   energy estimator: [`estimate_energy`] (frame-batched hot path, one
+//!   energy estimator: [`estimate_energy`] /
+//!   [`estimate_energy_threaded`] (compiled frame-batched hot path, one
 //!   tableau run + XOR frames) and
 //!   [`noise::estimate_energy_tableau`] (per-shot reference path the
 //!   equivalence property tests check against).
@@ -44,8 +51,13 @@
 
 pub mod frame;
 pub mod noise;
+pub mod program;
 pub mod tableau;
 
-pub use frame::{run_noisy_frames, PauliFrames};
-pub use noise::{estimate_energy, estimate_energy_tableau, NoisyCliffordRun, StabilizerNoise};
+pub use frame::{run_noisy_frames, run_noisy_frames_percall, PauliFrames};
+pub use noise::{
+    estimate_energy, estimate_energy_tableau, estimate_energy_threaded, NoisyCliffordRun,
+    StabilizerNoise,
+};
+pub use program::NoiseProgram;
 pub use tableau::{sample_counts, Tableau};

@@ -51,21 +51,77 @@ impl TwirledIdle {
         self.px + self.py + self.pz
     }
 
+    /// Precomputes the cumulative ladder so repeated sampling does not
+    /// re-add the probabilities per call. Build it once per run (the
+    /// per-shot executor) or once per program compilation (the batched
+    /// [`crate::program::NoiseProgram`] path).
+    pub fn ladder(&self) -> IdleLadder {
+        IdleLadder {
+            cum_x: self.px,
+            cum_xy: self.px + self.py,
+            total: self.px + self.py + self.pz,
+        }
+    }
+
     /// Samples one idle-window error from the `(px, py, pz)` ladder.
     ///
-    /// Both the per-shot tableau executor and the Pauli-frame batch path
-    /// draw from this single implementation, so their noise models cannot
-    /// drift apart.
+    /// Convenience wrapper over [`TwirledIdle::ladder`]; hot loops should
+    /// build the ladder once and call [`IdleLadder::sample`] directly.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Pauli> {
+        self.ladder().sample(rng)
+    }
+}
+
+/// The precomputed cumulative table of a [`TwirledIdle`] ladder.
+///
+/// Both the per-shot tableau executor and the batched noise program draw
+/// idle errors through this single implementation, so their noise models
+/// cannot drift apart. The batched path samples *whether* an idle window
+/// errs with a Bernoulli(`total`) flip mask and then draws the letter
+/// conditionally via [`IdleLadder::conditional_letter`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IdleLadder {
+    cum_x: f64,
+    cum_xy: f64,
+    total: f64,
+}
+
+impl IdleLadder {
+    /// Total error probability of the ladder.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Samples one idle-window error (`None` = no error).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Pauli> {
         let r: f64 = rng.gen();
-        if r < self.px {
-            Some(Pauli::X)
-        } else if r < self.px + self.py {
-            Some(Pauli::Y)
-        } else if r < self.total() {
-            Some(Pauli::Z)
+        if r < self.total {
+            Some(self.letter_at(r))
         } else {
             None
+        }
+    }
+
+    /// Samples the error letter *given that* the window erred — the
+    /// conditional distribution `(px, py, pz) / total` used after a
+    /// batched Bernoulli(`total`) hit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the ladder is all-zero.
+    pub fn conditional_letter<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli {
+        debug_assert!(self.total > 0.0, "conditional letter of an empty ladder");
+        self.letter_at(rng.gen::<f64>() * self.total)
+    }
+
+    #[inline]
+    fn letter_at(&self, r: f64) -> Pauli {
+        if r < self.cum_x {
+            Pauli::X
+        } else if r < self.cum_xy {
+            Pauli::Y
+        } else {
+            Pauli::Z
         }
     }
 }
@@ -162,13 +218,15 @@ pub fn run_noisy_shot<R: Rng + ?Sized>(
 ) -> Tableau {
     let n = circuit.num_qubits();
     let mut t = Tableau::new(n);
+    let idle = noise.idle.ladder();
     for layer in circuit.layers() {
         let mut busy = vec![false; n];
         for g in &layer {
             if g.is_measurement() {
                 continue;
             }
-            for q in g.qubits() {
+            let (qs, k) = g.qubits_inline();
+            for &q in &qs[..k] {
                 busy[q] = true;
             }
             t.apply_gate(g);
@@ -180,15 +238,15 @@ pub fn run_noisy_shot<R: Rng + ?Sized>(
                 Gate::Rx(q, _) | Gate::Ry(q, _) => {
                     sample_depolarizing(rng, q, n, noise.depol_rot_xy)
                 }
-                ref g1 => sample_depolarizing(rng, g1.qubits()[0], n, noise.depol_1q),
+                _ => sample_depolarizing(rng, qs[0], n, noise.depol_1q),
             };
             if let Some(e) = err {
                 t.apply_pauli_error(&e);
             }
         }
-        if noise.idle.total() > 0.0 {
+        if idle.total() > 0.0 {
             for (q, _) in busy.iter().enumerate().filter(|&(_, &b)| !b) {
-                if let Some(l) = noise.idle.sample(rng) {
+                if let Some(l) = idle.sample(rng) {
                     t.apply_pauli_error(&PauliString::single(n, q, l));
                 }
             }
@@ -203,12 +261,17 @@ pub fn run_noisy_shot<R: Rng + ?Sized>(
 /// `(1 − 2·meas_flip)^{weight}`.
 ///
 /// Implemented with the batched Pauli-frame engine: the noiseless tableau
-/// runs *once*, noise is propagated as [`crate::frame::PauliFrames`]
-/// (64 shots per word), and each term's noisy expectation is its noiseless
-/// value sign-flipped per shot by frame/term anticommutation. The
-/// statistical model is identical to running `shots` independent noisy
-/// tableaus (see [`estimate_energy_tableau`]); only the RNG stream
-/// differs.
+/// runs *once*, the circuit + noise model are compiled to a
+/// [`crate::program::NoiseProgram`] whose sites draw whole Bernoulli flip
+/// masks, noise propagates as [`crate::frame::PauliFrames`] (64 shots per
+/// word), and each term's noisy expectation is its noiseless value
+/// sign-flipped per shot by frame/term anticommutation. The statistical
+/// model is identical to running `shots` independent noisy tableaus (see
+/// [`estimate_energy_tableau`]); only the RNG stream differs.
+///
+/// Equivalent to [`estimate_energy_threaded`] with one worker — and,
+/// because shot batches derive their RNG streams from their batch index,
+/// *bit-identical* to it at any worker count.
 ///
 /// # Panics
 ///
@@ -220,6 +283,30 @@ pub fn estimate_energy(
     shots: usize,
     seed: SeedSequence,
 ) -> NoisyCliffordRun {
+    estimate_energy_threaded(circuit, observable, noise, shots, seed, 1)
+}
+
+/// [`estimate_energy`] with shot batches sharded across `threads`
+/// crossbeam workers.
+///
+/// Each 256-shot batch derives its RNG stream from the root seed and its
+/// own batch index, so the result is deterministic for a fixed seed and
+/// independent of `threads` — `threads ∈ {1, 2, 8}` all return the same
+/// bits. Use this for large re-evaluation shot budgets; inside a genetic
+/// search the GA already parallelizes across genomes, so its fitness
+/// closure keeps `threads = 1`.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or the circuit/observable sizes mismatch.
+pub fn estimate_energy_threaded(
+    circuit: &Circuit,
+    observable: &PauliSum,
+    noise: &StabilizerNoise,
+    shots: usize,
+    seed: SeedSequence,
+    threads: usize,
+) -> NoisyCliffordRun {
     assert!(shots > 0, "at least one shot required");
     assert_eq!(
         circuit.num_qubits(),
@@ -228,9 +315,35 @@ pub fn estimate_energy(
     );
     let mut ideal = Tableau::new(circuit.num_qubits());
     ideal.run(circuit);
-    let mut rng = seed.derive("pauli-frames").rng();
-    let frames = crate::frame::run_noisy_frames(circuit, noise, shots, &mut rng);
+    let program = crate::program::NoiseProgram::compile(circuit, noise);
+    if program.num_sites() == 0 {
+        // Noiseless fast path: every frame is identity, so all shots see
+        // the same deterministic energy (accumulated with the same
+        // floating-point order as the general path, so results agree
+        // bit-for-bit).
+        let mut e = 0.0f64;
+        for term in observable.terms() {
+            let e0 = ideal.expectation(&term.string);
+            if e0 == 0.0 {
+                continue;
+            }
+            let damp = (1.0 - 2.0 * noise.meas_flip).powi(term.string.weight() as i32);
+            let v = term.coefficient * damp * e0;
+            if v == 0.0 {
+                continue;
+            }
+            e += v;
+        }
+        let energies = vec![e; shots];
+        return NoisyCliffordRun {
+            energy: eftq_numerics::stats::mean(&energies),
+            std_error: eftq_numerics::stats::standard_error(&energies),
+            shots,
+        };
+    }
+    let frames = program.run_threaded(shots, seed.derive("pauli-frames"), threads);
     let mut energies = vec![0.0f64; shots];
+    let mut plane = vec![0u64; shots.div_ceil(64)];
     for term in observable.terms() {
         let e0 = ideal.expectation(&term.string);
         if e0 == 0.0 {
@@ -245,7 +358,8 @@ pub fn estimate_energy(
             *e += v;
         }
         // Anticommuting frames see −v instead of +v.
-        for (w, &word) in frames.flip_plane(&term.string).iter().enumerate() {
+        frames.flip_plane_into(&term.string, &mut plane);
+        for (w, &word) in plane.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let s = w * 64 + bits.trailing_zeros() as usize;

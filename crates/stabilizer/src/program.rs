@@ -1,0 +1,469 @@
+//! Compiled noise programs: the batched sampling engine behind
+//! [`crate::estimate_energy`].
+//!
+//! A noisy frame run has two very different cost centres: *propagating*
+//! frames through gates (word-parallel since the column-major tableau
+//! rework) and *sampling* which shots an error hits (previously one
+//! `rng.gen_bool(p)` per (gate, shot) pair — the dominant cost at NISQ
+//! rates). [`NoiseProgram`] removes the per-shot draws by compiling a
+//! [`Circuit`] + [`StabilizerNoise`] once into a flat instruction list —
+//! gates interleaved with *injection sites* `(qubits, kind, probability)`
+//! — and then executing sites with [`BernoulliWords`]:
+//!
+//! * sites are grouped into **probability classes**; each class owns one
+//!   sampler whose geometric-skip cursor runs through the flat
+//!   `(site × shot)` bit-grid, so a sparse class costs one logarithm per
+//!   **hit** rather than one RNG draw per trial;
+//! * a site's hits arrive as whole flip-mask words that are XORed into
+//!   the frame planes, with error letters drawn word-parallel (see
+//!   [`PauliFrames::inject_depolarizing_masked`]).
+//!
+//! # Batching and seeding
+//!
+//! Shots are sharded into fixed 256-shot batches ([`BATCH_SHOTS`]). Batch
+//! `b` seeds its RNG as `seed.derive_index(b)`, so every batch's content
+//! is a pure function of the root seed and its index — results are
+//! bit-identical whether batches run sequentially or on any number of
+//! [`NoiseProgram::run_threaded`] crossbeam workers, and independent of
+//! how the scheduler interleaves them. The batch size is a compromise:
+//! small enough that modest shot budgets split across workers, large
+//! enough that the per-batch circuit walk and sampler setup amortize.
+
+use crate::frame::PauliFrames;
+use crate::noise::{IdleLadder, StabilizerNoise};
+use crossbeam::thread;
+use eftq_circuit::{Circuit, Gate};
+use eftq_numerics::{BernoulliWords, SeedSequence};
+
+/// Shots per batch: the unit of seed derivation and thread scheduling
+/// (four 64-shot lane words).
+pub const BATCH_SHOTS: usize = 256;
+
+const WORD_BITS: usize = 64;
+const BATCH_WORDS: usize = BATCH_SHOTS / WORD_BITS;
+
+/// One compiled instruction: a frame kernel or an injection site.
+///
+/// Gates are pre-classified into their conjugation kernels at compile
+/// time — rotation angles resolve to quarter-turn parities *once*, so the
+/// per-batch walk never touches floating point or re-matches `Gate`
+/// variants, and frame-identity gates (Paulis, even rotations) compile
+/// away entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    /// Swap the X/Z planes of `q` (H, odd `Ry`).
+    Hadamard { q: usize },
+    /// `fz ^= fx` on `q` (S, S†, odd `Rz`).
+    Phase { q: usize },
+    /// `fx ^= fz` on `q` (odd `Rx`).
+    SqrtX { q: usize },
+    /// CX conjugation.
+    Cx { c: usize, t: usize },
+    /// CZ conjugation.
+    Cz { a: usize, b: usize },
+    /// SWAP conjugation.
+    Swap { a: usize, b: usize },
+    /// Single-qubit depolarizing site (uniform X/Y/Z letter per hit).
+    Depol1 { q: usize, class: u32 },
+    /// Two-qubit depolarizing site (uniform non-identity pair per hit).
+    Depol2 { a: usize, b: usize, class: u32 },
+    /// Twirled-idle site (ladder-conditional letter per hit).
+    Idle { q: usize, class: u32 },
+}
+
+/// Classifies one bound gate into its frame kernel (`None` when the gate
+/// acts trivially on sign-free frames: Paulis, measurements, and
+/// even-quarter-turn rotations).
+///
+/// # Panics
+///
+/// Panics on non-Clifford or symbolic rotations, exactly as
+/// [`PauliFrames::apply_gate`] would.
+fn compile_gate(g: &Gate) -> Option<Op> {
+    use crate::tableau::quarter_turns;
+    use eftq_circuit::Angle;
+    match *g {
+        Gate::H(q) => Some(Op::Hadamard { q }),
+        Gate::S(q) | Gate::Sdg(q) => Some(Op::Phase { q }),
+        Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::Measure(_) => None,
+        Gate::Cx(c, t) => Some(Op::Cx { c, t }),
+        Gate::Cz(a, b) => Some(Op::Cz { a, b }),
+        Gate::Swap(a, b) => Some(Op::Swap { a, b }),
+        Gate::Rz(q, Angle::Value(v)) => (quarter_turns(v, g) % 2 == 1).then_some(Op::Phase { q }),
+        Gate::Rx(q, Angle::Value(v)) => (quarter_turns(v, g) % 2 == 1).then_some(Op::SqrtX { q }),
+        Gate::Ry(q, Angle::Value(v)) => {
+            (quarter_turns(v, g) % 2 == 1).then_some(Op::Hadamard { q })
+        }
+        ref g => panic!("noise programs cannot compile gate {g}"),
+    }
+}
+
+/// A circuit + noise model compiled to a flat, allocation-free execution
+/// plan: ordered gate kernels and injection sites, with site
+/// probabilities deduplicated into sampler classes. Compile once, run for
+/// any shot count, seed, or thread count.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_circuit::Circuit;
+/// use eftq_numerics::SeedSequence;
+/// use eftq_stabilizer::{NoiseProgram, StabilizerNoise};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let mut noise = StabilizerNoise::noiseless();
+/// noise.depol_2q = 0.01;
+/// let program = NoiseProgram::compile(&c, &noise);
+/// assert_eq!(program.num_sites(), 1); // only the CX injects
+/// let frames = program.run(1000, SeedSequence::new(7));
+/// assert_eq!(frames.num_shots(), 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NoiseProgram {
+    n: usize,
+    ops: Vec<Op>,
+    /// Distinct site probabilities; `Op::*.class` indexes this table.
+    classes: Vec<f64>,
+    /// Precomputed cumulative idle ladder (satisfies every idle site).
+    idle: IdleLadder,
+    sites: usize,
+}
+
+impl NoiseProgram {
+    /// Compiles a bound Clifford circuit and noise model into the flat
+    /// site program. Zero-probability sites are elided at compile time;
+    /// measurement gates are skipped and leave their qubit idle, matching
+    /// the per-shot executor [`crate::noise::run_noisy_shot`].
+    pub fn compile(circuit: &Circuit, noise: &StabilizerNoise) -> Self {
+        let n = circuit.num_qubits();
+        let mut ops = Vec::new();
+        let mut classes: Vec<f64> = Vec::new();
+        let mut sites = 0usize;
+        let class_of = |p: f64, classes: &mut Vec<f64>| -> Option<u32> {
+            if p <= 0.0 {
+                return None;
+            }
+            let idx = classes.iter().position(|&c| c == p).unwrap_or_else(|| {
+                classes.push(p);
+                classes.len() - 1
+            });
+            Some(idx as u32)
+        };
+        let idle = noise.idle.ladder();
+        ops.reserve(2 * circuit.len());
+        let mut busy = vec![false; n];
+        for layer in circuit.layers() {
+            busy.fill(false);
+            for g in &layer {
+                if g.is_measurement() {
+                    continue;
+                }
+                let (qs, k) = g.qubits_inline();
+                for &q in &qs[..k] {
+                    busy[q] = true;
+                }
+                if let Some(kernel) = compile_gate(g) {
+                    ops.push(kernel);
+                }
+                let site = match *g {
+                    Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => {
+                        class_of(noise.depol_2q, &mut classes).map(|class| Op::Depol2 {
+                            a,
+                            b,
+                            class,
+                        })
+                    }
+                    Gate::Rz(q, _) => {
+                        class_of(noise.depol_rz, &mut classes).map(|class| Op::Depol1 { q, class })
+                    }
+                    Gate::Rx(q, _) | Gate::Ry(q, _) => class_of(noise.depol_rot_xy, &mut classes)
+                        .map(|class| Op::Depol1 { q, class }),
+                    _ => class_of(noise.depol_1q, &mut classes)
+                        .map(|class| Op::Depol1 { q: qs[0], class }),
+                };
+                if let Some(site) = site {
+                    ops.push(site);
+                    sites += 1;
+                }
+            }
+            if idle.total() > 0.0 {
+                for (q, &b) in busy.iter().enumerate() {
+                    if !b {
+                        let class = class_of(idle.total(), &mut classes)
+                            .expect("positive idle total has a class");
+                        ops.push(Op::Idle { q, class });
+                        sites += 1;
+                    }
+                }
+            }
+        }
+        NoiseProgram {
+            n,
+            ops,
+            classes,
+            idle,
+            sites,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of compiled injection sites (zero-probability sites are
+    /// elided).
+    pub fn num_sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Number of distinct site probabilities (sampler classes).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Runs the program sequentially. Identical output to
+    /// [`NoiseProgram::run_threaded`] at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn run(&self, shots: usize, seed: SeedSequence) -> PauliFrames {
+        self.run_threaded(shots, seed, 1)
+    }
+
+    /// Runs the program with shot batches sharded across `threads`
+    /// crossbeam workers. Batch `b` always evaluates under
+    /// `seed.derive_index(b)`, so the output is bit-identical for every
+    /// `threads` value (including 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0` or a worker panics.
+    pub fn run_threaded(&self, shots: usize, seed: SeedSequence, threads: usize) -> PauliFrames {
+        assert!(shots > 0, "at least one shot required");
+        let batches = shots.div_ceil(BATCH_SHOTS);
+        let batch_shots = |b: usize| (shots - b * BATCH_SHOTS).min(BATCH_SHOTS);
+        if batches == 1 {
+            return self.run_batch(shots, seed.derive_index(0));
+        }
+        let mut out = PauliFrames::new(self.n, shots);
+        if threads <= 1 {
+            for b in 0..batches {
+                let f = self.run_batch(batch_shots(b), seed.derive_index(b as u64));
+                out.splice_words(b * BATCH_WORDS, &f);
+            }
+            return out;
+        }
+        let workers = threads.min(batches);
+        let chunk = batches.div_ceil(workers);
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = (lo + chunk).min(batches);
+                    scope.spawn(move |_| {
+                        (lo..hi)
+                            .map(|b| self.run_batch(batch_shots(b), seed.derive_index(b as u64)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                let frames = handle.join().expect("noise-program worker panicked");
+                for (i, f) in frames.into_iter().enumerate() {
+                    out.splice_words((w * chunk + i) * BATCH_WORDS, &f);
+                }
+            }
+        })
+        .expect("noise-program scope panicked");
+        out
+    }
+
+    /// Evaluates one batch: fresh samplers, fresh RNG, one circuit walk.
+    fn run_batch(&self, shots: usize, seed: SeedSequence) -> PauliFrames {
+        let mut rng = seed.rng();
+        let mut samplers: Vec<BernoulliWords> = self
+            .classes
+            .iter()
+            .map(|&p| BernoulliWords::new(p))
+            .collect();
+        let mut frames = PauliFrames::new(self.n, shots);
+        let mut mask = [0u64; BATCH_WORDS];
+        let mask = &mut mask[..shots.div_ceil(WORD_BITS)];
+        for op in &self.ops {
+            match *op {
+                Op::Hadamard { q } => frames.kernel_hadamard(q),
+                Op::Phase { q } => frames.kernel_phase(q),
+                Op::SqrtX { q } => frames.kernel_sqrt_x(q),
+                Op::Cx { c, t } => frames.kernel_cx(c, t),
+                Op::Cz { a, b } => frames.kernel_cz(a, b),
+                Op::Swap { a, b } => frames.kernel_swap(a, b),
+                Op::Depol1 { q, class } => {
+                    samplers[class as usize].fill_mask(mask, shots, &mut rng);
+                    frames.inject_depolarizing_masked(q, mask, &mut rng);
+                }
+                Op::Depol2 { a, b, class } => {
+                    samplers[class as usize].fill_mask(mask, shots, &mut rng);
+                    frames.inject_depolarizing_2q_masked(a, b, mask, &mut rng);
+                }
+                Op::Idle { q, class } => {
+                    samplers[class as usize].fill_mask(mask, shots, &mut rng);
+                    frames.inject_idle_masked(q, mask, &self.idle, &mut rng);
+                }
+            }
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::TwirledIdle;
+    use eftq_pauli::PauliString;
+
+    fn pauli(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    fn nisq_like() -> StabilizerNoise {
+        StabilizerNoise {
+            depol_1q: 0.002,
+            depol_2q: 0.02,
+            depol_rz: 0.004,
+            depol_rot_xy: 0.004,
+            meas_flip: 0.01,
+            idle: TwirledIdle {
+                px: 0.001,
+                py: 0.001,
+                pz: 0.002,
+            },
+        }
+    }
+
+    #[test]
+    fn compile_counts_sites_and_classes() {
+        // Layer 1: H(0) [site], q1 idles [site]. Layer 2: CX [site].
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let p = NoiseProgram::compile(&c, &nisq_like());
+        assert_eq!(p.num_sites(), 3);
+        // Classes: depol_1q, idle-total, depol_2q.
+        assert_eq!(p.num_classes(), 3);
+        assert_eq!(p.num_qubits(), 2);
+    }
+
+    #[test]
+    fn noiseless_program_has_no_sites() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let p = NoiseProgram::compile(&c, &StabilizerNoise::noiseless());
+        assert_eq!(p.num_sites(), 0);
+        assert_eq!(p.num_classes(), 0);
+        let f = p.run(100, SeedSequence::new(1));
+        assert_eq!(f.flip_count(&pauli("ZZI")), 0);
+        assert_eq!(f.flip_count(&pauli("XXX")), 0);
+    }
+
+    #[test]
+    fn measurement_gates_open_idle_sites() {
+        // Matching run_noisy_shot: a measured qubit counts as idle.
+        let mut c = Circuit::new(2);
+        c.h(0).measure(1);
+        let mut noise = StabilizerNoise::noiseless();
+        noise.idle = TwirledIdle {
+            px: 0.25,
+            py: 0.0,
+            pz: 0.0,
+        };
+        let p = NoiseProgram::compile(&c, &noise);
+        assert_eq!(p.num_sites(), 1);
+        let f = p.run(6400, SeedSequence::new(3));
+        let frac = f.flip_count(&pauli("IZ")) as f64 / 6400.0;
+        assert!((frac - 0.25).abs() < 0.03, "{frac}");
+        assert_eq!(f.flip_count(&pauli("ZI")), 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_frames() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).s(3);
+        let p = NoiseProgram::compile(&c, &nisq_like());
+        let seed = SeedSequence::new(99);
+        for shots in [100usize, 256, 257, 1000, 2048] {
+            let solo = p.run_threaded(shots, seed, 1);
+            for threads in [2usize, 3, 8] {
+                let multi = p.run_threaded(shots, seed, threads);
+                assert_eq!(solo, multi, "shots {shots} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_independent_of_total_shot_count() {
+        // The first batch of a 2048-shot run equals a standalone 256-shot
+        // run: batch content depends only on (seed, batch index).
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let p = NoiseProgram::compile(&c, &nisq_like());
+        let seed = SeedSequence::new(5);
+        let big = p.run(2048, seed);
+        let small = p.run(BATCH_SHOTS, seed);
+        for s in 0..BATCH_SHOTS {
+            assert_eq!(big.frame(s), small.frame(s), "shot {s}");
+        }
+    }
+
+    #[test]
+    fn certain_depolarizing_hits_every_shot() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut noise = StabilizerNoise::noiseless();
+        noise.depol_1q = 1.0;
+        let p = NoiseProgram::compile(&c, &noise);
+        let f = p.run(500, SeedSequence::new(2));
+        for s in 0..500 {
+            assert!(!f.frame(s).is_identity(), "shot {s}");
+        }
+    }
+
+    #[test]
+    fn masked_letters_are_uniform_over_xyz() {
+        // p = 1 exercises the word-parallel rejection draw; the three
+        // letters must come out balanced.
+        let mut c = Circuit::new(1);
+        c.s(0);
+        let mut noise = StabilizerNoise::noiseless();
+        noise.depol_1q = 1.0;
+        let p = NoiseProgram::compile(&c, &noise);
+        let shots = 30_000;
+        let f = p.run(shots, SeedSequence::new(11));
+        let mut counts = [0usize; 3];
+        for s in 0..shots {
+            // The S gate precedes the injection site, so the frame *is*
+            // the injected letter.
+            match f.frame(s).pauli_at(0) {
+                eftq_pauli::Pauli::X => counts[0] += 1,
+                eftq_pauli::Pauli::Y => counts[1] += 1,
+                eftq_pauli::Pauli::Z => counts[2] += 1,
+                eftq_pauli::Pauli::I => panic!("shot {s} missed at p = 1"),
+            }
+        }
+        let third = shots as f64 / 3.0;
+        let sigma = (shots as f64 * (1.0 / 3.0) * (2.0 / 3.0)).sqrt();
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 - third).abs() < 5.0 * sigma, "letter {i}: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_rejected() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let p = NoiseProgram::compile(&c, &StabilizerNoise::noiseless());
+        let _ = p.run(0, SeedSequence::new(0));
+    }
+}

@@ -193,6 +193,44 @@ impl KrausChannel {
         }
         out
     }
+
+    /// The channel as a 4×4 superoperator over vectorized 2×2 blocks:
+    /// `S[(2i+j)·4 + (2l+m)] = Σ_k K_il · conj(K_jm)`, so
+    /// `out_ij = Σ_lm S[ij][lm] · B_lm`.
+    ///
+    /// Precompute this once per channel application site: a block then
+    /// costs 16 complex multiplies instead of the two matrix products per
+    /// Kraus operator of [`KrausChannel::apply_to_block`] — the
+    /// density-matrix executor applies one channel to `4ⁿ⁻¹` blocks, so
+    /// this is its inner loop.
+    pub fn superoperator(&self) -> [Complex; 16] {
+        let mut s = [Complex::ZERO; 16];
+        for k in &self.ops {
+            for i in 0..2 {
+                for j in 0..2 {
+                    for l in 0..2 {
+                        for m in 0..2 {
+                            s[(2 * i + j) * 4 + (2 * l + m)] +=
+                                k.m[i * 2 + l] * k.m[j * 2 + m].conj();
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Applies a precomputed [`KrausChannel::superoperator`] to one 2×2 block.
+#[inline]
+pub fn apply_superoperator(s: &[Complex; 16], block: &Mat2) -> Mat2 {
+    let b = &block.m;
+    let mut out = Mat2::zero();
+    for (ij, o) in out.m.iter_mut().enumerate() {
+        let row = &s[ij * 4..ij * 4 + 4];
+        *o = row[0] * b[0] + row[1] * b[1] + row[2] * b[2] + row[3] * b[3];
+    }
+    out
 }
 
 /// Probability that a depolarizing channel of strength `p` flips the
@@ -322,5 +360,26 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn depolarizing_rejects_bad_p() {
         let _ = KrausChannel::depolarizing(1.5);
+    }
+
+    #[test]
+    fn superoperator_matches_kraus_application() {
+        let block = Mat2::new([
+            Complex::new(0.6, 0.0),
+            Complex::new(0.1, -0.2),
+            Complex::new(0.1, 0.2),
+            Complex::new(0.4, 0.0),
+        ]);
+        for ch in [
+            KrausChannel::identity(),
+            KrausChannel::depolarizing(0.17),
+            KrausChannel::bit_flip(0.3),
+            KrausChannel::amplitude_damping(0.25),
+            KrausChannel::thermal_relaxation(50.0, 200.0, 150.0),
+        ] {
+            let via_super = apply_superoperator(&ch.superoperator(), &block);
+            let via_kraus = ch.apply_to_block(&block);
+            assert!(via_super.approx_eq(&via_kraus, 1e-12), "{ch:?}");
+        }
     }
 }

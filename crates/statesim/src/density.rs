@@ -202,8 +202,14 @@ impl DensityMatrix {
 
     /// Applies a single-qubit Kraus channel on qubit `q`, in place, via 2×2
     /// block transforms over the (row-bit, column-bit) planes.
+    ///
+    /// The channel is folded into its 4×4 superoperator *once* (a scratch
+    /// array on the stack) and every block pays 16 complex multiplies,
+    /// instead of re-walking the Kraus operators — two matrix products
+    /// each — per block as the generic loop did.
     pub fn apply_channel(&mut self, q: usize, channel: &KrausChannel) {
         assert!(q < self.n, "qubit {q} out of range");
+        let s = channel.superoperator();
         let mask = 1usize << q;
         for r in 0..self.dim {
             if r & mask != 0 {
@@ -221,11 +227,50 @@ impl DensityMatrix {
                     self.rho[r1 * self.dim + c],
                     self.rho[r1 * self.dim + c1],
                 ]);
-                let out = channel.apply_to_block(&block);
+                let out = crate::channels::apply_superoperator(&s, &block);
                 self.rho[r * self.dim + c] = out.m[0];
                 self.rho[r * self.dim + c1] = out.m[1];
                 self.rho[r1 * self.dim + c] = out.m[2];
                 self.rho[r1 * self.dim + c1] = out.m[3];
+            }
+        }
+    }
+
+    /// Single-qubit depolarizing channel of strength `p` on `q`, in
+    /// closed form: per 2×2 block,
+    /// `B → (1 − 4p/3)·B + (2p/3)·tr(B)·I` (from the Pauli-twirl identity
+    /// `XBX + YBY + ZBZ = 2·tr(B)·I − B`), skipping the generic Kraus
+    /// loop entirely. Matches
+    /// `apply_channel(q, &KrausChannel::depolarizing(p))` to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1` and `q` is in range.
+    pub fn apply_depolarizing_1q(&mut self, q: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        assert!(q < self.n, "qubit {q} out of range");
+        if p == 0.0 {
+            return;
+        }
+        let keep = 1.0 - 4.0 * p / 3.0;
+        let mix = 2.0 * p / 3.0;
+        let mask = 1usize << q;
+        for r in 0..self.dim {
+            if r & mask != 0 {
+                continue;
+            }
+            let r1 = r | mask;
+            for c in 0..self.dim {
+                if c & mask != 0 {
+                    continue;
+                }
+                let c1 = c | mask;
+                let (d0, d1) = (r * self.dim + c, r1 * self.dim + c1);
+                let t = (self.rho[d0] + self.rho[d1]) * mix;
+                self.rho[d0] = self.rho[d0] * keep + t;
+                self.rho[d1] = self.rho[d1] * keep + t;
+                self.rho[r * self.dim + c1] *= keep;
+                self.rho[r1 * self.dim + c] *= keep;
             }
         }
     }
@@ -522,6 +567,29 @@ mod tests {
         c.h(0).measure(0);
         let rho = DensityMatrix::from_circuit(&c);
         assert!((rho.probability(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_depolarizing_matches_kraus_channel() {
+        let a = ansatz::fully_connected_hea(4, 1);
+        let params: Vec<f64> = (0..a.num_params()).map(|i| 0.31 * i as f64).collect();
+        let c = a.bind(&params);
+        for q in 0..4 {
+            for p in [0.0, 0.05, 0.4, 1.0] {
+                let mut fast = DensityMatrix::from_circuit(&c);
+                let mut generic = fast.clone();
+                fast.apply_depolarizing_1q(q, p);
+                generic.apply_channel(q, &KrausChannel::depolarizing(p));
+                for r in 0..16 {
+                    for cc in 0..16 {
+                        assert!(
+                            fast.entry(r, cc).approx_eq(generic.entry(r, cc), 1e-12),
+                            "q={q} p={p} at ({r},{cc})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod sampling;
 pub mod statevector;
 pub mod trajectory;
 
-pub use channels::KrausChannel;
+pub use channels::{apply_superoperator, KrausChannel};
 pub use density::DensityMatrix;
 pub use noise::{NoiseModel, NoisyRunReport};
 pub use readout::ReadoutModel;

@@ -111,6 +111,58 @@ pub struct NoisyRunReport {
     pub idle_slots: usize,
 }
 
+/// Channels that depend only on the (fixed) noise model, built once per
+/// run. The seed implementation constructed a fresh `KrausChannel` —
+/// heap-allocating its Kraus operators and, for thermal relaxation,
+/// composing two channels — per *application*; with `4ⁿ⁻¹` blocks behind
+/// every application this dominated the density-matrix VQE tests.
+struct RunChannels {
+    /// Thermal relaxation over a single-qubit gate window, with the
+    /// window duration (for the layer clock).
+    relax_1q: Option<(KrausChannel, f64)>,
+    /// Thermal relaxation over a two-qubit gate window, with duration.
+    relax_2q: Option<(KrausChannel, f64)>,
+    /// Thermal relaxation over a measurement window, with duration.
+    relax_meas: Option<(KrausChannel, f64)>,
+    /// Measurement bit-flip.
+    meas_flip: Option<KrausChannel>,
+    /// Idle relaxation per distinct layer duration seen so far (layer
+    /// durations are maxima over the three gate windows, so this stays
+    /// tiny).
+    idle_relax: Vec<(f64, KrausChannel)>,
+}
+
+impl RunChannels {
+    fn new(noise: &NoiseModel) -> Self {
+        let relax = |r: &Relaxation, t: f64| (KrausChannel::thermal_relaxation(t, r.t1, r.t2), t);
+        RunChannels {
+            relax_1q: noise.relaxation.map(|r| relax(&r, r.t_1q)),
+            relax_2q: noise.relaxation.map(|r| relax(&r, r.t_2q)),
+            relax_meas: noise.relaxation.map(|r| relax(&r, r.t_meas)),
+            meas_flip: (noise.meas_flip > 0.0).then(|| KrausChannel::bit_flip(noise.meas_flip)),
+            idle_relax: Vec::new(),
+        }
+    }
+
+    /// The relaxation channel for an idle window of `duration` (cached by
+    /// exact duration).
+    fn idle_relaxation(&mut self, noise: &NoiseModel, duration: f64) -> &KrausChannel {
+        let idx = self
+            .idle_relax
+            .iter()
+            .position(|(t, _)| *t == duration)
+            .unwrap_or_else(|| {
+                let r = noise.relaxation.expect("idle relaxation without model");
+                self.idle_relax.push((
+                    duration,
+                    KrausChannel::thermal_relaxation(duration, r.t1, r.t2),
+                ));
+                self.idle_relax.len() - 1
+            });
+        &self.idle_relax[idx].1
+    }
+}
+
 /// Runs a fully bound circuit under `noise`, returning the final state and
 /// a report.
 ///
@@ -126,6 +178,7 @@ pub fn run_noisy(circuit: &Circuit, noise: &NoiseModel) -> (DensityMatrix, Noisy
     let n = circuit.num_qubits();
     let mut rho = DensityMatrix::zero_state(n);
     let mut report = NoisyRunReport::default();
+    let mut chans = RunChannels::new(noise);
 
     for layer in layer_circuit(circuit) {
         report.layers += 1;
@@ -135,24 +188,19 @@ pub fn run_noisy(circuit: &Circuit, noise: &NoiseModel) -> (DensityMatrix, Noisy
             for q in g.qubits() {
                 busy[q] = true;
             }
-            apply_gate_with_noise(&mut rho, g, noise, &mut report, &mut layer_duration);
+            apply_gate_with_noise(&mut rho, g, noise, &chans, &mut report, &mut layer_duration);
         }
         // Idle noise for untouched qubits.
         let idle_needed = noise.relaxation.is_some() || noise.idle_depol > 0.0;
         if idle_needed {
             for (q, _) in busy.iter().enumerate().filter(|&(_, &b)| !b) {
                 report.idle_slots += 1;
-                if let Some(r) = noise.relaxation {
-                    if layer_duration > 0.0 {
-                        rho.apply_channel(
-                            q,
-                            &KrausChannel::thermal_relaxation(layer_duration, r.t1, r.t2),
-                        );
-                        report.channel_applications += 1;
-                    }
+                if noise.relaxation.is_some() && layer_duration > 0.0 {
+                    rho.apply_channel(q, chans.idle_relaxation(noise, layer_duration));
+                    report.channel_applications += 1;
                 }
                 if noise.idle_depol > 0.0 {
-                    rho.apply_channel(q, &KrausChannel::depolarizing(noise.idle_depol));
+                    rho.apply_depolarizing_1q(q, noise.idle_depol);
                     report.channel_applications += 1;
                 }
             }
@@ -165,18 +213,19 @@ fn apply_gate_with_noise(
     rho: &mut DensityMatrix,
     gate: &Gate,
     noise: &NoiseModel,
+    chans: &RunChannels,
     report: &mut NoisyRunReport,
     layer_duration: &mut f64,
 ) {
     match *gate {
         Gate::Measure(q) => {
-            if let Some(r) = noise.relaxation {
-                rho.apply_channel(q, &KrausChannel::thermal_relaxation(r.t_meas, r.t1, r.t2));
+            if let Some((ch, t)) = &chans.relax_meas {
+                rho.apply_channel(q, ch);
                 report.channel_applications += 1;
-                *layer_duration = layer_duration.max(r.t_meas);
+                *layer_duration = layer_duration.max(*t);
             }
-            if noise.meas_flip > 0.0 {
-                rho.apply_channel(q, &KrausChannel::bit_flip(noise.meas_flip));
+            if let Some(ch) = &chans.meas_flip {
+                rho.apply_channel(q, ch);
                 report.channel_applications += 1;
             }
         }
@@ -187,12 +236,12 @@ fn apply_gate_with_noise(
                 rho.apply_depolarizing_2q(qs[0], qs[1], noise.depol_2q);
                 report.channel_applications += 1;
             }
-            if let Some(r) = noise.relaxation {
+            if let Some((ch, t)) = &chans.relax_2q {
                 for &q in &qs {
-                    rho.apply_channel(q, &KrausChannel::thermal_relaxation(r.t_2q, r.t1, r.t2));
+                    rho.apply_channel(q, ch);
                     report.channel_applications += 1;
                 }
-                *layer_duration = layer_duration.max(r.t_2q);
+                *layer_duration = layer_duration.max(*t);
             }
         }
         ref g => {
@@ -208,18 +257,17 @@ fn apply_gate_with_noise(
                 noise.depol_1q
             };
             if p > 0.0 {
-                rho.apply_channel(q, &KrausChannel::depolarizing(p));
+                // Closed-form fast path: no Kraus loop for depolarizing.
+                rho.apply_depolarizing_1q(q, p);
                 report.channel_applications += 1;
             }
             // Virtual-Z convention: an Rz in the NISQ regime is free and
             // instantaneous, so it contributes no relaxation window.
-            let is_virtual_z =
-                matches!(g, Gate::Rz(..)) && noise.relaxation.is_some() && !is_rz_like;
-            if let Some(r) = noise.relaxation {
-                if !is_virtual_z && !matches!(g, Gate::Rz(..)) {
-                    rho.apply_channel(q, &KrausChannel::thermal_relaxation(r.t_1q, r.t1, r.t2));
+            if let Some((ch, t)) = &chans.relax_1q {
+                if !matches!(g, Gate::Rz(..)) {
+                    rho.apply_channel(q, ch);
                     report.channel_applications += 1;
-                    *layer_duration = layer_duration.max(r.t_1q);
+                    *layer_duration = layer_duration.max(*t);
                 }
             }
         }

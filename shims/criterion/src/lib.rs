@@ -13,10 +13,67 @@
 //! of that without touching the bench sources.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier, re-exported from the standard library.
 pub use std::hint::black_box;
+
+/// Recorded `(benchmark id, nanoseconds)` pairs for the JSON artifact.
+/// In bench mode the value is the median sample; in `-- --test` smoke
+/// mode it is the single validation run's wall time.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+fn record(id: &str, nanos: u128) {
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .push((id.to_string(), nanos));
+}
+
+/// Writes every recorded benchmark timing as a JSON artifact when the
+/// `BENCH_JSON` environment variable names a directory: the file is
+/// `<dir>/BENCH_<bench-binary>.json`, one `{"id", "ns"}` object per
+/// benchmark. Called automatically by [`criterion_main!`]; a no-op when
+/// the variable is unset. Timings from `-- --test` smoke runs are single
+/// unwarmed executions — treat them as coarse canaries, not medians.
+pub fn write_json_artifact() {
+    let Ok(dir) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let mut json = String::from("[\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+        json.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"ns\": {ns}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let path = format!("{dir}/BENCH_{}.json", bench_binary_name());
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        eprintln!("warning: could not write bench artifact {path}: {e}");
+    }
+}
+
+/// The bench binary's logical name: the executable stem with cargo's
+/// trailing `-<hex hash>` stripped (`simulators-1a2b…` → `simulators`).
+fn bench_binary_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() >= 8 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
 
 /// Identifier for a parameterized benchmark (`<function>/<parameter>`).
 #[derive(Clone, Debug)]
@@ -69,6 +126,7 @@ fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) 
             samples: Vec::with_capacity(1),
         };
         f(&mut once);
+        record(id, once.samples.first().map_or(0, |d| d.as_nanos()));
         println!("test:  {id:<48} ok");
         return;
     }
@@ -91,6 +149,7 @@ fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) 
         .get(b.samples.len() / 2)
         .copied()
         .unwrap_or_default();
+    record(id, median.as_nanos());
     println!(
         "bench: {id:<48} median {median:>12.2?} ({} samples)",
         b.samples.len()
@@ -176,11 +235,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares `main` for a bench target (requires `harness = false`).
+/// After all groups run, timings are dumped as a JSON artifact if
+/// `BENCH_JSON` is set (see [`write_json_artifact`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_artifact();
         }
     };
 }
@@ -211,5 +273,41 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+    }
+
+    #[test]
+    fn results_are_recorded_and_artifact_written() {
+        Criterion::default().bench_function("artifact-smoke", |b| b.iter(|| black_box(1 + 1)));
+        assert!(RESULTS
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|(id, _)| id == "artifact-smoke"));
+        let dir = std::env::temp_dir().join("criterion-shim-artifact-test");
+        std::env::set_var("BENCH_JSON", &dir);
+        write_json_artifact();
+        std::env::remove_var("BENCH_JSON");
+        let file = std::fs::read_dir(&dir)
+            .expect("artifact dir exists")
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().starts_with("BENCH_"))
+            .expect("artifact file written");
+        let body = std::fs::read_to_string(file.path()).unwrap();
+        assert!(body.contains("\"id\": \"artifact-smoke\""), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_name_strips_cargo_hash() {
+        // The test binary itself is `criterion-<hash>`, so the helper
+        // must strip the hash here too.
+        let name = bench_binary_name();
+        assert!(!name.is_empty());
+        assert!(
+            !name
+                .rsplit_once('-')
+                .is_some_and(|(_, h)| h.len() >= 8 && h.bytes().all(|b| b.is_ascii_hexdigit())),
+            "{name}"
+        );
     }
 }

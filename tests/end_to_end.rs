@@ -19,8 +19,8 @@ fn quick_clifford() -> CliffordVqeConfig {
     // cheaper than the seed's smaller one.
     CliffordVqeConfig {
         ga: GeneticConfig {
-            population: 40,
-            generations: 60,
+            population: 48,
+            generations: 80,
             threads: 4,
             ..GeneticConfig::default()
         },
@@ -73,6 +73,7 @@ fn clifford_vqe_gamma_above_one() {
             &pqec.best_genome,
             128,
             11,
+            2,
         );
         let e_nisq = reevaluate_genome(
             &ansatz,
@@ -81,6 +82,7 @@ fn clifford_vqe_gamma_above_one() {
             &nisq.best_genome,
             128,
             11,
+            2,
         );
         // E0 is "the lowest stabilizer state energy obtained in the
         // absence of noise" (Section 5.3.1) — across everything we saw.

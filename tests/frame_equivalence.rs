@@ -11,7 +11,10 @@ use eftq_circuit::Circuit;
 use eftq_numerics::SeedSequence;
 use eftq_pauli::{Pauli, PauliString, PauliSum};
 use eftq_stabilizer::noise::TwirledIdle;
-use eftq_stabilizer::{estimate_energy, estimate_energy_tableau, StabilizerNoise};
+use eftq_stabilizer::{
+    estimate_energy, estimate_energy_tableau, estimate_energy_threaded, run_noisy_frames,
+    run_noisy_frames_percall, StabilizerNoise,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -280,6 +283,75 @@ fn ragged_shot_counts_are_unbiased() {
         "ragged {ragged} vs aligned {}",
         big.energy
     );
+}
+
+/// The compiled batched sampler matches the per-call reference sampler in
+/// distribution: same flip rate for every observable, across random
+/// circuits (three independent estimators of the same mean, pairwise
+/// within combined standard errors).
+#[test]
+fn batched_sampler_matches_percall_reference() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let noise = nisq_like_noise();
+    for trial in 0..4 {
+        let n = 3 + trial;
+        let circuit = random_clifford(n, 30, &mut rng);
+        let h = random_observable(n, 5, &mut rng);
+        let shots = 4000;
+        // Batched estimate (production path).
+        let batched = estimate_energy(&circuit, &h, &noise, shots, SeedSequence::new(trial as u64));
+        // Per-call frame estimate: reference sampler, same statistical
+        // model, independent stream.
+        let mut frame_rng = StdRng::seed_from_u64(500 + trial as u64);
+        let percall = run_noisy_frames_percall(&circuit, &noise, shots, &mut frame_rng);
+        let mut ideal = eftq_stabilizer::Tableau::new(n);
+        ideal.run(&circuit);
+        let mut percall_energy = 0.0;
+        for term in h.terms() {
+            let e0 = ideal.expectation(&term.string);
+            if e0 == 0.0 {
+                continue;
+            }
+            let damp = (1.0 - 2.0 * noise.meas_flip).powi(term.string.weight() as i32);
+            let flips = percall.flip_count(&term.string) as f64;
+            percall_energy += term.coefficient * damp * e0 * (1.0 - 2.0 * flips / shots as f64);
+        }
+        let tol = 5.0 * batched.std_error.max(1e-3) * 2.0;
+        assert!(
+            (batched.energy - percall_energy).abs() <= tol,
+            "trial {trial}: batched {} vs percall {percall_energy}",
+            batched.energy
+        );
+    }
+}
+
+/// Batched frames are deterministic and *thread-count-invariant*: the
+/// same seed yields bit-identical frames and energies whether batches run
+/// on one worker or eight.
+#[test]
+fn threaded_results_are_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let circuit = random_clifford(6, 50, &mut rng);
+    let h = random_observable(6, 6, &mut rng);
+    let noise = nisq_like_noise();
+    for shots in [64usize, 300, 1024, 2100] {
+        let frames = run_noisy_frames(&circuit, &noise, shots, SeedSequence::new(7));
+        let base = estimate_energy(&circuit, &h, &noise, shots, SeedSequence::new(7));
+        for threads in [2usize, 8] {
+            let t = estimate_energy_threaded(
+                &circuit,
+                &h,
+                &noise,
+                shots,
+                SeedSequence::new(7),
+                threads,
+            );
+            assert_eq!(base, t, "shots {shots} threads {threads}");
+        }
+        // Frame content itself is reproducible from the seed alone.
+        let again = run_noisy_frames(&circuit, &noise, shots, SeedSequence::new(7));
+        assert_eq!(frames, again, "shots {shots}");
+    }
 }
 
 /// The 100-qubit regime the paper simulates: the frame estimator stays
