@@ -1,10 +1,14 @@
 //! Criterion benches for the VQE inner loops (one energy evaluation per
-//! regime) — the cost that dominates Figures 12-15.
+//! regime) — the cost that dominates Figures 12-15 — and the GA fitness
+//! compilation hoist (per-genome `NoiseProgram::compile` vs binding a
+//! precompiled `NoiseTemplate`), recorded in the bench JSON so the
+//! before/after of the hoist stays on the record.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eft_vqa::vqe::noisy_energy;
 use eft_vqa::ExecutionRegime;
 use eftq_circuit::ansatz::fully_connected_hea;
+use eftq_stabilizer::{NoiseProgram, NoiseTemplate};
 
 fn bench_energy_evaluations(c: &mut Criterion) {
     let mut group = c.benchmark_group("vqe_energy");
@@ -24,5 +28,26 @@ fn bench_energy_evaluations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_energy_evaluations);
+/// The Figure-12 GA fitness loop used to recompile the noise program for
+/// every genome; now the symbolic ansatz compiles once and each genome
+/// only re-resolves quarter-turn parities. These two benches are that
+/// before/after at the Figure-12 16-qubit shape.
+fn bench_fitness_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_compile");
+    group.sample_size(20);
+    let n = 16;
+    let ansatz = fully_connected_hea(n, 1);
+    let noise = ExecutionRegime::nisq_default().stabilizer_noise();
+    let genome: Vec<u8> = (0..ansatz.num_params()).map(|i| (i % 4) as u8).collect();
+    group.bench_function("per_genome_compile_16q", |b| {
+        b.iter(|| NoiseProgram::compile(&ansatz.bind_clifford(&genome), &noise));
+    });
+    let template = NoiseTemplate::compile(ansatz.circuit(), &noise);
+    group.bench_function("template_bind_16q", |b| {
+        b.iter(|| template.bind_clifford(&genome));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_evaluations, bench_fitness_compilation);
 criterion_main!(benches);

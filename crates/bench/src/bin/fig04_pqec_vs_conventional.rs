@@ -3,7 +3,7 @@
 //! across the four (15-to-1) factory configurations.
 
 use eft_vqa::sweeps::fig4_rows;
-use eftq_bench::{fmt, header};
+use eftq_bench::{fmt, header, Row};
 
 fn main() {
     header("Figure 4 - pQEC vs qec-conventional (10k qubits, FCHE p=1)");
@@ -21,6 +21,13 @@ fn main() {
             fmt(r.conventional),
             fmt(r.improvement)
         );
+        Row::new("fig04")
+            .int("qubits", r.qubits as i64)
+            .str("factory", r.factory)
+            .num("pqec", r.pqec)
+            .num("conventional", r.conventional)
+            .num("improvement", r.improvement)
+            .emit();
     }
     let ratios: Vec<f64> = rows.iter().map(|r| r.improvement).collect();
     println!(

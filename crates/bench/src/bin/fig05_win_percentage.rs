@@ -3,7 +3,7 @@
 //! that do not fit at d = 11 (the paper's white squares).
 
 use eft_vqa::sweeps::fig5_grid;
-use eftq_bench::{full_scale, header};
+use eftq_bench::{full_scale, header, Row};
 
 fn main() {
     let devices: Vec<usize> = (10..=60).step_by(10).map(|k| k * 1000).collect();
@@ -33,6 +33,14 @@ fn main() {
             }
         }
         println!();
+    }
+    for cell in &cells {
+        Row::new("fig05")
+            .int("device_qubits", cell.device_qubits as i64)
+            .int("logical_qubits", cell.logical_qubits as i64)
+            .int("feasible", i64::from(cell.feasible))
+            .num("pqec_win_fraction", cell.pqec_win_fraction)
+            .emit();
     }
     println!("\npaper shape: conventional wins small-program/large-device corner; pQEC wins at the device frontier");
 }

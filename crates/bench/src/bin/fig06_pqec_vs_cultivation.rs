@@ -2,7 +2,7 @@
 //! at 10k and 20k physical qubits, 10-70 logical qubits.
 
 use eft_vqa::sweeps::fig6_rows;
-use eftq_bench::{fmt, header};
+use eftq_bench::{fmt, header, Row};
 
 fn main() {
     let programs: Vec<usize> = (12..=68).step_by(8).collect();
@@ -19,6 +19,13 @@ fn main() {
             a.map_or("   (unfit)".into(), |r| fmt(r.improvement)),
             b.map_or("   (unfit)".into(), |r| fmt(r.improvement)),
         );
+        for r in [a, b].into_iter().flatten() {
+            Row::new("fig06")
+                .int("device_qubits", r.device_qubits as i64)
+                .int("logical_qubits", r.logical_qubits as i64)
+                .num("improvement", r.improvement)
+                .emit();
+        }
     }
     println!("\npaper shape: cultivation wins at small logical counts (ratio < 1); pQEC wins as qubits grow; 20k shifts the crossover right");
 }

@@ -1,7 +1,7 @@
 //! Figure 8: spacetime volume of patch shuffling vs the naive strategy
 //! with b = 1..4 backup states, 20-76 qubits.
 
-use eftq_bench::header;
+use eftq_bench::{header, Row};
 use eftq_layout::shuffling::{naive_backup_volume, patch_shuffling_volume};
 use eftq_qec::InjectionModel;
 
@@ -15,11 +15,16 @@ fn main() {
     for n in (20..=76).step_by(4) {
         let s = patch_shuffling_volume(n, 1, &model);
         print!("{n:>7} {:>14.3e}", s.volume);
+        let mut row = Row::new("fig08")
+            .int("qubits", n as i64)
+            .num("shuffling", s.volume);
         for b in 1..=4 {
             let v = naive_backup_volume(n, 1, b, &model);
             print!(" {:>14.3e}", v.volume);
+            row = row.num(&format!("naive_b{b}"), v.volume);
         }
         println!();
+        row.emit();
     }
     println!("\npaper shape: shuffling below every naive curve; naive volume grows with b");
 }

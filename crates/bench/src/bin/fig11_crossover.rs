@@ -3,7 +3,7 @@
 //! theoretical crossover.
 
 use eft_vqa::crossover::{blocked_crossover_qubits, fig11_curves};
-use eftq_bench::{fmt, header};
+use eftq_bench::{fmt, header, Row};
 
 fn main() {
     header("Figure 11 - NISQ vs EFT fidelity vs depth (blocked_all_to_all)");
@@ -12,11 +12,20 @@ fn main() {
         println!("{:>7} {:>10} {:>10}", "depth", "NISQ", "EFT");
         for pt in fig11_curves(n, 24).iter().step_by(4) {
             println!("{:>7} {} {}", pt.depth, fmt(pt.nisq), fmt(pt.eft));
+            Row::new("fig11")
+                .int("qubits", n as i64)
+                .int("depth", pt.depth as i64)
+                .num("nisq", pt.nisq)
+                .num("eft", pt.eft)
+                .emit();
         }
     }
     println!(
         "\ntheoretical crossover (Section 4.4): N = {} (paper: 13; empirical: ~12)",
         blocked_crossover_qubits()
     );
+    Row::new("fig11_crossover")
+        .int("crossover_qubits", blocked_crossover_qubits() as i64)
+        .emit();
     println!("paper shape: NISQ wins at 8 qubits for large depth; EFT wins at 12 and 16");
 }

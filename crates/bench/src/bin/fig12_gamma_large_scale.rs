@@ -4,100 +4,51 @@
 //!
 //! Default: 16/24/32 qubits with a small GA budget. EFT_FULL=1 extends to
 //! 48/64/100 qubits (several minutes).
+//!
+//! Backed by the `eftq_sweep` engine: the grid lives in
+//! [`Fig12Driver::spec`] and this binary is a thin CLI wrapper. Flags:
+//! `--json` (JSONL rows on stdout), `--threads N` (work-stealing point
+//! parallelism; rows are bit-identical for every N), `--resume <path>`
+//! (JSONL checkpoint: a killed run continues instead of restarting) and
+//! `--points model=Ising,qubits=16|24` (subset filtering).
 
-use eft_vqa::clifford_vqe::{
-    clifford_vqe_in_regime, genome_energy, noiseless_reference_energy, reevaluate_genome,
-    CliffordVqeConfig,
-};
-use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d, COUPLINGS};
-use eft_vqa::{relative_improvement, ExecutionRegime};
-use eftq_bench::{fmt, full_scale, header, Row};
-use eftq_circuit::ansatz::fully_connected_hea;
-use eftq_optim::GeneticConfig;
+use eft_vqa::sweeps::Fig12Driver;
+use eftq_bench::{fmt, full_scale, header};
+use eftq_sweep::{run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig12: {e}");
+        std::process::exit(2);
+    });
     header("Figure 12 - gamma(pQEC/NISQ), Clifford VQE (genetic search)");
-    let sizes: Vec<usize> = if full_scale() {
-        vec![16, 24, 32, 48, 64, 100]
-    } else {
-        vec![16, 24, 32]
-    };
-    let config = CliffordVqeConfig {
-        ga: GeneticConfig {
-            population: if full_scale() { 32 } else { 16 },
-            generations: if full_scale() { 40 } else { 16 },
-            threads: 4,
-            ..GeneticConfig::default()
-        },
-        shots: if full_scale() { 16 } else { 6 },
-        ..CliffordVqeConfig::default()
-    };
+    let full = full_scale();
+    let spec = Fig12Driver::spec(full);
+    let driver = Fig12Driver::new(full);
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
     let mut all_gammas = Vec::new();
-    for (model_name, build) in [
-        ("Ising", ising_1d as fn(usize, f64) -> eftq_pauli::PauliSum),
-        (
-            "Heisenberg",
-            heisenberg_1d as fn(usize, f64) -> eftq_pauli::PauliSum,
-        ),
-    ] {
-        println!("\n-- {model_name} --");
-        println!(
-            "{:>7} {:>6} {:>10} {:>10} {:>10} {:>10}",
-            "qubits", "J", "E0", "E_pQEC", "E_NISQ", "gamma"
-        );
-        for &n in &sizes {
-            for &j in &COUPLINGS {
-                let h = build(n, j);
-                let ansatz = fully_connected_hea(n, 1);
-                let pqec =
-                    clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::pqec_default(), &config);
-                let nisq =
-                    clifford_vqe_in_regime(&ansatz, &h, &ExecutionRegime::nisq_default(), &config);
-                // Unbiased re-evaluation of both winners (the few-shot
-                // search estimate is optimistically biased).
-                let reeval_shots = 8 * config.shots;
-                let e_pqec = reevaluate_genome(
-                    &ansatz,
-                    &h,
-                    &ExecutionRegime::pqec_default().stabilizer_noise(),
-                    &pqec.best_genome,
-                    reeval_shots,
-                    17,
-                    config.ga.threads,
-                );
-                let e_nisq = reevaluate_genome(
-                    &ansatz,
-                    &h,
-                    &ExecutionRegime::nisq_default().stabilizer_noise(),
-                    &nisq.best_genome,
-                    reeval_shots,
-                    17,
-                    config.ga.threads,
-                );
-                // E0: lowest noiseless stabilizer energy seen anywhere.
-                let e0 = noiseless_reference_energy(&ansatz, &h, &config)
-                    .min(genome_energy(&ansatz, &h, &pqec.best_genome))
-                    .min(genome_energy(&ansatz, &h, &nisq.best_genome));
-                let gamma = relative_improvement(e0, e_pqec, e_nisq);
-                all_gammas.push(gamma);
-                println!(
-                    "{n:>7} {j:>6.2} {} {} {} {}",
-                    fmt(e0),
-                    fmt(e_pqec),
-                    fmt(e_nisq),
-                    fmt(gamma)
-                );
-                Row::new("fig12")
-                    .str("model", model_name)
-                    .int("qubits", n as i64)
-                    .num("j", j)
-                    .num("e0", e0)
-                    .num("e_pqec", e_pqec)
-                    .num("e_nisq", e_nisq)
-                    .num("gamma", gamma)
-                    .emit();
-            }
+    let mut current_model = "";
+    for row in &report.rows {
+        let model = row.get_str("model").expect("model field");
+        if model != current_model {
+            current_model = model;
+            println!("\n-- {model} --");
+            println!(
+                "{:>7} {:>6} {:>10} {:>10} {:>10} {:>10}",
+                "qubits", "J", "E0", "E_pQEC", "E_NISQ", "gamma"
+            );
         }
+        let gamma = row.get_num("gamma").expect("gamma field");
+        all_gammas.push(gamma);
+        println!(
+            "{:>7} {:>6.2} {} {} {} {}",
+            row.get_int("qubits").expect("qubits field"),
+            row.get_num("j").expect("j field"),
+            fmt(row.get_num("e0").expect("e0 field")),
+            fmt(row.get_num("e_pqec").expect("e_pqec field")),
+            fmt(row.get_num("e_nisq").expect("e_nisq field")),
+            fmt(gamma)
+        );
     }
     println!(
         "\ngeometric-mean gamma = {:.2}x, max = {:.2}x",

@@ -5,65 +5,58 @@
 //! 8-qubit physics models and the 12-qubit chemistry Hamiltonians
 //! (H2O/H6/LiH at 1 and 4.5 Angstrom) — the latter are 4096x4096 density
 //! matrices and take a long while.
+//!
+//! Backed by the `eftq_sweep` engine as two grids (physics: `fig13`,
+//! chemistry: `fig13_chem`); supports `--json`, `--threads N`,
+//! `--resume <path>` (both grids share one checkpoint file) and
+//! `--points` (filters apply to the physics grid's axes).
 
-use eft_vqa::hamiltonians::{
-    heisenberg_1d, ising_1d, molecular, Molecule, BOND_LENGTHS, COUPLINGS,
-};
-use eft_vqa::vqe::{run_vqe, VqeConfig};
-use eft_vqa::{relative_improvement, ExecutionRegime};
+use eft_vqa::sweeps::Fig13Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_circuit::ansatz::fully_connected_hea;
+use eftq_sweep::{run_sweep_or_exit, Row, SweepOptions};
 
-fn gamma_for(h: &eftq_pauli::PauliSum, label: &str, config: &VqeConfig, gammas: &mut Vec<f64>) {
-    let n = h.num_qubits();
-    let ansatz = fully_connected_hea(n, 1);
-    let e0 = h.ground_energy_default().expect("lanczos");
-    let pqec = run_vqe(&ansatz, h, &ExecutionRegime::pqec_default(), config);
-    let nisq = run_vqe(&ansatz, h, &ExecutionRegime::nisq_default(), config);
-    let gamma = relative_improvement(e0, pqec.best_energy, nisq.best_energy);
+fn print_gamma_row(row: &Row, gammas: &mut Vec<f64>) {
+    let gamma = row.get_num("gamma").expect("gamma field");
     gammas.push(gamma);
     println!(
-        "{label:>22} {} {} {} {}",
-        fmt(e0),
-        fmt(pqec.best_energy),
-        fmt(nisq.best_energy),
+        "{:>22} {} {} {} {}",
+        row.get_str("benchmark").expect("benchmark field"),
+        fmt(row.get_num("e0").expect("e0 field")),
+        fmt(row.get_num("e_pqec").expect("e_pqec field")),
+        fmt(row.get_num("e_nisq").expect("e_nisq field")),
         fmt(gamma)
     );
 }
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig13: {e}");
+        std::process::exit(2);
+    });
     header("Figure 13 - gamma(pQEC/NISQ), density-matrix VQE");
-    let config = VqeConfig {
-        max_iters: if full_scale() { 400 } else { 300 },
-        restarts: if full_scale() { 3 } else { 2 },
-        ..VqeConfig::default()
-    };
+    let full = full_scale();
+    let driver = Fig13Driver::new(full);
+    let report = run_sweep_or_exit(&Fig13Driver::spec(full), &opts, |p, _| driver.eval(p));
     println!(
         "{:>22} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "E0", "E_pQEC", "E_NISQ", "gamma"
     );
     let mut gammas = Vec::new();
-    let n = if full_scale() { 8 } else { 6 };
-    for &j in &COUPLINGS {
-        gamma_for(
-            &ising_1d(n, j),
-            &format!("Ising-{n} J={j}"),
-            &config,
-            &mut gammas,
-        );
-        gamma_for(
-            &heisenberg_1d(n, j),
-            &format!("Heisenberg-{n} J={j}"),
-            &config,
-            &mut gammas,
-        );
+    for row in &report.rows {
+        print_gamma_row(row, &mut gammas);
     }
-    if full_scale() {
-        for m in Molecule::ALL {
-            for &l in &BOND_LENGTHS {
-                let h = molecular(m, l);
-                gamma_for(&h, &format!("{}-12 l={l}A", m.name()), &config, &mut gammas);
-            }
+    if full {
+        // The chemistry grid has its own axes, so the physics `--points`
+        // filter does not apply to it.
+        let chem_opts = SweepOptions {
+            filter: None,
+            ..opts
+        };
+        let chem = run_sweep_or_exit(&Fig13Driver::chem_spec(), &chem_opts, |p, _| {
+            driver.eval_chem(p)
+        });
+        for row in &chem.rows {
+            print_gamma_row(row, &mut gammas);
         }
     } else {
         println!("(set EFT_FULL=1 for the 12-qubit H2O/H6/LiH chemistry rows)");

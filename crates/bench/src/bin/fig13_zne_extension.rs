@@ -5,7 +5,7 @@
 use eft_vqa::hamiltonians::ising_1d;
 use eft_vqa::zne::{energy_at_scale, zne_energy};
 use eft_vqa::ExecutionRegime;
-use eftq_bench::{fmt, header};
+use eftq_bench::{fmt, header, Row};
 use eftq_circuit::ansatz::fully_connected_hea;
 
 fn main() {
@@ -38,6 +38,13 @@ fn main() {
             fmt(zne.extrapolated),
             100.0 * recovered
         );
+        Row::new("fig13_zne")
+            .str("regime", regime.name())
+            .num("noiseless", ideal)
+            .num("noisy", noisy)
+            .num("zne", zne.extrapolated)
+            .num("recovered", recovered)
+            .emit();
     }
     println!("\nSection 7's claim: pre/post-processing mitigation like ZNE transitions");
     println!("to the EFT regime; under pQEC it targets the injected-rotation channel.");

@@ -1,97 +1,38 @@
 //! Figure 14: gamma(blocked_all_to_all / FCHE) under pQEC for Ising and
 //! Heisenberg models, plus the noiseless "expressibility" energy ratio.
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig14Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>` and
+//! `--points model=Ising,qubits=16`.
 
-use eft_vqa::clifford_vqe::{
-    clifford_vqe_in_regime, genome_energy, noiseless_reference_energy, reevaluate_genome,
-    CliffordVqeConfig,
-};
-use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d, COUPLINGS};
-use eft_vqa::{relative_improvement, ExecutionRegime};
+use eft_vqa::sweeps::Fig14Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_circuit::ansatz::{blocked_all_to_all, fully_connected_hea};
-use eftq_optim::GeneticConfig;
+use eftq_sweep::{run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig14: {e}");
+        std::process::exit(2);
+    });
     header("Figure 14 - blocked_all_to_all vs FCHE under pQEC (Clifford VQE)");
-    let sizes: Vec<usize> = if full_scale() {
-        vec![16, 24, 32, 48]
-    } else {
-        vec![16, 24]
-    };
-    let config = CliffordVqeConfig {
-        ga: GeneticConfig {
-            population: if full_scale() { 32 } else { 16 },
-            generations: if full_scale() { 40 } else { 16 },
-            threads: 4,
-            ..GeneticConfig::default()
-        },
-        shots: if full_scale() { 16 } else { 6 },
-        ..CliffordVqeConfig::default()
-    };
-    let regime = ExecutionRegime::pqec_default();
+    let full = full_scale();
+    let driver = Fig14Driver::new(full);
+    let report = run_sweep_or_exit(&Fig14Driver::spec(full), &opts, |p, _| driver.eval(p));
     println!(
         "{:>12} {:>7} {:>6} {:>10} {:>10} {:>10} {:>12}",
         "model", "qubits", "J", "E_blocked", "E_FCHE", "gamma", "ideal ratio"
     );
-    for (model_name, build) in [
-        ("Ising", ising_1d as fn(usize, f64) -> eftq_pauli::PauliSum),
-        (
-            "Heisenberg",
-            heisenberg_1d as fn(usize, f64) -> eftq_pauli::PauliSum,
-        ),
-    ] {
-        for &n in &sizes {
-            for &j in &COUPLINGS {
-                let h = build(n, j);
-                let blocked = blocked_all_to_all(n, 1);
-                let fche = fully_connected_hea(n, 1);
-                let e0 = noiseless_reference_energy(&fche, &h, &config)
-                    .min(noiseless_reference_energy(&blocked, &h, &config));
-                let eb_run = clifford_vqe_in_regime(&blocked, &h, &regime, &config);
-                let ef_run = clifford_vqe_in_regime(&fche, &h, &regime, &config);
-                let reeval_shots = 8 * config.shots;
-                let noise = regime.stabilizer_noise();
-                let eb = eft_vqa::clifford_vqe::CliffordVqeOutcome {
-                    best_energy: reevaluate_genome(
-                        &blocked,
-                        &h,
-                        &noise,
-                        &eb_run.best_genome,
-                        reeval_shots,
-                        23,
-                        config.ga.threads,
-                    ),
-                    ..eb_run.clone()
-                };
-                let ef = eft_vqa::clifford_vqe::CliffordVqeOutcome {
-                    best_energy: reevaluate_genome(
-                        &fche,
-                        &h,
-                        &noise,
-                        &ef_run.best_genome,
-                        reeval_shots,
-                        23,
-                        config.ga.threads,
-                    ),
-                    ..ef_run.clone()
-                };
-                let e0 = e0
-                    .min(genome_energy(&blocked, &h, &eb_run.best_genome))
-                    .min(genome_energy(&fche, &h, &ef_run.best_genome));
-                let gamma = relative_improvement(e0, eb.best_energy, ef.best_energy);
-                // Expressibility: noiseless converged energies ratio.
-                let ib = noiseless_reference_energy(&blocked, &h, &config);
-                let if_ = noiseless_reference_energy(&fche, &h, &config);
-                let ideal_ratio = if if_.abs() > 1e-9 { ib / if_ } else { 1.0 };
-                println!(
-                    "{model_name:>12} {n:>7} {j:>6.2} {} {} {} {:>12.3}",
-                    fmt(eb.best_energy),
-                    fmt(ef.best_energy),
-                    fmt(gamma),
-                    ideal_ratio
-                );
-            }
-        }
+    for row in &report.rows {
+        println!(
+            "{:>12} {:>7} {:>6.2} {} {} {} {:>12.3}",
+            row.get_str("model").expect("model field"),
+            row.get_int("qubits").expect("qubits field"),
+            row.get_num("j").expect("j field"),
+            fmt(row.get_num("e_blocked").expect("e_blocked field")),
+            fmt(row.get_num("e_fche").expect("e_fche field")),
+            fmt(row.get_num("gamma").expect("gamma field")),
+            row.get_num("ideal_ratio").expect("ideal_ratio field")
+        );
     }
     println!("\npaper: gamma_avg(Ising) = 1.35x (max 21x); gamma_avg(Heisenberg) = 0.49x — FCHE wins J=1 Heisenberg; ideal ratio hovers near 1");
     println!(

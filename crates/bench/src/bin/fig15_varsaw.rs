@@ -5,7 +5,7 @@
 use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d};
 use eft_vqa::vqe::{run_vqe, VqeConfig};
 use eft_vqa::ExecutionRegime;
-use eftq_bench::{fmt, full_scale, header};
+use eftq_bench::{fmt, full_scale, header, Row};
 use eftq_circuit::ansatz::fully_connected_hea;
 
 fn main() {
@@ -47,6 +47,14 @@ fn main() {
                 fmt(mitigated.best_energy),
                 fmt(e0)
             );
+            Row::new("fig15")
+                .str("model", name)
+                .int("qubits", n as i64)
+                .str("regime", regime.name())
+                .num("plain", plain.best_energy)
+                .num("mitigated", mitigated.best_energy)
+                .num("e0", e0)
+                .emit();
         }
     }
     println!("\npaper shape: mitigation converges to lower energy in both regimes (larger effect under NISQ's 1e-2 readout error)");

@@ -1,50 +1,39 @@
 //! Table 1: spacetime volume of VQAs on Compact/Intermediate/Fast/Grid
 //! relative to the proposed layout, averaged over 8..=164 qubits (step 4)
 //! for the linear, fully-connected and blocked_all_to_all ansatze.
+//!
+//! Backed by the `eftq_sweep` engine ([`Table1Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>` and
+//! `--points layout=Grid,ansatz=linear`.
 
-use eftq_bench::{header, Row};
-use eftq_circuit::AnsatzKind;
-use eftq_layout::layouts::LayoutKind;
-use eftq_layout::schedule::spacetime_ratio;
+use eft_vqa::sweeps::Table1Driver;
+use eftq_bench::header;
+use eftq_sweep::{run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("table1: {e}");
+        std::process::exit(2);
+    });
     header("Table 1 - spacetime volume relative to the proposed layout");
-    let ansatze = [
-        AnsatzKind::LinearHea,
-        AnsatzKind::FullyConnectedHea,
-        AnsatzKind::BlockedAllToAll,
-    ];
+    let report = run_sweep_or_exit(&Table1Driver::spec(), &opts, |p, _| Table1Driver::eval(p));
     println!(
         "{:>14} {:>10} {:>18} {:>20}",
         "Layout", "linear", "fully_connected", "blocked_all_to_all"
     );
-    for baseline in [
-        LayoutKind::Compact,
-        LayoutKind::Intermediate,
-        LayoutKind::Fast,
-        LayoutKind::Grid,
-    ] {
-        print!("{:>14}", baseline.name());
-        let mut rows = Vec::new();
-        for kind in ansatze {
-            let ratios: Vec<f64> = (8..=164)
-                .step_by(4)
-                .map(|n| spacetime_ratio(kind, n, 1, baseline))
-                .collect();
-            let mean = eftq_numerics::stats::mean(&ratios);
-            print!("{mean:>18.2}");
-            rows.push(
-                Row::new("table1")
-                    .str("layout", baseline.name())
-                    .str("ansatz", kind.name())
-                    .num("mean_ratio", mean),
-            );
+    let mut current_layout = "";
+    for row in &report.rows {
+        let layout = row.get_str("layout").expect("layout field");
+        if layout != current_layout {
+            if !current_layout.is_empty() {
+                println!();
+            }
+            current_layout = layout;
+            print!("{layout:>14}");
         }
-        println!();
-        for row in &rows {
-            row.emit();
-        }
+        print!("{:>18.2}", row.get_num("mean_ratio").expect("mean_ratio"));
     }
+    println!();
     println!("\npaper values:  Compact 1.04/1.02/1.81  Intermediate 1.19/1.15/1.93  Fast 2.7/2.6/4.06  Grid 5.3/5.08/7.92");
     println!("shape checks: every ratio >= 1; ordering Compact <= Intermediate <= Fast <= Grid; blocked column largest");
 }

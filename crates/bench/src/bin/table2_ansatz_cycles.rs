@@ -1,6 +1,6 @@
 //! Table 2: cycles taken by blocked_all_to_all vs the FCHE ansatz.
 
-use eftq_bench::header;
+use eftq_bench::{header, Row};
 use eftq_circuit::AnsatzKind;
 use eftq_layout::layouts::LayoutModel;
 use eftq_layout::schedule::{schedule_ansatz, ScheduleConfig};
@@ -14,6 +14,11 @@ fn main() {
         let b = schedule_ansatz(AnsatzKind::BlockedAllToAll, n, 1, &ours, &cfg);
         let f = schedule_ansatz(AnsatzKind::FullyConnectedHea, n, 1, &ours, &cfg);
         println!("{n:>8} {:>22} {:>8}", b.cycles, f.cycles);
+        Row::new("table2")
+            .int("qubits", n as i64)
+            .int("blocked_cycles", b.cycles as i64)
+            .int("fche_cycles", f.cycles as i64)
+            .emit();
     }
     println!("\npaper values: blocked 71/121/171, FCHE 131/271/411 (exact match expected)");
 }

@@ -10,9 +10,11 @@
 //! layout sweep). Pass `--json` (or `EFT_JSON=1`) to also emit each data
 //! point as a JSONL [`Row`] for diffing and plotting.
 
-pub mod rows;
-
-pub use rows::{json_mode, Row};
+/// Machine-readable rows now live in the sweep engine (the runner both
+/// writes and re-parses them); re-exported here so the binaries and any
+/// downstream `eftq_bench::Row` users keep working unchanged.
+pub use eftq_sweep::rows;
+pub use eftq_sweep::{json_mode, Row};
 
 /// Whether the paper-scale configuration was requested via `EFT_FULL=1`.
 pub fn full_scale() -> bool {

@@ -13,7 +13,10 @@ use eftq_circuit::Ansatz;
 use eftq_numerics::SeedSequence;
 use eftq_optim::genetic::{minimize_genetic, GeneticConfig};
 use eftq_pauli::PauliSum;
-use eftq_stabilizer::{estimate_energy, estimate_energy_threaded, StabilizerNoise};
+use eftq_stabilizer::{
+    estimate_energy, estimate_energy_program, estimate_energy_threaded, NoiseTemplate,
+    StabilizerNoise,
+};
 
 /// Configuration of a Clifford VQE run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -53,6 +56,13 @@ pub struct CliffordVqeOutcome {
 
 /// Runs the genetic Clifford VQE under a stabilizer noise model.
 ///
+/// The circuit + noise model compile *once* into a
+/// [`NoiseTemplate`] before the search starts: every genome shares the
+/// ansatz structure (layering, injection sites, probability classes), so
+/// the per-genome fitness only re-resolves quarter-turn parities — see
+/// [`clifford_vqe_with_template`] to share that compilation across
+/// several searches (e.g. a sweep's grid points).
+///
 /// # Panics
 ///
 /// Panics on ansatz/observable size mismatch.
@@ -62,10 +72,35 @@ pub fn clifford_vqe(
     noise: &StabilizerNoise,
     config: &CliffordVqeConfig,
 ) -> CliffordVqeOutcome {
+    let template = NoiseTemplate::compile(ansatz.circuit(), noise);
+    clifford_vqe_with_template(ansatz, observable, &template, config)
+}
+
+/// [`clifford_vqe`] with a *precompiled* noise template — the entry
+/// point when many searches share one (ansatz structure, noise)
+/// compilation, e.g. across the grid points and regimes of a sweep (key
+/// it by [`NoiseTemplate::cache_key`] in an
+/// `eftq_sweep::ArtifactCache`). Bit-identical to [`clifford_vqe`] on
+/// the noise model the template was compiled from.
+///
+/// # Panics
+///
+/// Panics on ansatz/observable/template size mismatch.
+pub fn clifford_vqe_with_template(
+    ansatz: &Ansatz,
+    observable: &PauliSum,
+    template: &NoiseTemplate,
+    config: &CliffordVqeConfig,
+) -> CliffordVqeOutcome {
     assert_eq!(
         ansatz.num_qubits(),
         observable.num_qubits(),
         "ansatz/observable size mismatch"
+    );
+    assert_eq!(
+        ansatz.num_qubits(),
+        template.num_qubits(),
+        "ansatz/template size mismatch"
     );
     let seeds = SeedSequence::new(config.seed);
     let shot_seed = seeds.derive("shots");
@@ -76,7 +111,17 @@ pub fn clifford_vqe(
     let shots = config.shots.max(1);
     let result = minimize_genetic(ansatz.num_params(), &ga, |genome| {
         let circuit = ansatz.bind_clifford(genome);
-        estimate_energy(&circuit, observable, noise, shots, shot_seed).energy
+        let program = template.bind_clifford(genome);
+        estimate_energy_program(
+            &circuit,
+            observable,
+            &program,
+            template.meas_flip(),
+            shots,
+            shot_seed,
+            1,
+        )
+        .energy
     });
     CliffordVqeOutcome {
         best_energy: result.best_fitness,

@@ -64,3 +64,45 @@ pub use advisor::{plan, RegimePlan};
 pub use fidelity::Workload;
 pub use gamma::relative_improvement;
 pub use regimes::ExecutionRegime;
+
+/// One-stop imports for the common workflow: build a Hamiltonian and an
+/// ansatz, pick a regime, estimate energies or run a VQE, and orchestrate
+/// grids of all of the above through the sweep engine.
+///
+/// # Examples
+///
+/// ```
+/// use eft_vqa::prelude::*;
+///
+/// let h = ising_1d(6, 0.5);
+/// let ansatz = fully_connected_hea(6, 1);
+/// let noise = ExecutionRegime::pqec_default().stabilizer_noise();
+/// let circuit = ansatz.bind_clifford(&vec![1; ansatz.num_params()]);
+/// let run = estimate_energy(&circuit, &h, &noise, 64, SeedSequence::new(7));
+/// assert!(run.energy.is_finite());
+/// ```
+pub mod prelude {
+    pub use crate::clifford_vqe::{
+        clifford_vqe, clifford_vqe_in_regime, clifford_vqe_with_template, reevaluate_genome,
+        CliffordVqeConfig, CliffordVqeOutcome,
+    };
+    pub use crate::hamiltonians::{
+        heisenberg_1d, ising_1d, molecular, Molecule, BOND_LENGTHS, COUPLINGS,
+    };
+    pub use crate::sweeps::{Fig12Driver, Fig13Driver, Fig14Driver, Table1Driver};
+    pub use crate::vqe::{run_vqe, VqeConfig, VqeOutcome};
+    pub use crate::{plan, relative_improvement, ExecutionRegime, RegimePlan, Workload};
+    pub use eftq_circuit::ansatz::{
+        blocked_all_to_all, fully_connected_hea, linear_hea, qaoa, uccsd_lite,
+    };
+    pub use eftq_circuit::{Ansatz, AnsatzKind, Circuit, Gate};
+    pub use eftq_numerics::SeedSequence;
+    pub use eftq_pauli::{Pauli, PauliString, PauliSum};
+    pub use eftq_stabilizer::{
+        estimate_energy, estimate_energy_program, estimate_energy_threaded, NoiseProgram,
+        NoiseTemplate, StabilizerNoise, Tableau,
+    };
+    pub use eftq_sweep::{
+        run_sweep, ArtifactCache, PointCtx, PointFilter, Row, SweepOptions, SweepPoint, SweepSpec,
+    };
+}

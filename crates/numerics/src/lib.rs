@@ -45,4 +45,4 @@ pub use bernoulli::BernoulliWords;
 pub use complex::Complex;
 pub use lanczos::{lanczos, LanczosError, LanczosOptions, LanczosResult};
 pub use mat::{Mat2, Mat4};
-pub use rng::SeedSequence;
+pub use rng::{splitmix64, SeedSequence};

@@ -56,8 +56,8 @@ pub mod tableau;
 
 pub use frame::{run_noisy_frames, run_noisy_frames_percall, PauliFrames};
 pub use noise::{
-    estimate_energy, estimate_energy_tableau, estimate_energy_threaded, NoisyCliffordRun,
-    StabilizerNoise,
+    estimate_energy, estimate_energy_program, estimate_energy_tableau, estimate_energy_threaded,
+    NoisyCliffordRun, StabilizerNoise,
 };
-pub use program::NoiseProgram;
+pub use program::{NoiseProgram, NoiseTemplate};
 pub use tableau::{sample_counts, Tableau};

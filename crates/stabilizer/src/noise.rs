@@ -307,15 +307,56 @@ pub fn estimate_energy_threaded(
     seed: SeedSequence,
     threads: usize,
 ) -> NoisyCliffordRun {
+    let program = crate::program::NoiseProgram::compile(circuit, noise);
+    estimate_energy_program(
+        circuit,
+        observable,
+        &program,
+        noise.meas_flip,
+        shots,
+        seed,
+        threads,
+    )
+}
+
+/// [`estimate_energy_threaded`] with a *precompiled* noise program —
+/// the hot-loop entry point when many estimates share one compilation
+/// (a genetic search binding a [`crate::NoiseTemplate`] per genome, or
+/// a sweep runner's per-(circuit, noise) artifact cache). Bit-identical
+/// to compiling inline: `estimate_energy_threaded` is this function fed
+/// by [`crate::NoiseProgram::compile`].
+///
+/// `meas_flip` is the readout flip probability the damping factors use
+/// (the program itself only carries gate/idle injection sites); pass the
+/// compiling noise model's value, e.g. via
+/// [`crate::NoiseTemplate::meas_flip`].
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or the circuit/observable/program sizes
+/// mismatch.
+pub fn estimate_energy_program(
+    circuit: &Circuit,
+    observable: &PauliSum,
+    program: &crate::program::NoiseProgram,
+    meas_flip: f64,
+    shots: usize,
+    seed: SeedSequence,
+    threads: usize,
+) -> NoisyCliffordRun {
     assert!(shots > 0, "at least one shot required");
     assert_eq!(
         circuit.num_qubits(),
         observable.num_qubits(),
         "circuit/observable size mismatch"
     );
+    assert_eq!(
+        circuit.num_qubits(),
+        program.num_qubits(),
+        "circuit/program size mismatch"
+    );
     let mut ideal = Tableau::new(circuit.num_qubits());
     ideal.run(circuit);
-    let program = crate::program::NoiseProgram::compile(circuit, noise);
     if program.num_sites() == 0 {
         // Noiseless fast path: every frame is identity, so all shots see
         // the same deterministic energy (accumulated with the same
@@ -327,7 +368,7 @@ pub fn estimate_energy_threaded(
             if e0 == 0.0 {
                 continue;
             }
-            let damp = (1.0 - 2.0 * noise.meas_flip).powi(term.string.weight() as i32);
+            let damp = (1.0 - 2.0 * meas_flip).powi(term.string.weight() as i32);
             let v = term.coefficient * damp * e0;
             if v == 0.0 {
                 continue;
@@ -349,7 +390,7 @@ pub fn estimate_energy_threaded(
         if e0 == 0.0 {
             continue;
         }
-        let damp = (1.0 - 2.0 * noise.meas_flip).powi(term.string.weight() as i32);
+        let damp = (1.0 - 2.0 * meas_flip).powi(term.string.weight() as i32);
         let v = term.coefficient * damp * e0;
         if v == 0.0 {
             continue;

@@ -71,29 +71,65 @@ enum Op {
     Idle { q: usize, class: u32 },
 }
 
+/// Rotation axis of a symbolic (parameterized) rotation gate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RotAxis {
+    X,
+    Y,
+    Z,
+}
+
+impl RotAxis {
+    /// The frame kernel of an *odd*-quarter-turn rotation about this
+    /// axis (even quarter turns act trivially on sign-free frames).
+    fn odd_kernel(self, q: usize) -> Op {
+        match self {
+            RotAxis::Z => Op::Phase { q },
+            RotAxis::X => Op::SqrtX { q },
+            RotAxis::Y => Op::Hadamard { q },
+        }
+    }
+}
+
+/// One template instruction: either an already-resolved [`Op`], or a
+/// symbolic rotation whose kernel depends on the genome bound later.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum TemplateOp {
+    Fixed(Op),
+    Rot {
+        q: usize,
+        param: usize,
+        axis: RotAxis,
+    },
+}
+
 /// Classifies one bound gate into its frame kernel (`None` when the gate
 /// acts trivially on sign-free frames: Paulis, measurements, and
-/// even-quarter-turn rotations).
+/// even-quarter-turn rotations; `Rot` for symbolic rotations, resolved
+/// at [`NoiseTemplate::bind_clifford`] time).
 ///
 /// # Panics
 ///
-/// Panics on non-Clifford or symbolic rotations, exactly as
+/// Panics on non-Clifford rotations, exactly as
 /// [`PauliFrames::apply_gate`] would.
-fn compile_gate(g: &Gate) -> Option<Op> {
+fn compile_gate(g: &Gate) -> Option<TemplateOp> {
     use crate::tableau::quarter_turns;
     use eftq_circuit::Angle;
+    let odd = |v: f64| quarter_turns(v, g) % 2 == 1;
+    let rot = |q, param, axis| Some(TemplateOp::Rot { q, param, axis });
     match *g {
-        Gate::H(q) => Some(Op::Hadamard { q }),
-        Gate::S(q) | Gate::Sdg(q) => Some(Op::Phase { q }),
+        Gate::H(q) => Some(TemplateOp::Fixed(Op::Hadamard { q })),
+        Gate::S(q) | Gate::Sdg(q) => Some(TemplateOp::Fixed(Op::Phase { q })),
         Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::Measure(_) => None,
-        Gate::Cx(c, t) => Some(Op::Cx { c, t }),
-        Gate::Cz(a, b) => Some(Op::Cz { a, b }),
-        Gate::Swap(a, b) => Some(Op::Swap { a, b }),
-        Gate::Rz(q, Angle::Value(v)) => (quarter_turns(v, g) % 2 == 1).then_some(Op::Phase { q }),
-        Gate::Rx(q, Angle::Value(v)) => (quarter_turns(v, g) % 2 == 1).then_some(Op::SqrtX { q }),
-        Gate::Ry(q, Angle::Value(v)) => {
-            (quarter_turns(v, g) % 2 == 1).then_some(Op::Hadamard { q })
-        }
+        Gate::Cx(c, t) => Some(TemplateOp::Fixed(Op::Cx { c, t })),
+        Gate::Cz(a, b) => Some(TemplateOp::Fixed(Op::Cz { a, b })),
+        Gate::Swap(a, b) => Some(TemplateOp::Fixed(Op::Swap { a, b })),
+        Gate::Rz(q, Angle::Value(v)) => odd(v).then_some(TemplateOp::Fixed(Op::Phase { q })),
+        Gate::Rx(q, Angle::Value(v)) => odd(v).then_some(TemplateOp::Fixed(Op::SqrtX { q })),
+        Gate::Ry(q, Angle::Value(v)) => odd(v).then_some(TemplateOp::Fixed(Op::Hadamard { q })),
+        Gate::Rz(q, Angle::Param(i)) => rot(q, i, RotAxis::Z),
+        Gate::Rx(q, Angle::Param(i)) => rot(q, i, RotAxis::X),
+        Gate::Ry(q, Angle::Param(i)) => rot(q, i, RotAxis::Y),
         ref g => panic!("noise programs cannot compile gate {g}"),
     }
 }
@@ -130,11 +166,59 @@ pub struct NoiseProgram {
     sites: usize,
 }
 
-impl NoiseProgram {
-    /// Compiles a bound Clifford circuit and noise model into the flat
-    /// site program. Zero-probability sites are elided at compile time;
-    /// measurement gates are skipped and leave their qubit idle, matching
-    /// the per-shot executor [`crate::noise::run_noisy_shot`].
+/// A noise program compiled from a *symbolic* ansatz circuit: every
+/// structural decision (layering, injection sites, probability classes)
+/// is resolved once, and only the rotation kernels — which depend on the
+/// genome's quarter-turn parities — remain symbolic.
+///
+/// This is the compilation hoist for genome loops: a genetic search
+/// evaluates thousands of genomes that all share the ansatz *structure*,
+/// so [`NoiseTemplate::compile`] runs once per (structure, noise) and
+/// [`NoiseTemplate::bind_clifford`] re-resolves parities per genome — a
+/// single filter pass instead of a full recompile. The bound program is
+/// **identical** to [`NoiseProgram::compile`] on the bound circuit (the
+/// per-genome path is, in fact, how `NoiseProgram::compile` is
+/// implemented), so sampling streams cannot diverge between the two
+/// paths.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_circuit::ansatz::linear_hea;
+/// use eftq_stabilizer::{NoiseProgram, NoiseTemplate, StabilizerNoise};
+///
+/// let ansatz = linear_hea(4, 1);
+/// let mut noise = StabilizerNoise::noiseless();
+/// noise.depol_2q = 0.01;
+/// let template = NoiseTemplate::compile(ansatz.circuit(), &noise);
+/// let genome = vec![1u8; ansatz.num_params()];
+/// let fast = template.bind_clifford(&genome);
+/// let slow = NoiseProgram::compile(&ansatz.bind_clifford(&genome), &noise);
+/// assert_eq!(fast.num_sites(), slow.num_sites());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NoiseTemplate {
+    n: usize,
+    ops: Vec<TemplateOp>,
+    /// Distinct site probabilities; site ops index this table.
+    classes: Vec<f64>,
+    /// Precomputed cumulative idle ladder (satisfies every idle site).
+    idle: IdleLadder,
+    sites: usize,
+    meas_flip: f64,
+    num_params: usize,
+}
+
+impl NoiseTemplate {
+    /// Compiles a (possibly symbolic) Clifford circuit and noise model
+    /// into the flat site program. Zero-probability sites are elided at
+    /// compile time; measurement gates are skipped and leave their qubit
+    /// idle, matching the per-shot executor
+    /// [`crate::noise::run_noisy_shot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford bound rotations.
     pub fn compile(circuit: &Circuit, noise: &StabilizerNoise) -> Self {
         let n = circuit.num_qubits();
         let mut ops = Vec::new();
@@ -183,7 +267,7 @@ impl NoiseProgram {
                         .map(|class| Op::Depol1 { q: qs[0], class }),
                 };
                 if let Some(site) = site {
-                    ops.push(site);
+                    ops.push(TemplateOp::Fixed(site));
                     sites += 1;
                 }
             }
@@ -192,19 +276,157 @@ impl NoiseProgram {
                     if !b {
                         let class = class_of(idle.total(), &mut classes)
                             .expect("positive idle total has a class");
-                        ops.push(Op::Idle { q, class });
+                        ops.push(TemplateOp::Fixed(Op::Idle { q, class }));
                         sites += 1;
                     }
                 }
             }
         }
-        NoiseProgram {
+        NoiseTemplate {
             n,
             ops,
             classes,
             idle,
             sites,
+            meas_flip: noise.meas_flip,
+            num_params: circuit.num_symbolic_params(),
         }
+    }
+
+    /// Resolves the symbolic rotations against a Clifford genome (entry
+    /// `k` means the angle `k·π/2`): odd quarter turns become their
+    /// kernel, even ones compile away, exactly as
+    /// [`NoiseProgram::compile`] would on [`eftq_circuit::Ansatz::bind_clifford`]'s
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks.len() < self.num_params()`.
+    pub fn bind_clifford(&self, ks: &[u8]) -> NoiseProgram {
+        assert!(
+            ks.len() >= self.num_params,
+            "need {} genome entries, got {}",
+            self.num_params,
+            ks.len()
+        );
+        let ops = self
+            .ops
+            .iter()
+            .filter_map(|op| match *op {
+                TemplateOp::Fixed(op) => Some(op),
+                TemplateOp::Rot { q, param, axis } => {
+                    (ks[param] % 2 == 1).then(|| axis.odd_kernel(q))
+                }
+            })
+            .collect();
+        NoiseProgram {
+            n: self.n,
+            ops,
+            classes: self.classes.clone(),
+            idle: self.idle,
+            sites: self.sites,
+        }
+    }
+
+    /// A stable fingerprint of `(circuit, noise)` for keying compiled
+    /// templates/programs in concurrent artifact caches (sweep drivers
+    /// share one compilation across grid points and worker threads).
+    /// Collisions would only confuse a cache into sharing a wrong
+    /// artifact; 64 well-mixed bits over at most a handful of distinct
+    /// keys per sweep make that astronomically unlikely.
+    pub fn cache_key(circuit: &Circuit, noise: &StabilizerNoise) -> u64 {
+        use eftq_circuit::Angle;
+        use eftq_numerics::splitmix64;
+        fn mix(h: &mut u64, v: u64) {
+            *h = splitmix64(*h ^ v);
+        }
+        fn angle(h: &mut u64, a: Angle) {
+            match a {
+                Angle::Value(v) => mix(h, v.to_bits()),
+                Angle::Param(i) => mix(h, 0x8000_0000_0000_0000 | i as u64),
+            }
+        }
+        let mut h = splitmix64(0x7e3a_11ce ^ circuit.num_qubits() as u64);
+        for g in circuit.gates() {
+            let (tag, qs, k, a) = match *g {
+                Gate::H(q) => (1u64, [q, 0], 1, None),
+                Gate::S(q) => (2, [q, 0], 1, None),
+                Gate::Sdg(q) => (3, [q, 0], 1, None),
+                Gate::X(q) => (4, [q, 0], 1, None),
+                Gate::Y(q) => (5, [q, 0], 1, None),
+                Gate::Z(q) => (6, [q, 0], 1, None),
+                Gate::T(q) => (7, [q, 0], 1, None),
+                Gate::Tdg(q) => (8, [q, 0], 1, None),
+                Gate::Measure(q) => (9, [q, 0], 1, None),
+                Gate::Cx(a, b) => (10, [a, b], 2, None),
+                Gate::Cz(a, b) => (11, [a, b], 2, None),
+                Gate::Swap(a, b) => (12, [a, b], 2, None),
+                Gate::Rz(q, a) => (13, [q, 0], 1, Some(a)),
+                Gate::Rx(q, a) => (14, [q, 0], 1, Some(a)),
+                Gate::Ry(q, a) => (15, [q, 0], 1, Some(a)),
+            };
+            mix(&mut h, tag);
+            for &q in &qs[..k] {
+                mix(&mut h, q as u64);
+            }
+            if let Some(a) = a {
+                angle(&mut h, a);
+            }
+        }
+        for p in [
+            noise.depol_1q,
+            noise.depol_2q,
+            noise.depol_rz,
+            noise.depol_rot_xy,
+            noise.meas_flip,
+            noise.idle.px,
+            noise.idle.py,
+            noise.idle.pz,
+        ] {
+            mix(&mut h, p.to_bits());
+        }
+        h
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of symbolic parameters a genome must cover.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Number of compiled injection sites (genome-independent: site
+    /// probabilities depend on gate classes, not angles).
+    pub fn num_sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Number of distinct site probabilities (sampler classes).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The readout flip probability of the noise model this template was
+    /// compiled against (carried so estimators need only the template).
+    pub fn meas_flip(&self) -> f64 {
+        self.meas_flip
+    }
+}
+
+impl NoiseProgram {
+    /// Compiles a bound Clifford circuit and noise model into the flat
+    /// site program. Zero-probability sites are elided at compile time;
+    /// measurement gates are skipped and leave their qubit idle, matching
+    /// the per-shot executor [`crate::noise::run_noisy_shot`].
+    ///
+    /// Equivalent to `NoiseTemplate::compile(circuit, noise)
+    /// .bind_clifford(&[])` — genome loops should hoist the template and
+    /// bind per genome instead of recompiling.
+    pub fn compile(circuit: &Circuit, noise: &StabilizerNoise) -> Self {
+        NoiseTemplate::compile(circuit, noise).bind_clifford(&[])
     }
 
     /// Number of qubits.
@@ -465,5 +687,80 @@ mod tests {
         c.h(0);
         let p = NoiseProgram::compile(&c, &StabilizerNoise::noiseless());
         let _ = p.run(0, SeedSequence::new(0));
+    }
+
+    #[test]
+    fn template_bind_equals_full_compile() {
+        // The hoisted path (compile the symbolic ansatz once, bind
+        // quarter-turn parities per genome) must produce the same frames
+        // as recompiling the bound circuit — for every genome pattern.
+        use eftq_circuit::ansatz::{blocked_all_to_all, fully_connected_hea, linear_hea};
+        let noise = nisq_like();
+        for (i, ansatz) in [
+            linear_hea(4, 1),
+            fully_connected_hea(5, 2),
+            blocked_all_to_all(8, 1),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let template = NoiseTemplate::compile(ansatz.circuit(), &noise);
+            assert_eq!(template.num_params(), ansatz.num_params());
+            assert_eq!(template.meas_flip(), noise.meas_flip);
+            for pattern in 0..8u64 {
+                let genome: Vec<u8> = (0..ansatz.num_params())
+                    .map(|g| ((g as u64 * 7 + pattern * 3 + i as u64) % 4) as u8)
+                    .collect();
+                let fast = template.bind_clifford(&genome);
+                let slow = NoiseProgram::compile(&ansatz.bind_clifford(&genome), &noise);
+                assert_eq!(fast.num_sites(), slow.num_sites());
+                assert_eq!(fast.num_classes(), slow.num_classes());
+                let seed = SeedSequence::new(17 + pattern);
+                assert_eq!(
+                    fast.run(300, seed),
+                    slow.run(300, seed),
+                    "ansatz {i}, pattern {pattern}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn template_site_count_is_genome_independent() {
+        use eftq_circuit::ansatz::linear_hea;
+        let ansatz = linear_hea(4, 1);
+        let template = NoiseTemplate::compile(ansatz.circuit(), &nisq_like());
+        let all_even = template.bind_clifford(&vec![0u8; ansatz.num_params()]);
+        let all_odd = template.bind_clifford(&vec![1u8; ansatz.num_params()]);
+        // Sites survive either way; only rotation kernels differ.
+        assert_eq!(all_even.num_sites(), template.num_sites());
+        assert_eq!(all_odd.num_sites(), template.num_sites());
+    }
+
+    #[test]
+    #[should_panic(expected = "genome entries")]
+    fn template_rejects_short_genomes() {
+        use eftq_circuit::ansatz::linear_hea;
+        let ansatz = linear_hea(4, 1);
+        let template = NoiseTemplate::compile(ansatz.circuit(), &StabilizerNoise::noiseless());
+        let _ = template.bind_clifford(&[0, 1]);
+    }
+
+    #[test]
+    fn cache_key_separates_circuits_and_noise() {
+        use eftq_circuit::ansatz::{fully_connected_hea, linear_hea};
+        let a = linear_hea(4, 1);
+        let b = fully_connected_hea(4, 1);
+        let n1 = nisq_like();
+        let mut n2 = nisq_like();
+        n2.depol_2q += 1e-4;
+        let k = NoiseTemplate::cache_key;
+        assert_eq!(k(a.circuit(), &n1), k(a.circuit(), &n1), "stable");
+        assert_ne!(k(a.circuit(), &n1), k(b.circuit(), &n1), "circuit");
+        assert_ne!(k(a.circuit(), &n1), k(a.circuit(), &n2), "noise");
+        // Binding changes the key too (bound angles hash differently from
+        // symbolic parameters).
+        let bound = a.bind_clifford(&vec![1u8; a.num_params()]);
+        assert_ne!(k(a.circuit(), &n1), k(&bound, &n1));
     }
 }

@@ -1,0 +1,118 @@
+//! Concurrent sharing of compiled artifacts across sweep points.
+//!
+//! Many grid points reuse the same expensive intermediates — a
+//! 100-qubit FCHE ansatz, a Hamiltonian, a compiled
+//! `eftq_stabilizer::NoiseTemplate` keyed by (circuit, noise). Point
+//! evaluators run on worker threads, so the cache hands out `Arc`s from
+//! a mutex-guarded map. Builders must be pure functions of their key:
+//! when two workers race on the same key both may build, but only the
+//! first insert wins, so every caller observes the same artifact and
+//! sweep results stay independent of scheduling.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A keyed, thread-safe, build-once cache of shared sweep artifacts.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_sweep::ArtifactCache;
+///
+/// let cache: ArtifactCache<usize, Vec<u64>> = ArtifactCache::new();
+/// let a = cache.get_or_build(16, || (0..16).collect());
+/// let b = cache.get_or_build(16, || unreachable!("already cached"));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ArtifactCache<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: Eq + Hash + Clone, V> ArtifactCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the cached artifact for `key`, building it with `build`
+    /// on the first request. The build runs outside the lock (a slow
+    /// compilation must not stall unrelated keys), so two racing workers
+    /// may both build — the first insert wins and the duplicate is
+    /// dropped, which is harmless because builders are pure.
+    pub fn get_or_build<F: FnOnce() -> V>(&self, key: K, build: F) -> Arc<V> {
+        if let Some(v) = self.map.lock().expect("artifact cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut map = self.map.lock().expect("artifact cache poisoned");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Number of distinct artifacts currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("artifact cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build (including racing duplicates).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::thread;
+
+    #[test]
+    fn builds_once_per_key() {
+        let cache: ArtifactCache<&'static str, usize> = ArtifactCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(*cache.get_or_build("a", || 1), 1);
+        assert_eq!(*cache.get_or_build("b", || 2), 2);
+        assert_eq!(*cache.get_or_build("a", || panic!("cached")), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_yields_one_artifact() {
+        let cache: ArtifactCache<usize, u64> = ArtifactCache::new();
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    for k in 0..16 {
+                        assert_eq!(*cache.get_or_build(k, || k as u64 * 10), k as u64 * 10);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.hits() + cache.misses(), 8 * 16);
+    }
+}

@@ -1,0 +1,59 @@
+//! **`eftq_sweep`** — the resumable, parallel sweep-orchestration engine
+//! behind every figure and table artifact.
+//!
+//! Every paper artifact used to be an ad-hoc binary with hand-rolled
+//! parameter loops, seeding and printing. This crate extracts that layer
+//! into a production-shaped system:
+//!
+//! * [`SweepSpec`] — a declarative grid: named axes (qubits, couplings,
+//!   models, …) whose cartesian product defines the points. Point ids
+//!   are row-major (first axis slowest), so they are stable across
+//!   thread counts, filters and resumes, and per-point seeds derive as
+//!   `seed.derive_index(point_id)`.
+//! * [`run_sweep`] — the work-stealing executor: points run on crossbeam
+//!   workers behind one atomic cursor, completed rows stream *in point
+//!   order* to a JSONL checkpoint and (under `--json`) stdout, and the
+//!   artifact is bit-identical at any `--threads` value.
+//! * **Checkpoint/resume** — `--resume <path>` reads the artifact a
+//!   previous (possibly killed) run wrote, skips the points whose rows
+//!   are already there, and appends only the missing ones.
+//! * [`ArtifactCache`] — a concurrent build-once cache so points share
+//!   compiled artifacts (Hamiltonians, ansatz structures, noise-program
+//!   templates) instead of recompiling them per point.
+//! * [`Row`] — the flat JSONL output row (re-exported by `eftq_bench`
+//!   for the binaries), with a parser ([`jsonl::parse_row`]) that
+//!   round-trips every line the runner writes.
+//!
+//! # Examples
+//!
+//! ```
+//! use eftq_sweep::{run_sweep, Row, SweepOptions, SweepSpec};
+//!
+//! let spec = SweepSpec::new("demo")
+//!     .axis_ints("n", [2, 4])
+//!     .axis_nums("p", [0.1, 0.9]);
+//! let report = run_sweep(&spec, &SweepOptions::default(), |point, ctx| {
+//!     // Pure function of (point, ctx.seed): the determinism contract.
+//!     let _ = ctx.seed;
+//!     Row::new("demo")
+//!         .int("n", point.int("n"))
+//!         .num("p", point.num("p"))
+//!         .num("value", point.int("n") as f64 * point.num("p"))
+//! })
+//! .unwrap();
+//! assert_eq!(report.rows.len(), 4);
+//! assert_eq!(report.rows[3].get_num("value"), Some(3.6));
+//! ```
+
+pub mod cache;
+pub mod jsonl;
+pub mod rows;
+pub mod runner;
+pub mod spec;
+
+pub use cache::ArtifactCache;
+pub use rows::{json_mode, Row};
+pub use runner::{
+    run_sweep, run_sweep_or_exit, PointCtx, SweepOptions, SweepReport, DEFAULT_SWEEP_SEED,
+};
+pub use spec::{Axis, AxisValue, PointFilter, SweepPoint, SweepSpec};

@@ -1,17 +1,19 @@
-//! Machine-readable output rows for the figure/table binaries.
+//! Machine-readable output rows for the figure/table artifacts.
 //!
 //! The binaries print human tables by default; pass `--json` (or set
 //! `EFT_JSON=1`) and each data point is *also* emitted as one JSON object
 //! per line (JSONL), so sweeps can be diffed, joined and plotted without
 //! scraping the table layout. The serialization is hand-rolled — the
 //! vendored `serde` shim has no-op derives, and a flat `key: value` row
-//! needs nothing more.
+//! needs nothing more. [`Row`] lives here (rather than in `eftq_bench`,
+//! which re-exports it) because the sweep runner both streams rows into
+//! JSONL checkpoints and parses them back on resume.
 
 use std::fmt::Write as _;
 
 /// One serializable field value.
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Num(f64),
     Int(i64),
     Str(String),
@@ -23,7 +25,7 @@ enum Value {
 /// # Examples
 ///
 /// ```
-/// let row = eftq_bench::Row::new("fig12")
+/// let row = eftq_sweep::Row::new("fig12")
 ///     .str("model", "Ising")
 ///     .int("qubits", 16)
 ///     .num("gamma", 6.83);
@@ -31,10 +33,11 @@ enum Value {
 ///     row.to_json_row(),
 ///     r#"{"row":"fig12","model":"Ising","qubits":16,"gamma":6.83}"#
 /// );
+/// assert_eq!(row.get_num("gamma"), Some(6.83));
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Row {
-    fields: Vec<(String, Value)>,
+    pub(crate) fields: Vec<(String, Value)>,
 }
 
 impl Row {
@@ -65,6 +68,44 @@ impl Row {
     pub fn str(mut self, key: &str, v: &str) -> Self {
         self.fields.push((key.into(), Value::Str(v.into())));
         self
+    }
+
+    /// The row's tag (its `"row"` field, set by [`Row::new`]).
+    pub fn label(&self) -> &str {
+        match self.fields.first() {
+            Some((k, Value::Str(s))) if k == "row" => s,
+            _ => "",
+        }
+    }
+
+    /// Float field accessor; integer fields promote (JSON cannot tell
+    /// `1.0` from `1`).
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        match self.value(key)? {
+            Value::Num(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer field accessor.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.value(key)? {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String field accessor.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.value(key)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn value(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     /// Serializes the row as one JSON object (no trailing newline).
@@ -150,6 +191,18 @@ mod tests {
     fn non_finite_numbers_are_null() {
         let row = Row::new("x").num("nan", f64::NAN).num("inf", f64::INFINITY);
         assert_eq!(row.to_json_row(), r#"{"row":"x","nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn accessors_read_back_fields() {
+        let row = Row::new("t").str("s", "v").int("i", -3).num("x", 2.5);
+        assert_eq!(row.label(), "t");
+        assert_eq!(row.get_str("s"), Some("v"));
+        assert_eq!(row.get_int("i"), Some(-3));
+        assert_eq!(row.get_num("x"), Some(2.5));
+        assert_eq!(row.get_num("i"), Some(-3.0), "ints promote");
+        assert_eq!(row.get_num("missing"), None);
+        assert_eq!(row.get_str("i"), None);
     }
 
     #[test]

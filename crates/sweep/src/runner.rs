@@ -1,0 +1,778 @@
+//! The resumable, parallel sweep executor.
+//!
+//! [`run_sweep`] takes a [`SweepSpec`], an options bundle (thread count,
+//! checkpoint path, subset filter) and a point evaluator, and drives the
+//! grid to completion:
+//!
+//! * **Work stealing** — pending points sit behind one atomic cursor;
+//!   each crossbeam worker pulls the next undone point as it finishes
+//!   its last, so stragglers never serialize behind a static partition.
+//! * **Thread/seed invariance** — a point's evaluator receives a
+//!   [`PointCtx`] whose seed is `root.derive(spec).derive_index(id)`,
+//!   a pure function of the spec and the point id. Combined with
+//!   in-order emission (below), the artifact is bit-identical for every
+//!   `--threads` value.
+//! * **In-order streaming** — completed rows buffer until every earlier
+//!   point has finished, then append to the JSONL artifact (flushed per
+//!   row, so a killed run loses at most the in-flight points) and echo
+//!   to stdout under `--json`.
+//! * **Checkpoint/resume** — on startup the runner parses the existing
+//!   artifact, re-associates rows with grid points by their axis fields,
+//!   skips completed points and appends only the missing ones: a killed
+//!   `EFT_FULL=1` sweep continues instead of restarting.
+//! * **Progress/ETA** — per-point progress lines on stderr (enabled by
+//!   default in the CLI wrappers, off in library use).
+
+use crate::jsonl::parse_row;
+use crate::rows::Row;
+use crate::spec::{AxisValue, PointFilter, SweepPoint, SweepSpec};
+use crossbeam::thread;
+use eftq_numerics::SeedSequence;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default root seed for per-point derivation (drivers that need the
+/// paper's exact historical streams use their own internal seeds).
+pub const DEFAULT_SWEEP_SEED: u64 = 0x5eed_5eed;
+
+/// Row tag of the artifact's configuration-stamp line (the `~` cannot
+/// collide with a spec name that doubles as a row tag).
+const META_LABEL: &str = "~sweep-config";
+
+/// How a sweep should execute. [`SweepOptions::default`] is the quiet
+/// library configuration; [`SweepOptions::from_env_args`] is the CLI
+/// wrapper configuration (`--threads`, `--resume`, `--points`,
+/// `--json`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOptions {
+    /// Worker threads for point evaluation (1 = run on the caller).
+    pub threads: usize,
+    /// JSONL checkpoint artifact: read (resume) if it exists, append
+    /// missing rows. `None` disables checkpointing.
+    pub artifact: Option<PathBuf>,
+    /// Subset filter (`--points a=x|y,b=z`); `None` runs the full grid.
+    pub filter: Option<PointFilter>,
+    /// Echo each completed row to stdout as JSONL.
+    pub echo_json: bool,
+    /// Per-point progress/ETA lines on stderr.
+    pub progress: bool,
+    /// Root seed for [`PointCtx`] derivation.
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 1,
+            artifact: None,
+            filter: None,
+            echo_json: false,
+            progress: false,
+            seed: DEFAULT_SWEEP_SEED,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parses the standard sweep flags from the process arguments:
+    /// `--threads N`, `--resume PATH`, `--points FILTER`, `--json`
+    /// (all also accepted as `--flag=value`). Unrecognized arguments are
+    /// ignored so binaries can add their own flags; progress reporting
+    /// is enabled, and `EFT_JSON=1` also turns on JSONL echo.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag is malformed (missing or
+    /// non-numeric value, unparsable filter).
+    pub fn from_env_args() -> Result<Self, String> {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// [`SweepOptions::from_env_args`] over an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag is malformed.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = SweepOptions {
+            progress: true,
+            echo_json: crate::rows::json_mode(),
+            ..SweepOptions::default()
+        };
+        let mut it = args.into_iter();
+        let value_of = |flag: &str, arg: &str, it: &mut I::IntoIter| {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                Some(v.to_string())
+            } else if arg == flag {
+                it.next()
+            } else {
+                None
+            }
+        };
+        while let Some(arg) = it.next() {
+            if arg == "--json" {
+                opts.echo_json = true;
+            } else if let Some(v) = value_of("--threads", &arg, &mut it) {
+                opts.threads = v
+                    .parse()
+                    .map_err(|e| format!("--threads {v}: {e} (expected a positive integer)"))?;
+                if opts.threads == 0 {
+                    return Err("--threads 0: need at least one worker".into());
+                }
+            } else if let Some(v) = value_of("--resume", &arg, &mut it) {
+                opts.artifact = Some(PathBuf::from(v));
+            } else if let Some(v) = value_of("--points", &arg, &mut it) {
+                opts.filter = Some(PointFilter::parse(&v)?);
+            } else if arg == "--threads" || arg == "--resume" || arg == "--points" {
+                return Err(format!("{arg}: missing value"));
+            }
+            // Anything else belongs to the wrapping binary.
+        }
+        Ok(opts)
+    }
+}
+
+/// Per-point context handed to the evaluator.
+#[derive(Clone, Copy, Debug)]
+pub struct PointCtx {
+    /// Deterministic per-point seed: `root.derive(spec).derive_index(id)`
+    /// — identical at any thread count and across resumes.
+    pub seed: SeedSequence,
+}
+
+/// Outcome of a sweep run.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Every selected point's row, in point-id order (resumed rows are
+    /// parsed back from the artifact).
+    pub rows: Vec<Row>,
+    /// Points evaluated in this run.
+    pub computed: usize,
+    /// Points skipped because the artifact already had their rows.
+    pub resumed: usize,
+    /// Artifact lines that parsed but matched no selected point (other
+    /// sweeps sharing the file, or rows from a stale grid).
+    pub unmatched_lines: usize,
+    /// Artifact lines that failed to parse (e.g. a line truncated by a
+    /// kill mid-write).
+    pub malformed_lines: usize,
+}
+
+/// Runs the sweep and returns all selected rows in point order.
+///
+/// The evaluator must be a *pure* function of `(point, ctx)` — that is
+/// the whole determinism/resume contract. Each returned row must be
+/// tagged `Row::new(spec.name())` and carry every axis as a field with
+/// the point's value (the runner enforces both so that a later resume
+/// can re-associate rows with points).
+///
+/// # Errors
+///
+/// Returns a message when the filter references unknown axes/values or
+/// the artifact cannot be read/written.
+///
+/// # Panics
+///
+/// Panics when the evaluator violates the row contract above or a
+/// worker thread panics.
+pub fn run_sweep<F>(spec: &SweepSpec, opts: &SweepOptions, eval: F) -> Result<SweepReport, String>
+where
+    F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
+{
+    let points = spec.select(opts.filter.as_ref())?;
+    let root = SeedSequence::new(opts.seed).derive(spec.name());
+
+    // Resume: parse the artifact (when present) and mark completed points.
+    let mut resumed: BTreeMap<usize, Row> = BTreeMap::new(); // index into `points`
+    let mut unmatched_lines = 0usize;
+    let mut malformed_lines = 0usize;
+    if let Some(path) = &opts.artifact {
+        if path.exists() {
+            let file = File::open(path)
+                .map_err(|e| format!("cannot read artifact {}: {e}", path.display()))?;
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|e| format!("artifact {}: {e}", path.display()))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Ok(row) = parse_row(&line) else {
+                    malformed_lines += 1;
+                    continue;
+                };
+                // Configuration stamp: rows computed under a different
+                // configuration (e.g. a reduced run resumed by EFT_FULL)
+                // share axis values but not meaning — refuse them.
+                if row.label() == META_LABEL {
+                    if row.get_str("spec") == Some(spec.name())
+                        && row.get_str("config") != spec.config()
+                    {
+                        return Err(format!(
+                            "artifact {} was produced under configuration {:?}, \
+                             but this sweep runs under {:?} — use a different \
+                             --resume path (or delete the artifact) instead of \
+                             mixing configurations",
+                            path.display(),
+                            row.get_str("config").unwrap_or("<none>"),
+                            spec.config().unwrap_or("<none>"),
+                        ));
+                    }
+                    continue;
+                }
+                let matched = row.label() == spec.name()
+                    && points
+                        .iter()
+                        .position(|p| row_covers_point(&row, p))
+                        .map(|i| resumed.entry(i).or_insert(row))
+                        .is_some();
+                if !matched {
+                    unmatched_lines += 1;
+                }
+            }
+        }
+    }
+
+    let todo: Vec<usize> = (0..points.len())
+        .filter(|i| !resumed.contains_key(i))
+        .collect();
+    let emitter = Mutex::new(Emitter::open(spec, opts, &points, &resumed, todo.len())?);
+
+    let run_point = |i: usize| {
+        let point = &points[i];
+        let ctx = PointCtx {
+            seed: root.derive_index(point.id as u64),
+        };
+        let row = eval(point, &ctx);
+        check_row_contract(spec, point, &row);
+        emitter
+            .lock()
+            .expect("sweep emitter poisoned")
+            .push(i, row, true);
+    };
+
+    let workers = opts.threads.clamp(1, todo.len().max(1));
+    if workers <= 1 {
+        for &i in &todo {
+            run_point(i);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = todo.get(k) else { break };
+                    run_point(i);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+
+    let emitter = emitter.into_inner().expect("sweep emitter poisoned");
+    let rows = emitter.finish()?;
+    Ok(SweepReport {
+        rows,
+        computed: todo.len(),
+        resumed: resumed.len(),
+        unmatched_lines,
+        malformed_lines,
+    })
+}
+
+/// [`run_sweep`] for CLI wrappers: prints the error to stderr and exits
+/// with status 2 instead of returning it.
+pub fn run_sweep_or_exit<F>(spec: &SweepSpec, opts: &SweepOptions, eval: F) -> SweepReport
+where
+    F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
+{
+    run_sweep(spec, opts, eval).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", spec.name());
+        std::process::exit(2);
+    })
+}
+
+/// Whether the file exists, is non-empty, and lacks a final newline.
+fn ends_without_newline(path: &std::path::Path) -> Result<bool, String> {
+    use std::io::{Read, Seek, SeekFrom};
+    let Ok(mut f) = File::open(path) else {
+        return Ok(false); // fresh artifact: nothing to repair
+    };
+    let len = f
+        .metadata()
+        .map_err(|e| format!("artifact {}: {e}", path.display()))?
+        .len();
+    if len == 0 {
+        return Ok(false);
+    }
+    f.seek(SeekFrom::End(-1))
+        .map_err(|e| format!("artifact {}: {e}", path.display()))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)
+        .map_err(|e| format!("artifact {}: {e}", path.display()))?;
+    Ok(last[0] != b'\n')
+}
+
+/// Whether `row` carries every axis of `point` with the point's value
+/// (per [`AxisValue::loosely_equals`]: ints and floats promote, since
+/// JSON cannot tell `1.0` from `1`).
+fn row_covers_point(row: &Row, point: &SweepPoint) -> bool {
+    use crate::rows::Value;
+    point.values.iter().all(|(name, want)| {
+        row.value(name).is_some_and(|v| {
+            let got = match v {
+                Value::Str(s) => AxisValue::Str(s.clone()),
+                Value::Int(i) => AxisValue::Int(*i),
+                Value::Num(x) => AxisValue::Num(*x),
+            };
+            want.loosely_equals(&got)
+        })
+    })
+}
+
+fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row) {
+    assert_eq!(
+        row.label(),
+        spec.name(),
+        "sweep '{}': point {} returned a row tagged '{}' — resume would never match it",
+        spec.name(),
+        point.id,
+        row.label()
+    );
+    assert!(
+        row_covers_point(row, point),
+        "sweep '{}': the row for point {} does not carry its axis values {:?}",
+        spec.name(),
+        point.id,
+        point.values
+    );
+}
+
+/// In-order row emission: rows buffer until every earlier point is done,
+/// then stream to the artifact (fresh rows only), stdout (under
+/// `--json`) and the progress meter.
+struct Emitter {
+    name: String,
+    file: Option<File>,
+    echo_json: bool,
+    progress: bool,
+    next: usize,
+    buffered: BTreeMap<usize, (Row, bool)>,
+    done: Vec<Row>,
+    fresh_done: usize,
+    fresh_total: usize,
+    resumed: usize,
+    total: usize,
+    started: Instant,
+}
+
+impl Emitter {
+    fn open(
+        spec: &SweepSpec,
+        opts: &SweepOptions,
+        points: &[SweepPoint],
+        resumed: &BTreeMap<usize, Row>,
+        fresh_total: usize,
+    ) -> Result<Self, String> {
+        let file = match &opts.artifact {
+            Some(path) => {
+                let fresh = std::fs::metadata(path).map_or(true, |m| m.len() == 0);
+                let mut file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot append to artifact {}: {e}", path.display()))?;
+                // A kill mid-write can leave a torn final line with no
+                // newline; terminate it so appended rows stay on their
+                // own lines (the torn fragment is already counted as a
+                // malformed line by the resume scan).
+                if ends_without_newline(path)? {
+                    writeln!(file)
+                        .map_err(|e| format!("cannot repair artifact {}: {e}", path.display()))?;
+                }
+                // Stamp a fresh artifact with the spec's configuration so
+                // a later resume under a different configuration is
+                // rejected instead of silently reusing rows.
+                if fresh {
+                    if let Some(config) = spec.config() {
+                        let stamp = Row::new(META_LABEL)
+                            .str("spec", spec.name())
+                            .str("config", config);
+                        writeln!(file, "{}", stamp.to_json_row())
+                            .and_then(|()| file.flush())
+                            .map_err(|e| {
+                                format!("cannot stamp artifact {}: {e}", path.display())
+                            })?;
+                    }
+                }
+                Some(file)
+            }
+            None => None,
+        };
+        let mut emitter = Emitter {
+            name: spec.name().to_string(),
+            file,
+            echo_json: opts.echo_json,
+            progress: opts.progress,
+            next: 0,
+            buffered: BTreeMap::new(),
+            done: Vec::with_capacity(points.len()),
+            fresh_done: 0,
+            fresh_total,
+            resumed: resumed.len(),
+            total: points.len(),
+            started: Instant::now(),
+        };
+        if emitter.progress && emitter.resumed > 0 {
+            eprintln!(
+                "[{}] resuming: {} of {} points already in the artifact",
+                emitter.name, emitter.resumed, emitter.total
+            );
+        }
+        // Seed the resumed rows so in-order flushing can interleave them.
+        for (&i, row) in resumed {
+            emitter.push(i, row.clone(), false);
+        }
+        Ok(emitter)
+    }
+
+    fn push(&mut self, index: usize, row: Row, fresh: bool) {
+        self.buffered.insert(index, (row, fresh));
+        while let Some((row, fresh)) = self.buffered.remove(&self.next) {
+            self.flush_one(&row, fresh);
+            self.done.push(row);
+            self.next += 1;
+        }
+        if fresh {
+            self.fresh_done += 1;
+            self.report_progress();
+        }
+    }
+
+    fn flush_one(&mut self, row: &Row, fresh: bool) {
+        if fresh {
+            if let Some(file) = &mut self.file {
+                // Flushed per row: this is the checkpoint a killed run
+                // resumes from.
+                writeln!(file, "{}", row.to_json_row())
+                    .and_then(|()| file.flush())
+                    .unwrap_or_else(|e| panic!("[{}] artifact write failed: {e}", self.name));
+            }
+        }
+        if self.echo_json {
+            println!("{}", row.to_json_row());
+        }
+    }
+
+    fn report_progress(&self) {
+        if !self.progress {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if self.fresh_done > 0 {
+            elapsed / self.fresh_done as f64 * (self.fresh_total - self.fresh_done) as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{}] {}/{} points ({:.0}%{}), elapsed {:.1}s, eta {:.1}s",
+            self.name,
+            self.resumed + self.fresh_done,
+            self.total,
+            100.0 * (self.resumed + self.fresh_done) as f64 / self.total.max(1) as f64,
+            if self.resumed > 0 {
+                format!(", {} resumed", self.resumed)
+            } else {
+                String::new()
+            },
+            elapsed,
+            eta,
+        );
+    }
+
+    fn finish(self) -> Result<Vec<Row>, String> {
+        if self.done.len() != self.total {
+            return Err(format!(
+                "[{}] internal error: emitted {} of {} rows",
+                self.name,
+                self.done.len(),
+                self.total
+            ));
+        }
+        Ok(self.done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::path::Path;
+    use std::sync::atomic::AtomicUsize;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("toy")
+            .axis_strs("model", ["A", "B"])
+            .axis_ints("n", [4, 8, 16])
+            .axis_nums("p", [0.25, 1.0])
+    }
+
+    /// A deterministic evaluator exercising the per-point seed.
+    fn eval(p: &SweepPoint, ctx: &PointCtx) -> Row {
+        let mut rng = ctx.seed.rng();
+        let noise: f64 = rng.gen();
+        Row::new("toy")
+            .str("model", p.str("model"))
+            .int("n", p.int("n"))
+            .num("p", p.num("p"))
+            .num("value", p.int("n") as f64 * p.num("p") + noise)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eftq-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn lines(path: &Path) -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn rows_are_identical_at_any_thread_count() {
+        let spec = spec();
+        let base = run_sweep(&spec, &SweepOptions::default(), eval).unwrap();
+        assert_eq!(base.rows.len(), 12);
+        assert_eq!(base.computed, 12);
+        for threads in [2usize, 3, 8, 32] {
+            let opts = SweepOptions {
+                threads,
+                ..SweepOptions::default()
+            };
+            let got = run_sweep(&spec, &opts, eval).unwrap();
+            let a: Vec<String> = base.rows.iter().map(Row::to_json_row).collect();
+            let b: Vec<String> = got.rows.iter().map(Row::to_json_row).collect();
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn resume_skips_completed_points_and_converges() {
+        let spec = spec();
+        let full_path = tmp("full.jsonl");
+        let killed_path = tmp("killed.jsonl");
+        let _ = std::fs::remove_file(&full_path);
+        let _ = std::fs::remove_file(&killed_path);
+
+        let opts = SweepOptions {
+            artifact: Some(full_path.clone()),
+            ..SweepOptions::default()
+        };
+        let full = run_sweep(&spec, &opts, eval).unwrap();
+        assert_eq!(full.resumed, 0);
+        let full_lines = lines(&full_path);
+        assert_eq!(full_lines.len(), 12);
+
+        // Simulate a kill after 5 points (plus one torn line), resume.
+        std::fs::write(
+            &killed_path,
+            format!("{}\n{{\"row\":\"toy\",\"mo", full_lines[..5].join("\n")),
+        )
+        .unwrap();
+        let calls = AtomicUsize::new(0);
+        let opts = SweepOptions {
+            artifact: Some(killed_path.clone()),
+            threads: 4,
+            ..SweepOptions::default()
+        };
+        let resumed = run_sweep(&spec, &opts, |p, ctx| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval(p, ctx)
+        })
+        .unwrap();
+        assert_eq!(resumed.resumed, 5);
+        assert_eq!(resumed.computed, 7);
+        assert_eq!(resumed.malformed_lines, 1);
+        assert_eq!(calls.load(Ordering::Relaxed), 7, "completed points re-ran");
+        // The artifact converges to the uninterrupted run's rows, with
+        // the torn fragment quarantined on its own (ignored) line.
+        let mut expect = full_lines.clone();
+        expect.insert(5, "{\"row\":\"toy\",\"mo".into());
+        assert_eq!(lines(&killed_path), expect, "artifacts converge");
+        let a: Vec<String> = full.rows.iter().map(Row::to_json_row).collect();
+        let b: Vec<String> = resumed.rows.iter().map(Row::to_json_row).collect();
+        assert_eq!(a, b);
+
+        // Resuming a complete artifact computes nothing and leaves it
+        // untouched.
+        let again = run_sweep(&spec, &opts, |_, _| unreachable!("all resumed")).unwrap();
+        assert_eq!(again.resumed, 12);
+        assert_eq!(again.computed, 0);
+        assert_eq!(lines(&killed_path), expect);
+    }
+
+    #[test]
+    fn cross_config_resume_is_rejected() {
+        let reduced = spec().with_config("reduced");
+        let full = spec().with_config("full");
+        let path = tmp("config-stamp.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            artifact: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let first = run_sweep(&reduced, &opts, eval).unwrap();
+        assert_eq!(first.computed, 12);
+        // The artifact leads with the configuration stamp.
+        let all = lines(&path);
+        assert_eq!(all.len(), 13);
+        assert_eq!(
+            all[0],
+            r#"{"row":"~sweep-config","spec":"toy","config":"reduced"}"#
+        );
+
+        // A full-scale sweep must refuse the reduced artifact outright —
+        // the axis values coincide, the meaning does not.
+        let err = run_sweep(&full, &opts, eval).unwrap_err();
+        assert!(err.contains("configuration"), "{err}");
+        assert!(err.contains("reduced") && err.contains("full"), "{err}");
+        assert_eq!(lines(&path).len(), 13, "rejected resume left no trace");
+
+        // The matching configuration still resumes cleanly, and the
+        // stamp is not re-written.
+        let again = run_sweep(&reduced, &opts, eval).unwrap();
+        assert_eq!(again.resumed, 12);
+        assert_eq!(again.computed, 0);
+        assert_eq!(lines(&path), all);
+
+        // An unstamped (config-less) spec ignores the stamp of other
+        // specs and a stamped spec tolerates legacy unstamped artifacts.
+        let other_path = tmp("config-none.jsonl");
+        let _ = std::fs::remove_file(&other_path);
+        std::fs::write(&other_path, format!("{}\n", all[1..].join("\n"))).unwrap();
+        let legacy = run_sweep(
+            &reduced,
+            &SweepOptions {
+                artifact: Some(other_path),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+        assert_eq!(legacy.resumed, 12);
+    }
+
+    #[test]
+    fn filter_runs_exactly_the_selected_points() {
+        let spec = spec();
+        let filter = PointFilter::parse("model=B,p=0.25").unwrap();
+        let opts = SweepOptions {
+            filter: Some(filter),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&spec, &opts, eval).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for (row, n) in report.rows.iter().zip([4i64, 8, 16]) {
+            assert_eq!(row.get_str("model"), Some("B"));
+            assert_eq!(row.get_num("p"), Some(0.25));
+            assert_eq!(row.get_int("n"), Some(n));
+        }
+        let bad = SweepOptions {
+            filter: Some(PointFilter::parse("nope=1").unwrap()),
+            ..SweepOptions::default()
+        };
+        assert!(run_sweep(&spec, &bad, eval).is_err());
+    }
+
+    #[test]
+    fn filtered_resume_ignores_foreign_rows() {
+        // An artifact shared with another sweep (different row tag) or
+        // holding out-of-filter rows resumes only what matches.
+        let spec = spec();
+        let path = tmp("mixed.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let other = Row::new("other")
+            .str("model", "B")
+            .int("n", 4)
+            .num("p", 0.25);
+        let done = eval(
+            &spec
+                .points()
+                .into_iter()
+                .find(|p| p.str("model") == "B")
+                .unwrap(),
+            &PointCtx {
+                seed: SeedSequence::new(DEFAULT_SWEEP_SEED)
+                    .derive("toy")
+                    .derive_index(6),
+            },
+        );
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n", other.to_json_row(), done.to_json_row()),
+        )
+        .unwrap();
+        let opts = SweepOptions {
+            artifact: Some(path.clone()),
+            filter: Some(PointFilter::parse("model=B").unwrap()),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&spec, &opts, eval).unwrap();
+        assert_eq!(report.resumed, 1);
+        assert_eq!(report.computed, 5);
+        assert_eq!(report.unmatched_lines, 1);
+        assert_eq!(report.rows.len(), 6);
+    }
+
+    #[test]
+    fn enforces_the_row_contract() {
+        let spec = SweepSpec::new("s").axis_ints("n", [1]);
+        let r = std::panic::catch_unwind(|| {
+            run_sweep(&spec, &SweepOptions::default(), |_, _| Row::new("wrong"))
+        });
+        assert!(r.is_err(), "label mismatch must panic");
+        let r = std::panic::catch_unwind(|| {
+            run_sweep(&spec, &SweepOptions::default(), |_, _| {
+                Row::new("s").int("n", 99)
+            })
+        });
+        assert!(r.is_err(), "axis value mismatch must panic");
+    }
+
+    #[test]
+    fn cli_parsing_covers_the_standard_flags() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = SweepOptions::from_args(args(&[
+            "--json",
+            "--threads",
+            "8",
+            "--resume",
+            "out.jsonl",
+            "--points=n=4|8",
+            "--other-binary-flag",
+        ]))
+        .unwrap();
+        assert!(o.echo_json);
+        assert!(o.progress);
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.artifact.as_deref(), Some(Path::new("out.jsonl")));
+        assert_eq!(o.filter, Some(PointFilter::parse("n=4|8").unwrap()));
+
+        let o = SweepOptions::from_args(args(&["--threads=3"])).unwrap();
+        assert_eq!(o.threads, 3);
+        assert!(!o.echo_json);
+
+        assert!(SweepOptions::from_args(args(&["--threads"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--threads", "zero"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--threads", "0"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--points", "broken"])).is_err());
+    }
+}

@@ -1,0 +1,492 @@
+//! Declarative sweep grids.
+//!
+//! A [`SweepSpec`] names a figure/table and its parameter axes; the
+//! cartesian product of the axis values defines the point grid. Points
+//! are identified by their row-major index (**first axis slowest**), so a
+//! point id is stable for a fixed spec regardless of thread count,
+//! subset filtering, or resume state — which is what makes per-point
+//! seed derivation (`seed.derive_index(point_id)`) and checkpoint/resume
+//! sound.
+
+use std::fmt;
+
+/// One axis value: the sweep grids mix integers (qubit counts, shot
+/// budgets), floats (couplings, bond lengths) and strings (model names,
+/// ansatz families).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxisValue {
+    /// An integer value (qubits, layers, shots, budgets).
+    Int(i64),
+    /// A float value (couplings, gammas, bond lengths).
+    Num(f64),
+    /// A categorical value (model, regime, ansatz names).
+    Str(String),
+}
+
+impl AxisValue {
+    /// Canonical text form — the same rendering [`crate::Row`] uses for
+    /// its JSON values, so `--points` filters compare against exactly
+    /// what the artifact shows.
+    pub fn label(&self) -> String {
+        match self {
+            AxisValue::Int(i) => i.to_string(),
+            AxisValue::Num(x) => format!("{x}"),
+            AxisValue::Str(s) => s.clone(),
+        }
+    }
+
+    /// Numeric view (ints promote to float) for cross-type comparison.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AxisValue::Int(i) => Some(*i as f64),
+            AxisValue::Num(x) => Some(*x),
+            AxisValue::Str(_) => None,
+        }
+    }
+
+    /// Value equality with int/float promotion: a `Num(1.0)` axis value
+    /// matches an `Int(1)` artifact field (JSON cannot tell them apart —
+    /// `1.0` serializes as `1`).
+    pub fn loosely_equals(&self, other: &AxisValue) -> bool {
+        match (self, other) {
+            (AxisValue::Str(a), AxisValue::Str(b)) => a == b,
+            (AxisValue::Str(_), _) | (_, AxisValue::Str(_)) => false,
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A named sweep axis and its ordered values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    /// Axis (and artifact-field) name.
+    pub name: String,
+    /// Values in sweep order.
+    pub values: Vec<AxisValue>,
+}
+
+/// A declarative sweep: a name (which must equal the `"row"` tag of the
+/// rows its driver emits, so resume can re-associate artifact lines with
+/// points) and the axes whose cartesian product is the point grid.
+///
+/// # Examples
+///
+/// ```
+/// use eftq_sweep::SweepSpec;
+///
+/// let spec = SweepSpec::new("fig12")
+///     .axis_strs("model", ["Ising", "Heisenberg"])
+///     .axis_ints("qubits", [16, 24, 32])
+///     .axis_nums("j", [0.25, 0.5, 1.0]);
+/// assert_eq!(spec.num_points(), 18);
+/// let p = spec.point(0);
+/// assert_eq!(p.str("model"), "Ising");
+/// assert_eq!(p.int("qubits"), 16);
+/// assert_eq!(p.num("j"), 0.25);
+/// // First axis is slowest: the last point flips every axis to its end.
+/// let last = spec.point(17);
+/// assert_eq!(last.str("model"), "Heisenberg");
+/// assert_eq!(last.num("j"), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    name: String,
+    axes: Vec<Axis>,
+    config: Option<String>,
+}
+
+impl SweepSpec {
+    /// Starts an empty spec named after its figure/table.
+    pub fn new(name: &str) -> Self {
+        SweepSpec {
+            name: name.into(),
+            axes: Vec::new(),
+            config: None,
+        }
+    }
+
+    /// The spec (and row-tag) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tags the spec with its evaluation configuration (e.g. `"reduced"`
+    /// vs `"full"` for an `EFT_FULL=1` grid). The runner stamps the tag
+    /// into the checkpoint artifact and *refuses to resume* an artifact
+    /// stamped with a different tag — rows computed under one
+    /// configuration must never silently complete a sweep running under
+    /// another, even where their axis values coincide.
+    #[must_use]
+    pub fn with_config(mut self, tag: &str) -> Self {
+        self.config = Some(tag.into());
+        self
+    }
+
+    /// The configuration tag, if any.
+    pub fn config(&self) -> Option<&str> {
+        self.config.as_deref()
+    }
+
+    /// The axes in declaration order (first is slowest).
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Appends an axis of raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty value list or a duplicate axis name.
+    #[must_use]
+    pub fn axis(mut self, name: &str, values: Vec<AxisValue>) -> Self {
+        assert!(!values.is_empty(), "axis '{name}' has no values");
+        assert!(
+            self.axes.iter().all(|a| a.name != name),
+            "duplicate axis '{name}'"
+        );
+        self.axes.push(Axis {
+            name: name.into(),
+            values,
+        });
+        self
+    }
+
+    /// Appends an integer axis.
+    #[must_use]
+    pub fn axis_ints<I: IntoIterator<Item = i64>>(self, name: &str, values: I) -> Self {
+        self.axis(name, values.into_iter().map(AxisValue::Int).collect())
+    }
+
+    /// Appends a float axis.
+    #[must_use]
+    pub fn axis_nums<I: IntoIterator<Item = f64>>(self, name: &str, values: I) -> Self {
+        self.axis(name, values.into_iter().map(AxisValue::Num).collect())
+    }
+
+    /// Appends a categorical axis.
+    #[must_use]
+    pub fn axis_strs<'a, I: IntoIterator<Item = &'a str>>(self, name: &str, values: I) -> Self {
+        self.axis(
+            name,
+            values
+                .into_iter()
+                .map(|s| AxisValue::Str(s.into()))
+                .collect(),
+        )
+    }
+
+    /// Total number of grid points (product of axis lengths; 1 for an
+    /// axis-less spec).
+    pub fn num_points(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Decodes point `id` (mixed-radix, first axis slowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.num_points()`.
+    pub fn point(&self, id: usize) -> SweepPoint {
+        assert!(id < self.num_points(), "point id {id} out of range");
+        let mut values = Vec::with_capacity(self.axes.len());
+        let mut rem = id;
+        for axis in self.axes.iter().rev() {
+            let k = axis.values.len();
+            values.push((axis.name.clone(), axis.values[rem % k].clone()));
+            rem /= k;
+        }
+        values.reverse();
+        SweepPoint { id, values }
+    }
+
+    /// All points in id order.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        (0..self.num_points()).map(|id| self.point(id)).collect()
+    }
+
+    /// The points selected by an optional [`PointFilter`], in id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending clause when the filter
+    /// references an axis the spec does not have, or a value no point
+    /// takes (both would otherwise silently select nothing).
+    pub fn select(&self, filter: Option<&PointFilter>) -> Result<Vec<SweepPoint>, String> {
+        let Some(filter) = filter else {
+            return Ok(self.points());
+        };
+        for (name, wanted) in &filter.clauses {
+            let Some(axis) = self.axes.iter().find(|a| &a.name == name) else {
+                let known: Vec<&str> = self.axes.iter().map(|a| a.name.as_str()).collect();
+                return Err(format!(
+                    "--points: unknown axis '{name}' (axes: {})",
+                    known.join(", ")
+                ));
+            };
+            for w in wanted {
+                if !axis.values.iter().any(|v| v.label() == *w) {
+                    let labels: Vec<String> = axis.values.iter().map(|v| v.label()).collect();
+                    return Err(format!(
+                        "--points: axis '{name}' has no value '{w}' (values: {})",
+                        labels.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(self
+            .points()
+            .into_iter()
+            .filter(|p| filter.matches(p))
+            .collect())
+    }
+}
+
+/// One concrete grid point: its stable id plus the resolved
+/// `(axis, value)` pairs in axis order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Row-major index into the spec's grid (stable across runs, thread
+    /// counts and subset filters).
+    pub id: usize,
+    /// Resolved axis values in axis order.
+    pub values: Vec<(String, AxisValue)>,
+}
+
+impl SweepPoint {
+    /// The value of axis `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the axis does not exist.
+    pub fn get(&self, name: &str) -> &AxisValue {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("point has no axis '{name}'"))
+    }
+
+    /// Integer axis accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the axis is missing or not an integer.
+    pub fn int(&self, name: &str) -> i64 {
+        match self.get(name) {
+            AxisValue::Int(i) => *i,
+            v => panic!("axis '{name}' is not an integer (got {v})"),
+        }
+    }
+
+    /// Float axis accessor (integers promote).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the axis is missing or categorical.
+    pub fn num(&self, name: &str) -> f64 {
+        self.get(name)
+            .as_f64()
+            .unwrap_or_else(|| panic!("axis '{name}' is not numeric"))
+    }
+
+    /// String axis accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the axis is missing or not categorical.
+    pub fn str(&self, name: &str) -> &str {
+        match self.get(name) {
+            AxisValue::Str(s) => s,
+            v => panic!("axis '{name}' is not categorical (got {v})"),
+        }
+    }
+}
+
+/// A `--points` subset filter: comma-separated `axis=value` clauses,
+/// with `|` separating alternative values. A point is selected when
+/// *every* clause matches (values compare by their canonical
+/// [`AxisValue::label`] text).
+///
+/// # Examples
+///
+/// ```
+/// use eftq_sweep::{PointFilter, SweepSpec};
+///
+/// let spec = SweepSpec::new("demo")
+///     .axis_strs("model", ["Ising", "Heisenberg"])
+///     .axis_nums("j", [0.25, 0.5, 1.0]);
+/// let f = PointFilter::parse("model=Ising,j=0.25|1").unwrap();
+/// let picked = spec.select(Some(&f)).unwrap();
+/// let ids: Vec<usize> = picked.iter().map(|p| p.id).collect();
+/// assert_eq!(ids, vec![0, 2]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointFilter {
+    clauses: Vec<(String, Vec<String>)>,
+}
+
+impl PointFilter {
+    /// Parses `a=x|y,b=z` filter syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed clause.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut clauses = Vec::new();
+        for clause in s.split(',').filter(|c| !c.trim().is_empty()) {
+            let Some((name, values)) = clause.split_once('=') else {
+                return Err(format!("--points clause '{clause}' is not axis=value"));
+            };
+            let name = name.trim();
+            let values: Vec<String> = values
+                .split('|')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            if name.is_empty() || values.is_empty() {
+                return Err(format!("--points clause '{clause}' is not axis=value"));
+            }
+            clauses.push((name.to_string(), values));
+        }
+        if clauses.is_empty() {
+            return Err("--points: empty filter".into());
+        }
+        Ok(PointFilter { clauses })
+    }
+
+    /// Whether every clause matches the point.
+    pub fn matches(&self, point: &SweepPoint) -> bool {
+        self.clauses.iter().all(|(name, wanted)| {
+            point
+                .values
+                .iter()
+                .find(|(n, _)| n == name)
+                .is_some_and(|(_, v)| wanted.iter().any(|w| v.label() == *w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SweepSpec {
+        SweepSpec::new("demo")
+            .axis_strs("model", ["Ising", "Heisenberg"])
+            .axis_ints("qubits", [16, 24, 32])
+            .axis_nums("j", [0.25, 0.5, 1.0])
+    }
+
+    #[test]
+    fn point_ids_are_row_major_first_axis_slowest() {
+        let spec = demo();
+        assert_eq!(spec.num_points(), 18);
+        // Nested-loop order: model outer, qubits middle, j inner.
+        let mut id = 0;
+        for model in ["Ising", "Heisenberg"] {
+            for qubits in [16i64, 24, 32] {
+                for j in [0.25, 0.5, 1.0] {
+                    let p = spec.point(id);
+                    assert_eq!(p.id, id);
+                    assert_eq!(p.str("model"), model);
+                    assert_eq!(p.int("qubits"), qubits);
+                    assert_eq!(p.num("j"), j);
+                    id += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn points_enumerates_all_ids() {
+        let spec = demo();
+        let pts = spec.points();
+        assert_eq!(pts.len(), 18);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn axisless_spec_has_one_point() {
+        let spec = SweepSpec::new("scalar");
+        assert_eq!(spec.num_points(), 1);
+        assert_eq!(spec.point(0).values.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_id_bounds_checked() {
+        let _ = demo().point(18);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate axis")]
+    fn duplicate_axis_rejected() {
+        let _ = SweepSpec::new("x").axis_ints("a", [1]).axis_ints("a", [2]);
+    }
+
+    #[test]
+    fn filter_selects_exact_ids() {
+        let spec = demo();
+        let f = PointFilter::parse("qubits=24").unwrap();
+        let ids: Vec<usize> = spec
+            .select(Some(&f))
+            .unwrap()
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5, 12, 13, 14]);
+
+        let f = PointFilter::parse("model=Heisenberg,qubits=16|32,j=1").unwrap();
+        let ids: Vec<usize> = spec
+            .select(Some(&f))
+            .unwrap()
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(ids, vec![11, 17]);
+    }
+
+    #[test]
+    fn filter_float_labels_match_json_rendering() {
+        // 1.0 renders as "1" in both rows and labels, so both spellings
+        // must select it.
+        let spec = demo();
+        for text in ["j=1", "j=0.25|1"] {
+            let f = PointFilter::parse(text).unwrap();
+            assert!(spec
+                .select(Some(&f))
+                .unwrap()
+                .iter()
+                .all(|p| p.num("j") != 0.5));
+        }
+    }
+
+    #[test]
+    fn filter_errors_name_the_problem() {
+        let spec = demo();
+        let unknown = PointFilter::parse("nope=1").unwrap();
+        assert!(spec.select(Some(&unknown)).unwrap_err().contains("nope"));
+        let missing = PointFilter::parse("qubits=17").unwrap();
+        assert!(spec.select(Some(&missing)).unwrap_err().contains("17"));
+        assert!(PointFilter::parse("").is_err());
+        assert!(PointFilter::parse("a").is_err());
+        assert!(PointFilter::parse("=x").is_err());
+    }
+
+    #[test]
+    fn loose_equality_promotes_ints() {
+        assert!(AxisValue::Num(1.0).loosely_equals(&AxisValue::Int(1)));
+        assert!(AxisValue::Int(2).loosely_equals(&AxisValue::Num(2.0)));
+        assert!(!AxisValue::Num(1.5).loosely_equals(&AxisValue::Int(1)));
+        assert!(!AxisValue::Str("1".into()).loosely_equals(&AxisValue::Int(1)));
+        assert!(AxisValue::Str("a".into()).loosely_equals(&AxisValue::Str("a".into())));
+    }
+}

@@ -18,9 +18,14 @@
 //! # Layering
 //!
 //! ```text
-//! numerics → pauli → {circuit, stabilizer, statesim}
+//! numerics → {pauli, sweep} → {circuit, stabilizer, statesim}
 //!          → {qec → layout} → optim → core (eft_vqa) → bench
 //! ```
+//!
+//! The [`sweep`] layer is the resumable, parallel sweep engine every
+//! figure/table binary runs on; [`prelude`] collects the common types
+//! (circuits, Hamiltonians, estimators, sweep specs) for one-line
+//! imports.
 //!
 //! # Examples
 //!
@@ -46,6 +51,11 @@ pub use eftq_pauli as pauli;
 pub use eftq_qec as qec;
 pub use eftq_stabilizer as stabilizer;
 pub use eftq_statesim as statesim;
+pub use eftq_sweep as sweep;
+
+/// The one-stop import surface (re-exported from [`core`], which also
+/// pulls in the sweep engine's types): `use eft_vqa_repro::prelude::*;`.
+pub use eft_vqa::prelude;
 
 pub use eft_vqa::{plan, relative_improvement, ExecutionRegime, RegimePlan, Workload};
 pub use eftq_circuit::{Ansatz, AnsatzKind, Circuit, Gate};

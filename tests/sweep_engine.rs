@@ -1,0 +1,245 @@
+//! Integration suite for the sweep-orchestration engine: thread/seed
+//! invariance, kill-and-resume convergence, subset filtering, and the
+//! compilation-hoist equivalence — exercised through the umbrella's
+//! prelude on real (reduced) physics workloads.
+
+use eft_vqa_repro::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A miniature Figure-12-shaped sweep: a genetic Clifford VQE per point,
+/// small enough for the test budget but running the full stack
+/// (tableau + compiled noise programs + GA) under the engine.
+fn mini_spec() -> SweepSpec {
+    SweepSpec::new("mini_vqe")
+        .axis_strs("model", ["Ising", "Heisenberg"])
+        .axis_ints("qubits", [4, 6])
+        .axis_nums("j", [0.5, 1.0])
+}
+
+fn mini_eval(point: &SweepPoint, ctx: &PointCtx) -> Row {
+    let n = point.int("qubits") as usize;
+    let j = point.num("j");
+    let h = match point.str("model") {
+        "Ising" => ising_1d(n, j),
+        _ => heisenberg_1d(n, j),
+    };
+    let ansatz = linear_hea(n, 1);
+    let noise = ExecutionRegime::nisq_default().stabilizer_noise();
+    let template = NoiseTemplate::compile(ansatz.circuit(), &noise);
+    let config = CliffordVqeConfig {
+        ga: eft_vqa_repro::optim::GeneticConfig {
+            population: 8,
+            generations: 4,
+            ..Default::default()
+        },
+        shots: 4,
+        // The engine's per-point seed keys the whole evaluation.
+        seed: ctx.seed.seed(),
+    };
+    let out = clifford_vqe_with_template(&ansatz, &h, &template, &config);
+    Row::new("mini_vqe")
+        .str("model", point.str("model"))
+        .int("qubits", n as i64)
+        .num("j", j)
+        .num("energy", out.best_energy)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eftq-sweep-engine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn jsonl(rows: &[Row]) -> Vec<String> {
+    rows.iter().map(Row::to_json_row).collect()
+}
+
+fn file_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn rows_are_bit_identical_across_thread_counts() {
+    let spec = mini_spec();
+    let base = run_sweep(&spec, &SweepOptions::default(), mini_eval).unwrap();
+    assert_eq!(base.rows.len(), 8);
+    for threads in [2usize, 8] {
+        let opts = SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        };
+        let got = run_sweep(&spec, &opts, mini_eval).unwrap();
+        assert_eq!(jsonl(&base.rows), jsonl(&got.rows), "threads = {threads}");
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_to_the_uninterrupted_artifact() {
+    let spec = mini_spec();
+    let full_path = tmp("mini-full.jsonl");
+    let killed_path = tmp("mini-killed.jsonl");
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&killed_path);
+
+    run_sweep(
+        &spec,
+        &SweepOptions {
+            artifact: Some(full_path.clone()),
+            ..SweepOptions::default()
+        },
+        mini_eval,
+    )
+    .unwrap();
+    let reference = file_lines(&full_path);
+    assert_eq!(reference.len(), 8);
+
+    // The runner appends rows in point order and flushes per row, so a
+    // SIGKILL after K points leaves exactly the first K lines.
+    for k in [0usize, 3, 7] {
+        let _ = std::fs::remove_file(&killed_path);
+        std::fs::write(&killed_path, format!("{}\n", reference[..k].join("\n"))).unwrap();
+        if k == 0 {
+            std::fs::write(&killed_path, "").unwrap();
+        }
+        let evals = AtomicUsize::new(0);
+        let report = run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(killed_path.clone()),
+                threads: 4,
+                ..SweepOptions::default()
+            },
+            |p, ctx| {
+                evals.fetch_add(1, Ordering::Relaxed);
+                mini_eval(p, ctx)
+            },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, k, "kill after {k}");
+        assert_eq!(evals.load(Ordering::Relaxed), 8 - k, "kill after {k}");
+        assert_eq!(file_lines(&killed_path), reference, "kill after {k}");
+        assert_eq!(jsonl(&report.rows), reference, "kill after {k}");
+    }
+}
+
+#[test]
+fn subset_filter_selects_exactly_the_matching_points() {
+    let spec = mini_spec();
+    let filter = PointFilter::parse("model=Heisenberg,j=1").unwrap();
+    let selected = spec.select(Some(&filter)).unwrap();
+    let ids: Vec<usize> = selected.iter().map(|p| p.id).collect();
+    // Grid order: model (slowest) × qubits × j; Heisenberg is ids 4..8,
+    // j = 1.0 is every second one.
+    assert_eq!(ids, vec![5, 7]);
+    let report = run_sweep(
+        &spec,
+        &SweepOptions {
+            filter: Some(filter),
+            ..SweepOptions::default()
+        },
+        mini_eval,
+    )
+    .unwrap();
+    assert_eq!(report.rows.len(), 2);
+    for (row, qubits) in report.rows.iter().zip([4i64, 6]) {
+        assert_eq!(row.get_str("model"), Some("Heisenberg"));
+        assert_eq!(row.get_num("j"), Some(1.0));
+        assert_eq!(row.get_int("qubits"), Some(qubits));
+    }
+    // Filtered rows equal the corresponding rows of the full grid.
+    let full = run_sweep(&spec, &SweepOptions::default(), mini_eval).unwrap();
+    assert_eq!(jsonl(&report.rows)[0], jsonl(&full.rows)[5]);
+    assert_eq!(jsonl(&report.rows)[1], jsonl(&full.rows)[7]);
+}
+
+#[test]
+fn template_hoist_matches_per_genome_compilation() {
+    // clifford_vqe (compiles the template internally) and an explicit
+    // template share every bit; and the template-bound programs match a
+    // from-scratch compile of each bound circuit.
+    let h = ising_1d(6, 0.5);
+    let ansatz = fully_connected_hea(6, 1);
+    let noise = ExecutionRegime::pqec_default().stabilizer_noise();
+    let config = CliffordVqeConfig {
+        ga: eft_vqa_repro::optim::GeneticConfig {
+            population: 8,
+            generations: 6,
+            ..Default::default()
+        },
+        shots: 8,
+        ..CliffordVqeConfig::default()
+    };
+    let direct = clifford_vqe(&ansatz, &h, &noise, &config);
+    let template = NoiseTemplate::compile(ansatz.circuit(), &noise);
+    let hoisted = clifford_vqe_with_template(&ansatz, &h, &template, &config);
+    assert_eq!(direct.best_energy, hoisted.best_energy);
+    assert_eq!(direct.best_genome, hoisted.best_genome);
+    assert_eq!(direct.history, hoisted.history);
+
+    let program = template.bind_clifford(&direct.best_genome);
+    let circuit = ansatz.bind_clifford(&direct.best_genome);
+    let a = estimate_energy_program(
+        &circuit,
+        &h,
+        &program,
+        template.meas_flip(),
+        256,
+        SeedSequence::new(3),
+        2,
+    );
+    let b = estimate_energy_threaded(&circuit, &h, &noise, 256, SeedSequence::new(3), 2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn table1_driver_rows_reproduce_the_paper_table_shape() {
+    let report = run_sweep(&Table1Driver::spec(), &SweepOptions::default(), |p, _| {
+        Table1Driver::eval(p)
+    })
+    .unwrap();
+    assert_eq!(report.rows.len(), 12);
+    // Paper ordering: Compact <= Intermediate <= Fast <= Grid per ansatz.
+    for ansatz in ["linear", "fully_connected", "blocked_all_to_all"] {
+        let mean = |layout: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| {
+                    r.get_str("layout") == Some(layout) && r.get_str("ansatz") == Some(ansatz)
+                })
+                .and_then(|r| r.get_num("mean_ratio"))
+                .unwrap()
+        };
+        assert!(mean("Compact") <= mean("Intermediate") + 1e-9, "{ansatz}");
+        assert!(mean("Intermediate") <= mean("Fast") + 1e-9, "{ansatz}");
+        assert!(mean("Fast") <= mean("Grid") + 1e-9, "{ansatz}");
+    }
+}
+
+#[test]
+fn fig12_driver_grid_matches_the_binary_configuration() {
+    // The reduced grid is 2 models × 3 sizes × 3 couplings, in the
+    // binary's historical nested-loop order (golden artifacts depend on
+    // it).
+    let spec = Fig12Driver::spec(false);
+    let points = spec.points();
+    assert_eq!(points.len(), 18);
+    assert_eq!(points[0].str("model"), "Ising");
+    assert_eq!(points[0].int("qubits"), 16);
+    assert_eq!(points[0].num("j"), 0.25);
+    assert_eq!(points[17].str("model"), "Heisenberg");
+    assert_eq!(points[17].int("qubits"), 32);
+    assert_eq!(points[17].num("j"), 1.0);
+    // Full scale extends the ladder to 100 qubits.
+    let full = Fig12Driver::spec(true);
+    assert_eq!(full.num_points(), 36);
+    assert!(full
+        .points()
+        .iter()
+        .any(|p| p.int("qubits") == 100 && p.str("model") == "Heisenberg"));
+}
