@@ -1,0 +1,53 @@
+//! CI bench-regression guard: compares the `BENCH_*.json` smoke
+//! artifacts against checked-in reference medians and fails (exit 1)
+//! when a routine regressed past the tolerance.
+//!
+//! ```text
+//! bench_guard <artifacts-dir> <refs-dir> [--tolerance X]
+//! ```
+//!
+//! With no references checked in the guard passes advisorily, so a fresh
+//! bench suite is never blocked by its own missing baseline; commit the
+//! artifacts under the refs directory to arm it.
+
+use eftq_bench::guard::{compare_dirs, DEFAULT_TOLERANCE};
+use std::path::PathBuf;
+
+fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg
+            .strip_prefix("--tolerance=")
+            .map(str::to_string)
+            .or_else(|| (arg == "--tolerance").then(|| args.next().unwrap_or_default()))
+        {
+            tolerance = v.parse().unwrap_or_else(|e| {
+                eprintln!("bench_guard: --tolerance {v}: {e}");
+                std::process::exit(2);
+            });
+            if !(tolerance.is_finite() && tolerance >= 1.0) {
+                eprintln!("bench_guard: --tolerance {tolerance}: must be a finite ratio >= 1");
+                std::process::exit(2);
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let [artifacts, refs] = positional.as_slice() else {
+        eprintln!("usage: bench_guard <artifacts-dir> <refs-dir> [--tolerance X]");
+        std::process::exit(2);
+    };
+    match compare_dirs(&PathBuf::from(artifacts), &PathBuf::from(refs), tolerance) {
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            std::process::exit(2);
+        }
+        Ok(0) => println!("bench guard: no regressions past {tolerance}x"),
+        Ok(failures) => {
+            eprintln!("bench_guard: {failures} regression(s) past {tolerance}x — see the verdict lines above");
+            std::process::exit(1);
+        }
+    }
+}

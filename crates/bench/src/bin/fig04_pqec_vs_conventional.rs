@@ -1,39 +1,45 @@
 //! Figure 4: relative fidelity improvement of pQEC over qec-conventional
 //! for 12-24 qubit FCHE (p = 1) workloads on the 10k-qubit EFT device,
 //! across the four (15-to-1) factory configurations.
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig4Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`, `--points qubits=12|16`,
+//! `--shard k/N`, `--merge <shards>` and `--summary`.
 
-use eft_vqa::sweeps::fig4_rows;
-use eftq_bench::{fmt, header, Row};
+use eft_vqa::sweeps::Fig4Driver;
+use eftq_bench::{fmt, header};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig04: {e}");
+        std::process::exit(2);
+    });
     header("Figure 4 - pQEC vs qec-conventional (10k qubits, FCHE p=1)");
+    let spec = Fig4Driver::spec();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Fig4Driver::eval(p));
     println!(
         "{:>7} {:>20} {:>10} {:>10} {:>12}",
         "qubits", "factory", "f_pQEC", "f_conv", "improvement"
     );
-    let rows = fig4_rows();
-    for r in &rows {
+    let mut ratios = Vec::new();
+    for row in &report.rows {
+        let improvement = row.get_num("improvement").expect("improvement field");
+        ratios.push(improvement);
         println!(
             "{:>7} {:>20} {} {} {}",
-            r.qubits,
-            r.factory,
-            fmt(r.pqec),
-            fmt(r.conventional),
-            fmt(r.improvement)
+            row.get_int("qubits").expect("qubits field"),
+            row.get_str("factory").expect("factory field"),
+            fmt(row.get_num("pqec").expect("pqec field")),
+            fmt(row.get_num("conventional").expect("conventional field")),
+            fmt(improvement)
         );
-        Row::new("fig04")
-            .int("qubits", r.qubits as i64)
-            .str("factory", r.factory)
-            .num("pqec", r.pqec)
-            .num("conventional", r.conventional)
-            .num("improvement", r.improvement)
-            .emit();
     }
-    let ratios: Vec<f64> = rows.iter().map(|r| r.improvement).collect();
     println!(
         "\ngeometric-mean improvement: {:.2}x   max: {:.2}x",
         eftq_numerics::stats::geometric_mean(&ratios),
         eftq_numerics::stats::max(&ratios)
     );
     println!("paper shape: pQEC >= conventional everywhere; sweet spot (11,5,5) 1-2.5x; gap grows with qubits");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

@@ -1,46 +1,52 @@
 //! Figure 5: win percentage of pQEC over qec-conventional across device
 //! sizes (10k-60k physical qubits) and program sizes; '.' marks programs
 //! that do not fit at d = 11 (the paper's white squares).
+//!
+//! Default: a representative program-size subset. EFT_FULL=1 runs the
+//! paper's every-tenth-size grid.
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig5Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`,
+//! `--points device_qubits=10000`, `--shard k/N`, `--merge <shards>`
+//! and `--summary`.
 
-use eft_vqa::sweeps::fig5_grid;
-use eftq_bench::{full_scale, header, Row};
+use eft_vqa::sweeps::Fig5Driver;
+use eftq_bench::{full_scale, header};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
-    let devices: Vec<usize> = (10..=60).step_by(10).map(|k| k * 1000).collect();
-    let programs: Vec<usize> = if full_scale() {
-        (10..=240).step_by(10).collect()
-    } else {
-        vec![12, 20, 28, 40, 60, 80, 120, 160, 200, 240]
-    };
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig05: {e}");
+        std::process::exit(2);
+    });
+    let full = full_scale();
+    let devices = Fig5Driver::device_sizes();
+    let programs = Fig5Driver::program_sizes(full);
     header("Figure 5 - pQEC win % over qec-conventional");
+    let spec = Fig5Driver::spec(full);
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Fig5Driver::eval(p));
     print!("{:>8}", "qubits");
     for d in &devices {
         print!("{:>8}", format!("{}k", d / 1000));
     }
     println!();
-    let cells = fig5_grid(&devices, &programs);
     for &n in &programs {
         print!("{n:>8}");
         for &d in &devices {
-            let cell = cells
-                .iter()
-                .find(|c| c.device_qubits == d && c.logical_qubits == n)
-                .unwrap();
-            if cell.feasible {
-                print!("{:>7.0}%", 100.0 * cell.pqec_win_fraction);
-            } else {
-                print!("{:>8}", ".");
+            let cell = report.rows.iter().find(|r| {
+                r.get_int("device_qubits") == Some(d as i64)
+                    && r.get_int("logical_qubits") == Some(n as i64)
+            });
+            match cell {
+                Some(row) if row.get_int("feasible") == Some(1) => {
+                    let win = row.get_num("pqec_win_fraction").expect("win field");
+                    print!("{:>7.0}%", 100.0 * win);
+                }
+                _ => print!("{:>8}", "."),
             }
         }
         println!();
     }
-    for cell in &cells {
-        Row::new("fig05")
-            .int("device_qubits", cell.device_qubits as i64)
-            .int("logical_qubits", cell.logical_qubits as i64)
-            .int("feasible", i64::from(cell.feasible))
-            .num("pqec_win_fraction", cell.pqec_win_fraction)
-            .emit();
-    }
     println!("\npaper shape: conventional wins small-program/large-device corner; pQEC wins at the device frontier");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

@@ -1,31 +1,48 @@
 //! Figure 6: relative fidelity improvement of pQEC over qec-cultivation
 //! at 10k and 20k physical qubits, 10-70 logical qubits.
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig6Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`,
+//! `--points logical_qubits=12|20`, `--shard k/N`, `--merge <shards>`
+//! and `--summary`.
 
-use eft_vqa::sweeps::fig6_rows;
-use eftq_bench::{fmt, header, Row};
+use eft_vqa::sweeps::Fig6Driver;
+use eftq_bench::{fmt, header};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
-    let programs: Vec<usize> = (12..=68).step_by(8).collect();
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig06: {e}");
+        std::process::exit(2);
+    });
     header("Figure 6 - pQEC vs qec-cultivation");
+    let spec = Fig6Driver::spec();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Fig6Driver::eval(p));
     println!("{:>8} {:>12} {:>12}", "qubits", "10k device", "20k device");
-    let rows10 = fig6_rows(&[10_000], &programs);
-    let rows20 = fig6_rows(&[20_000], &programs);
-    for &n in &programs {
-        let a = rows10.iter().find(|r| r.logical_qubits == n);
-        let b = rows20.iter().find(|r| r.logical_qubits == n);
-        println!(
-            "{:>8} {} {}",
-            n,
-            a.map_or("   (unfit)".into(), |r| fmt(r.improvement)),
-            b.map_or("   (unfit)".into(), |r| fmt(r.improvement)),
-        );
-        for r in [a, b].into_iter().flatten() {
-            Row::new("fig06")
-                .int("device_qubits", r.device_qubits as i64)
-                .int("logical_qubits", r.logical_qubits as i64)
-                .num("improvement", r.improvement)
-                .emit();
+    // Rows arrive in (logical_qubits, device_qubits) order: one table
+    // line per program size, 10k column first. An unfit cell carries a
+    // null improvement; a cell another shard / the --points filter owns
+    // is absent from the report and must not be mislabeled as unfit.
+    let cell = |n: i64, d: i64| -> String {
+        match report.rows.iter().find(|r| {
+            r.get_int("logical_qubits") == Some(n) && r.get_int("device_qubits") == Some(d)
+        }) {
+            None => "         -".into(),
+            Some(row) => row
+                .get_num("improvement")
+                .filter(|v| v.is_finite())
+                .map_or("   (unfit)".into(), fmt),
         }
+    };
+    let mut sizes: Vec<i64> = report
+        .rows
+        .iter()
+        .filter_map(|r| r.get_int("logical_qubits"))
+        .collect();
+    sizes.dedup();
+    for &n in &sizes {
+        println!("{:>8} {} {}", n, cell(n, 10_000), cell(n, 20_000));
     }
     println!("\npaper shape: cultivation wins at small logical counts (ratio < 1); pQEC wins as qubits grow; 20k shifts the crossover right");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

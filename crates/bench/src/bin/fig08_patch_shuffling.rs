@@ -1,30 +1,40 @@
 //! Figure 8: spacetime volume of patch shuffling vs the naive strategy
 //! with b = 1..4 backup states, 20-76 qubits.
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig8Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`, `--points qubits=20|40`,
+//! `--shard k/N`, `--merge <shards>` and `--summary`.
 
-use eftq_bench::{header, Row};
-use eftq_layout::shuffling::{naive_backup_volume, patch_shuffling_volume};
-use eftq_qec::InjectionModel;
+use eft_vqa::sweeps::Fig8Driver;
+use eftq_bench::header;
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig08: {e}");
+        std::process::exit(2);
+    });
     header("Figure 8 - patch shuffling vs naive backup provisioning");
-    let model = InjectionModel::eft_default();
+    let spec = Fig8Driver::spec();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Fig8Driver::eval(p));
     println!(
         "{:>7} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "qubits", "shuffling", "naive b=1", "naive b=2", "naive b=3", "naive b=4"
     );
-    for n in (20..=76).step_by(4) {
-        let s = patch_shuffling_volume(n, 1, &model);
-        print!("{n:>7} {:>14.3e}", s.volume);
-        let mut row = Row::new("fig08")
-            .int("qubits", n as i64)
-            .num("shuffling", s.volume);
+    for row in &report.rows {
+        print!(
+            "{:>7} {:>14.3e}",
+            row.get_int("qubits").expect("qubits field"),
+            row.get_num("shuffling").expect("shuffling field")
+        );
         for b in 1..=4 {
-            let v = naive_backup_volume(n, 1, b, &model);
-            print!(" {:>14.3e}", v.volume);
-            row = row.num(&format!("naive_b{b}"), v.volume);
+            print!(
+                " {:>14.3e}",
+                row.get_num(&format!("naive_b{b}")).expect("naive field")
+            );
         }
         println!();
-        row.emit();
     }
     println!("\npaper shape: shuffling below every naive curve; naive volume grows with b");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

@@ -1,31 +1,58 @@
 //! Figure 11: NISQ vs EFT (pQEC) fidelity against circuit depth for the
 //! blocked_all_to_all ansatz at 8, 12 and 16 qubits; plus the Section-4.4
 //! theoretical crossover.
+//!
+//! Backed by the `eftq_sweep` engine as two grids (curves: `fig11`,
+//! crossover: `fig11_crossover`, sharing one checkpoint file); supports
+//! `--json`, `--threads N`, `--resume <path>`, `--points qubits=8|16`
+//! (applies to the curve grid), `--shard k/N`, `--merge <shards>` and
+//! `--summary`.
 
-use eft_vqa::crossover::{blocked_crossover_qubits, fig11_curves};
-use eftq_bench::{fmt, header, Row};
+use eft_vqa::sweeps::Fig11Driver;
+use eftq_bench::{fmt, header};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig11: {e}");
+        std::process::exit(2);
+    });
     header("Figure 11 - NISQ vs EFT fidelity vs depth (blocked_all_to_all)");
-    for n in [8usize, 12, 16] {
-        println!("\n-- {n} qubits --");
-        println!("{:>7} {:>10} {:>10}", "depth", "NISQ", "EFT");
-        for pt in fig11_curves(n, 24).iter().step_by(4) {
-            println!("{:>7} {} {}", pt.depth, fmt(pt.nisq), fmt(pt.eft));
-            Row::new("fig11")
-                .int("qubits", n as i64)
-                .int("depth", pt.depth as i64)
-                .num("nisq", pt.nisq)
-                .num("eft", pt.eft)
-                .emit();
+    let spec = Fig11Driver::spec();
+    let driver = Fig11Driver::new();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
+    let mut current_qubits = 0i64;
+    for row in &report.rows {
+        let n = row.get_int("qubits").expect("qubits field");
+        if n != current_qubits {
+            current_qubits = n;
+            println!("\n-- {n} qubits --");
+            println!("{:>7} {:>10} {:>10}", "depth", "NISQ", "EFT");
         }
+        println!(
+            "{:>7} {} {}",
+            row.get_int("depth").expect("depth field"),
+            fmt(row.get_num("nisq").expect("nisq field")),
+            fmt(row.get_num("eft").expect("eft field"))
+        );
     }
-    println!(
-        "\ntheoretical crossover (Section 4.4): N = {} (paper: 13; empirical: ~12)",
-        blocked_crossover_qubits()
-    );
-    Row::new("fig11_crossover")
-        .int("crossover_qubits", blocked_crossover_qubits() as i64)
-        .emit();
+    // The crossover grid has no axes, so the curve grid's `--points`
+    // filter does not apply to it.
+    let cross_opts = SweepOptions {
+        filter: None,
+        ..opts.clone()
+    };
+    let cross_spec = Fig11Driver::crossover_spec();
+    let cross = run_sweep_or_exit(&cross_spec, &cross_opts, |p, _| {
+        Fig11Driver::eval_crossover(p)
+    });
+    if let Some(n) = cross
+        .rows
+        .first()
+        .and_then(|r| r.get_int("crossover_qubits"))
+    {
+        println!("\ntheoretical crossover (Section 4.4): N = {n} (paper: 13; empirical: ~12)");
+    }
     println!("paper shape: NISQ wins at 8 qubits for large depth; EFT wins at 12 and 16");
+    emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
 }

@@ -9,12 +9,14 @@
 //! [`Fig12Driver::spec`] and this binary is a thin CLI wrapper. Flags:
 //! `--json` (JSONL rows on stdout), `--threads N` (work-stealing point
 //! parallelism; rows are bit-identical for every N), `--resume <path>`
-//! (JSONL checkpoint: a killed run continues instead of restarting) and
-//! `--points model=Ising,qubits=16|24` (subset filtering).
+//! (JSONL checkpoint: a killed run continues instead of restarting),
+//! `--points model=Ising,qubits=16|24` (subset filtering), `--shard k/N`
+//! (deterministic partition for multi-machine sweeps), `--merge <shards>`
+//! (reassemble shard artifacts) and `--summary` (run statistics row).
 
 use eft_vqa::sweeps::Fig12Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -56,4 +58,5 @@ fn main() {
         eftq_numerics::stats::max(&all_gammas)
     );
     println!("paper: gamma_avg(Ising) = 6.83x (max 257.54x), gamma_avg(Heisenberg) = 12.59x (max 189.54x)");
+    emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
 }

@@ -8,12 +8,13 @@
 //!
 //! Backed by the `eftq_sweep` engine as two grids (physics: `fig13`,
 //! chemistry: `fig13_chem`); supports `--json`, `--threads N`,
-//! `--resume <path>` (both grids share one checkpoint file) and
-//! `--points` (filters apply to the physics grid's axes).
+//! `--resume <path>` (both grids share one checkpoint file),
+//! `--points` (filters apply to the physics grid's axes), `--shard k/N`,
+//! `--merge <shards>` and `--summary`.
 
 use eft_vqa::sweeps::Fig13Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{run_sweep_or_exit, Row, SweepOptions};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, Row, SweepOptions};
 
 fn print_gamma_row(row: &Row, gammas: &mut Vec<f64>) {
     let gamma = row.get_num("gamma").expect("gamma field");
@@ -35,8 +36,9 @@ fn main() {
     });
     header("Figure 13 - gamma(pQEC/NISQ), density-matrix VQE");
     let full = full_scale();
+    let spec = Fig13Driver::spec(full);
     let driver = Fig13Driver::new(full);
-    let report = run_sweep_or_exit(&Fig13Driver::spec(full), &opts, |p, _| driver.eval(p));
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
     println!(
         "{:>22} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "E0", "E_pQEC", "E_NISQ", "gamma"
@@ -50,14 +52,14 @@ fn main() {
         // filter does not apply to it.
         let chem_opts = SweepOptions {
             filter: None,
-            ..opts
+            ..opts.clone()
         };
-        let chem = run_sweep_or_exit(&Fig13Driver::chem_spec(), &chem_opts, |p, _| {
-            driver.eval_chem(p)
-        });
+        let chem_spec = Fig13Driver::chem_spec();
+        let chem = run_sweep_or_exit(&chem_spec, &chem_opts, |p, _| driver.eval_chem(p));
         for row in &chem.rows {
             print_gamma_row(row, &mut gammas);
         }
+        emit_summary(&chem_spec, &chem_opts, &chem, |r| r);
     } else {
         println!("(set EFT_FULL=1 for the 12-qubit H2O/H6/LiH chemistry rows)");
     }
@@ -67,4 +69,5 @@ fn main() {
         eftq_numerics::stats::max(&gammas)
     );
     println!("paper: Ising avg 3.45x, Heisenberg avg 3.005x, H2O avg 19.52x, H6 avg 2.69x, LiH avg 1.61x");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

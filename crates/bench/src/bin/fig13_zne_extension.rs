@@ -1,51 +1,38 @@
 //! Extension bench: EFT-aware zero-noise extrapolation (Section 7) layered
 //! on the Figure-13 workloads — how much of the noisy gap ZNE recovers in
 //! each regime.
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig13ZneDriver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`, `--points regime=pQEC`,
+//! `--shard k/N`, `--merge <shards>` and `--summary`.
 
-use eft_vqa::hamiltonians::ising_1d;
-use eft_vqa::zne::{energy_at_scale, zne_energy};
-use eft_vqa::ExecutionRegime;
-use eftq_bench::{fmt, header, Row};
-use eftq_circuit::ansatz::fully_connected_hea;
+use eft_vqa::sweeps::Fig13ZneDriver;
+use eftq_bench::{fmt, header};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig13_zne: {e}");
+        std::process::exit(2);
+    });
     header("Extension - zero-noise extrapolation on the Figure-13 workload");
-    let n = 6;
-    let h = ising_1d(n, 1.0);
-    let ansatz = fully_connected_hea(n, 1);
-    let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.21 * i as f64).collect();
+    let spec = Fig13ZneDriver::spec();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Fig13ZneDriver::eval(p));
     println!(
         "{:>7} {:>12} {:>12} {:>12} {:>12}",
         "regime", "noiseless", "noisy", "ZNE", "recovered"
     );
-    for regime in [
-        ExecutionRegime::nisq_default(),
-        ExecutionRegime::pqec_default(),
-    ] {
-        let ideal = energy_at_scale(&ansatz, &params, &regime, &h, 0.0);
-        let noisy = energy_at_scale(&ansatz, &params, &regime, &h, 1.0);
-        let zne = zne_energy(&ansatz, &params, &regime, &h, &[1.0, 1.5, 2.0]);
-        let recovered = if (noisy - ideal).abs() > 1e-12 {
-            1.0 - (zne.extrapolated - ideal).abs() / (noisy - ideal).abs()
-        } else {
-            1.0
-        };
+    for row in &report.rows {
         println!(
             "{:>7} {} {} {} {:>11.1}%",
-            regime.name(),
-            fmt(ideal),
-            fmt(noisy),
-            fmt(zne.extrapolated),
-            100.0 * recovered
+            row.get_str("regime").expect("regime field"),
+            fmt(row.get_num("noiseless").expect("noiseless field")),
+            fmt(row.get_num("noisy").expect("noisy field")),
+            fmt(row.get_num("zne").expect("zne field")),
+            100.0 * row.get_num("recovered").expect("recovered field")
         );
-        Row::new("fig13_zne")
-            .str("regime", regime.name())
-            .num("noiseless", ideal)
-            .num("noisy", noisy)
-            .num("zne", zne.extrapolated)
-            .num("recovered", recovered)
-            .emit();
     }
     println!("\nSection 7's claim: pre/post-processing mitigation like ZNE transitions");
     println!("to the EFT regime; under pQEC it targets the injected-rotation channel.");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

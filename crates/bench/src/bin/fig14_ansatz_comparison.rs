@@ -2,12 +2,13 @@
 //! Heisenberg models, plus the noiseless "expressibility" energy ratio.
 //!
 //! Backed by the `eftq_sweep` engine ([`Fig14Driver::spec`]); supports
-//! `--json`, `--threads N`, `--resume <path>` and
-//! `--points model=Ising,qubits=16`.
+//! `--json`, `--threads N`, `--resume <path>`,
+//! `--points model=Ising,qubits=16`, `--shard k/N`, `--merge <shards>`
+//! and `--summary`.
 
 use eft_vqa::sweeps::Fig14Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -16,8 +17,9 @@ fn main() {
     });
     header("Figure 14 - blocked_all_to_all vs FCHE under pQEC (Clifford VQE)");
     let full = full_scale();
+    let spec = Fig14Driver::spec(full);
     let driver = Fig14Driver::new(full);
-    let report = run_sweep_or_exit(&Fig14Driver::spec(full), &opts, |p, _| driver.eval(p));
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
     println!(
         "{:>12} {:>7} {:>6} {:>10} {:>10} {:>10} {:>12}",
         "model", "qubits", "J", "E_blocked", "E_FCHE", "gamma", "ideal ratio"
@@ -38,4 +40,5 @@ fn main() {
     println!(
         "plus: blocked executes in less than half the FCHE cycles (Table 2) regardless of gamma"
     );
+    emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
 }

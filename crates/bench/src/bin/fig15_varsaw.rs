@@ -1,61 +1,39 @@
 //! Figure 15: VarSaw-style measurement mitigation improves VQE
 //! convergence for both NISQ and pQEC execution (paper: 12-qubit J=1
 //! Ising and Heisenberg; reduced default: 6-qubit).
+//!
+//! Backed by the `eftq_sweep` engine ([`Fig15Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`, `--points model=Ising`,
+//! `--shard k/N`, `--merge <shards>` and `--summary`.
 
-use eft_vqa::hamiltonians::{heisenberg_1d, ising_1d};
-use eft_vqa::vqe::{run_vqe, VqeConfig};
-use eft_vqa::ExecutionRegime;
-use eftq_bench::{fmt, full_scale, header, Row};
-use eftq_circuit::ansatz::fully_connected_hea;
+use eft_vqa::sweeps::Fig15Driver;
+use eftq_bench::{fmt, full_scale, header};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("fig15: {e}");
+        std::process::exit(2);
+    });
     header("Figure 15 - VarSaw measurement mitigation (J = 1)");
-    let n = if full_scale() { 12 } else { 6 };
-    let config = VqeConfig {
-        max_iters: if full_scale() { 300 } else { 250 },
-        restarts: 2,
-        ..VqeConfig::default()
-    };
+    let full = full_scale();
+    let spec = Fig15Driver::spec(full);
+    let driver = Fig15Driver::new(full);
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
     println!(
         "{:>14} {:>7} {:>12} {:>12} {:>12}",
         "model", "regime", "plain", "with VarSaw", "E0"
     );
-    for (name, h) in [
-        ("Ising", ising_1d(n, 1.0)),
-        ("Heisenberg", heisenberg_1d(n, 1.0)),
-    ] {
-        let e0 = h.ground_energy_default().unwrap();
-        let ansatz = fully_connected_hea(n, 1);
-        for regime in [
-            ExecutionRegime::nisq_default(),
-            ExecutionRegime::pqec_default(),
-        ] {
-            let plain = run_vqe(&ansatz, &h, &regime, &config);
-            let mitigated = run_vqe(
-                &ansatz,
-                &h,
-                &regime,
-                &VqeConfig {
-                    mitigate_measurement: true,
-                    ..config
-                },
-            );
-            println!(
-                "{name:>14} {:>7} {} {} {}",
-                regime.name(),
-                fmt(plain.best_energy),
-                fmt(mitigated.best_energy),
-                fmt(e0)
-            );
-            Row::new("fig15")
-                .str("model", name)
-                .int("qubits", n as i64)
-                .str("regime", regime.name())
-                .num("plain", plain.best_energy)
-                .num("mitigated", mitigated.best_energy)
-                .num("e0", e0)
-                .emit();
-        }
+    for row in &report.rows {
+        println!(
+            "{:>14} {:>7} {} {} {}",
+            row.get_str("model").expect("model field"),
+            row.get_str("regime").expect("regime field"),
+            fmt(row.get_num("plain").expect("plain field")),
+            fmt(row.get_num("mitigated").expect("mitigated field")),
+            fmt(row.get_num("e0").expect("e0 field"))
+        );
     }
     println!("\npaper shape: mitigation converges to lower energy in both regimes (larger effect under NISQ's 1e-2 readout error)");
+    emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
 }

@@ -3,12 +3,13 @@
 //! for the linear, fully-connected and blocked_all_to_all ansatze.
 //!
 //! Backed by the `eftq_sweep` engine ([`Table1Driver::spec`]); supports
-//! `--json`, `--threads N`, `--resume <path>` and
-//! `--points layout=Grid,ansatz=linear`.
+//! `--json`, `--threads N`, `--resume <path>`,
+//! `--points layout=Grid,ansatz=linear`, `--shard k/N`,
+//! `--merge <shards>` and `--summary`.
 
 use eft_vqa::sweeps::Table1Driver;
 use eftq_bench::header;
-use eftq_sweep::{run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -16,7 +17,8 @@ fn main() {
         std::process::exit(2);
     });
     header("Table 1 - spacetime volume relative to the proposed layout");
-    let report = run_sweep_or_exit(&Table1Driver::spec(), &opts, |p, _| Table1Driver::eval(p));
+    let spec = Table1Driver::spec();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Table1Driver::eval(p));
     println!(
         "{:>14} {:>10} {:>18} {:>20}",
         "Layout", "linear", "fully_connected", "blocked_all_to_all"
@@ -36,4 +38,5 @@ fn main() {
     println!();
     println!("\npaper values:  Compact 1.04/1.02/1.81  Intermediate 1.19/1.15/1.93  Fast 2.7/2.6/4.06  Grid 5.3/5.08/7.92");
     println!("shape checks: every ratio >= 1; ordering Compact <= Intermediate <= Fast <= Grid; blocked column largest");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

@@ -1,24 +1,30 @@
 //! Table 2: cycles taken by blocked_all_to_all vs the FCHE ansatz.
+//!
+//! Backed by the `eftq_sweep` engine ([`Table2Driver::spec`]); supports
+//! `--json`, `--threads N`, `--resume <path>`, `--points qubits=20|60`,
+//! `--shard k/N`, `--merge <shards>` and `--summary`.
 
-use eftq_bench::{header, Row};
-use eftq_circuit::AnsatzKind;
-use eftq_layout::layouts::LayoutModel;
-use eftq_layout::schedule::{schedule_ansatz, ScheduleConfig};
+use eft_vqa::sweeps::Table2Driver;
+use eftq_bench::header;
+use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
 
 fn main() {
+    let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
+        eprintln!("table2: {e}");
+        std::process::exit(2);
+    });
     header("Table 2 - schedule length (cycles), proposed layout, p = 1");
-    let cfg = ScheduleConfig::default();
-    let ours = LayoutModel::proposed();
+    let spec = Table2Driver::spec();
+    let report = run_sweep_or_exit(&spec, &opts, |p, _| Table2Driver::eval(p));
     println!("{:>8} {:>22} {:>8}", "qubits", "blocked_all_to_all", "FCHE");
-    for n in [20usize, 40, 60] {
-        let b = schedule_ansatz(AnsatzKind::BlockedAllToAll, n, 1, &ours, &cfg);
-        let f = schedule_ansatz(AnsatzKind::FullyConnectedHea, n, 1, &ours, &cfg);
-        println!("{n:>8} {:>22} {:>8}", b.cycles, f.cycles);
-        Row::new("table2")
-            .int("qubits", n as i64)
-            .int("blocked_cycles", b.cycles as i64)
-            .int("fche_cycles", f.cycles as i64)
-            .emit();
+    for row in &report.rows {
+        println!(
+            "{:>8} {:>22} {:>8}",
+            row.get_int("qubits").expect("qubits field"),
+            row.get_int("blocked_cycles").expect("blocked_cycles field"),
+            row.get_int("fche_cycles").expect("fche_cycles field")
+        );
     }
     println!("\npaper values: blocked 71/121/171, FCHE 131/271/411 (exact match expected)");
+    emit_summary(&spec, &opts, &report, |r| r);
 }

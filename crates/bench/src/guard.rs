@@ -1,0 +1,282 @@
+//! The CI bench-regression guard.
+//!
+//! The bench smoke job dumps `BENCH_<bench>.json` timing artifacts (one
+//! `{"id", "ns"}` entry per routine, written by the criterion shim under
+//! `BENCH_JSON=<dir>`). This module compares those against checked-in
+//! reference medians (`ci/bench-refs/`) and flags any routine whose
+//! timing regressed past a generous tolerance — generous because the
+//! smoke timings are single unwarmed runs on shared CI hardware, so only
+//! an order-of-magnitude cliff (an accidental `O(n²)`, a lost
+//! parallelism path) should trip it, not scheduler noise. The
+//! `bench_guard` binary wraps [`compare_dirs`] for the workflow; with no
+//! references checked in it passes advisorily, so the first run of a new
+//! bench suite is never blocked by its own missing baseline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Default regression tolerance: fail only past `ref × 3`.
+pub const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// Absolute noise floor: a regression must also be at least this many
+/// nanoseconds slower than the reference. Microsecond-scale routines
+/// flap far past 3× between two runs of the same binary (cold caches,
+/// page faults dominate a single unwarmed execution), so the ratio test
+/// alone would make the guard cry wolf; a real cliff on a routine that
+/// matters clears 200 µs easily.
+pub const NOISE_FLOOR_NS: i64 = 200_000;
+
+/// Parses one `BENCH_*.json` artifact (a JSON array of `{"id", "ns"}`
+/// objects, one per line) into `id → nanoseconds`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry, or an error for
+/// an artifact with no entries at all.
+pub fn parse_bench_json(text: &str) -> Result<BTreeMap<String, i64>, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let entry = line.trim().trim_end_matches(',');
+        if entry.is_empty() || entry == "[" || entry == "]" {
+            continue;
+        }
+        let row = eftq_sweep::jsonl::parse_row(entry)
+            .map_err(|e| format!("bad bench entry '{entry}': {e}"))?;
+        let id = row
+            .get_str("id")
+            .ok_or_else(|| format!("bench entry '{entry}' has no \"id\""))?;
+        let ns = row
+            .get_int("ns")
+            .ok_or_else(|| format!("bench entry '{entry}' has no integer \"ns\""))?;
+        out.insert(id.to_string(), ns);
+    }
+    if out.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(out)
+}
+
+/// One comparison verdict for a benchmark id.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (ratio = new / reference).
+    Ok { id: String, ratio: f64 },
+    /// Timing regressed past the tolerance.
+    Regressed { id: String, ratio: f64 },
+    /// Present in the references but absent from the fresh artifact — a
+    /// silently dropped bench is treated like a regression.
+    Missing { id: String },
+    /// New bench with no reference yet (advisory only).
+    New { id: String },
+}
+
+impl Verdict {
+    /// Whether this verdict should fail the guard.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Verdict::Regressed { .. } | Verdict::Missing { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Ok { id, ratio } => write!(f, "ok        {id:<48} {ratio:>6.2}x"),
+            Verdict::Regressed { id, ratio } => {
+                write!(f, "REGRESSED {id:<48} {ratio:>6.2}x")
+            }
+            Verdict::Missing { id } => write!(f, "MISSING   {id:<48} (dropped from the suite?)"),
+            Verdict::New { id } => write!(f, "new       {id:<48} (no reference yet)"),
+        }
+    }
+}
+
+/// Compares a fresh artifact against its reference medians. Reference
+/// ids drive the comparison; fresh-only ids are advisory [`Verdict::New`]
+/// entries at the end.
+pub fn compare(
+    refs: &BTreeMap<String, i64>,
+    fresh: &BTreeMap<String, i64>,
+    tolerance: f64,
+) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for (id, &ref_ns) in refs {
+        match fresh.get(id) {
+            None => verdicts.push(Verdict::Missing { id: id.clone() }),
+            Some(&new_ns) => {
+                let ratio = new_ns as f64 / (ref_ns.max(1)) as f64;
+                if ratio > tolerance && new_ns - ref_ns > NOISE_FLOOR_NS {
+                    verdicts.push(Verdict::Regressed {
+                        id: id.clone(),
+                        ratio,
+                    });
+                } else {
+                    verdicts.push(Verdict::Ok {
+                        id: id.clone(),
+                        ratio,
+                    });
+                }
+            }
+        }
+    }
+    for id in fresh.keys() {
+        if !refs.contains_key(id) {
+            verdicts.push(Verdict::New { id: id.clone() });
+        }
+    }
+    verdicts
+}
+
+/// Compares every `BENCH_*.json` in `refs_dir` against its counterpart
+/// in `artifacts_dir`, printing one verdict line per bench id. Returns
+/// the number of failures (0 when the guard passes). A missing or empty
+/// `refs_dir` passes advisorily — commit the fresh artifacts as
+/// references to arm the guard.
+///
+/// # Errors
+///
+/// Returns an error when a reference or its fresh counterpart cannot be
+/// read or parsed (an unreadable artifact must fail loudly, not pass).
+pub fn compare_dirs(
+    artifacts_dir: &Path,
+    refs_dir: &Path,
+    tolerance: f64,
+) -> Result<usize, String> {
+    let mut ref_files: Vec<std::path::PathBuf> = match std::fs::read_dir(refs_dir) {
+        Err(_) => Vec::new(),
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+    };
+    ref_files.sort();
+    if ref_files.is_empty() {
+        println!(
+            "bench guard: no BENCH_*.json references under {} — passing \
+             advisorily (commit the bench artifacts there to arm the guard)",
+            refs_dir.display()
+        );
+        return Ok(0);
+    }
+    let mut failures = 0usize;
+    for ref_path in &ref_files {
+        let name = ref_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("filtered to utf-8 names");
+        let refs = parse_bench_json(
+            &std::fs::read_to_string(ref_path)
+                .map_err(|e| format!("cannot read {}: {e}", ref_path.display()))?,
+        )
+        .map_err(|e| format!("{}: {e}", ref_path.display()))?;
+        let fresh_path = artifacts_dir.join(name);
+        let fresh = parse_bench_json(
+            &std::fs::read_to_string(&fresh_path)
+                .map_err(|e| format!("cannot read {}: {e}", fresh_path.display()))?,
+        )
+        .map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+        println!("== {name} (tolerance {tolerance}x) ==");
+        for verdict in compare(&refs, &fresh, tolerance) {
+            println!("  {verdict}");
+            if verdict.is_failure() {
+                failures += 1;
+            }
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"id": "tableau_gates/ghz_chain/100", "ns": 1400},
+  {"id": "frame_shots/nisq_16q_p2/1024", "ns": 76000}
+]
+"#;
+
+    fn map(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_the_criterion_shim_artifact_shape() {
+        let parsed = parse_bench_json(SAMPLE).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["tableau_gates/ghz_chain/100"], 1400);
+        assert_eq!(parsed["frame_shots/nisq_16q_p2/1024"], 76000);
+        assert!(parse_bench_json("[\n]\n").is_err(), "empty suite");
+        assert!(parse_bench_json("[\n  {\"ns\": 3}\n]").is_err(), "no id");
+        assert!(parse_bench_json("not json").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_tolerance() {
+        let m = 1_000_000i64; // well past the noise floor
+        let refs = map(&[("a", 100 * m), ("b", 100 * m), ("c", 100 * m)]);
+        let fresh = map(&[("a", 290 * m), ("b", 301 * m), ("d", 5)]);
+        let verdicts = compare(&refs, &fresh, 3.0);
+        assert_eq!(verdicts.len(), 4);
+        assert!(matches!(&verdicts[0], Verdict::Ok { id, ratio } if id == "a" && *ratio == 2.9));
+        assert!(
+            matches!(&verdicts[1], Verdict::Regressed { id, ratio } if id == "b" && *ratio == 3.01)
+        );
+        assert!(matches!(&verdicts[2], Verdict::Missing { id } if id == "c"));
+        assert!(matches!(&verdicts[3], Verdict::New { id } if id == "d"));
+        assert!(!verdicts[0].is_failure());
+        assert!(verdicts[1].is_failure());
+        assert!(verdicts[2].is_failure());
+        assert!(!verdicts[3].is_failure());
+        // An improvement is never a failure.
+        let faster = compare(&refs, &map(&[("a", 1), ("b", 1), ("c", 1)]), 3.0);
+        assert!(faster.iter().all(|v| !v.is_failure()));
+    }
+
+    #[test]
+    fn sub_floor_jitter_never_fails_the_guard() {
+        // Microsecond routines flap well past 3x between identical runs;
+        // the absolute floor keeps them advisory.
+        let refs = map(&[("tiny", 2_500)]);
+        let fresh = map(&[("tiny", 120_000)]); // 48x, but only ~118 us slower
+        assert!(compare(&refs, &fresh, 3.0).iter().all(|v| !v.is_failure()));
+        // Past both the ratio and the floor it fails.
+        let fresh = map(&[("tiny", 2_500 + NOISE_FLOOR_NS + 1)]);
+        assert!(compare(&refs, &fresh, 3.0)[0].is_failure());
+    }
+
+    #[test]
+    fn compare_dirs_passes_advisorily_without_references() {
+        let dir = std::env::temp_dir().join(format!("eftq-guard-{}", std::process::id()));
+        let refs = dir.join("refs");
+        let artifacts = dir.join("artifacts");
+        std::fs::create_dir_all(&refs).unwrap();
+        std::fs::create_dir_all(&artifacts).unwrap();
+        assert_eq!(compare_dirs(&artifacts, &refs, 3.0), Ok(0));
+        assert_eq!(
+            compare_dirs(&artifacts, &dir.join("never-created"), 3.0),
+            Ok(0)
+        );
+
+        // Armed guard: a reference with a matching artifact compares; a
+        // reference without one errors.
+        std::fs::write(refs.join("BENCH_simulators.json"), SAMPLE).unwrap();
+        assert!(compare_dirs(&artifacts, &refs, 3.0).is_err());
+        std::fs::write(
+            artifacts.join("BENCH_simulators.json"),
+            SAMPLE.replace("76000", "76"),
+        )
+        .unwrap();
+        assert_eq!(compare_dirs(&artifacts, &refs, 3.0), Ok(0));
+        std::fs::write(
+            artifacts.join("BENCH_simulators.json"),
+            SAMPLE.replace("\"ns\": 76000", "\"ns\": 76000000"),
+        )
+        .unwrap();
+        assert_eq!(compare_dirs(&artifacts, &refs, 3.0), Ok(1));
+    }
+}

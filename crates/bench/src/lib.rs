@@ -16,6 +16,8 @@
 pub use eftq_sweep::rows;
 pub use eftq_sweep::{json_mode, Row};
 
+pub mod guard;
+
 /// Whether the paper-scale configuration was requested via `EFT_FULL=1`.
 pub fn full_scale() -> bool {
     std::env::var("EFT_FULL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))

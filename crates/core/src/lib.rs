@@ -89,7 +89,10 @@ pub mod prelude {
     pub use crate::hamiltonians::{
         heisenberg_1d, ising_1d, molecular, Molecule, BOND_LENGTHS, COUPLINGS,
     };
-    pub use crate::sweeps::{Fig12Driver, Fig13Driver, Fig14Driver, Table1Driver};
+    pub use crate::sweeps::{
+        Fig11Driver, Fig12Driver, Fig13Driver, Fig13ZneDriver, Fig14Driver, Fig15Driver,
+        Fig4Driver, Fig5Driver, Fig6Driver, Fig8Driver, Table1Driver, Table2Driver,
+    };
     pub use crate::vqe::{run_vqe, VqeConfig, VqeOutcome};
     pub use crate::{plan, relative_improvement, ExecutionRegime, RegimePlan, Workload};
     pub use eftq_circuit::ansatz::{
@@ -103,6 +106,7 @@ pub mod prelude {
         NoiseTemplate, StabilizerNoise, Tableau,
     };
     pub use eftq_sweep::{
-        run_sweep, ArtifactCache, PointCtx, PointFilter, Row, SweepOptions, SweepPoint, SweepSpec,
+        run_sweep, ArtifactCache, PointCtx, PointFilter, Row, Shard, SweepOptions, SweepPoint,
+        SweepSpec,
     };
 }

@@ -54,6 +54,7 @@ pub mod spec;
 pub use cache::ArtifactCache;
 pub use rows::{json_mode, Row};
 pub use runner::{
-    run_sweep, run_sweep_or_exit, PointCtx, SweepOptions, SweepReport, DEFAULT_SWEEP_SEED,
+    emit_summary, run_sweep, run_sweep_or_exit, PointCtx, Shard, SweepOptions, SweepReport,
+    DEFAULT_SWEEP_SEED,
 };
 pub use spec::{Axis, AxisValue, PointFilter, SweepPoint, SweepSpec};

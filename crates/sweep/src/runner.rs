@@ -44,10 +44,66 @@ pub const DEFAULT_SWEEP_SEED: u64 = 0x5eed_5eed;
 /// collide with a spec name that doubles as a row tag).
 const META_LABEL: &str = "~sweep-config";
 
+/// Row tag of the `--summary` row (never written to the artifact).
+const SUMMARY_LABEL: &str = "~sweep-summary";
+
+/// A deterministic `k/N` partition of the selected points (`--shard`):
+/// shard `k` keeps every selected point whose *selection position* `i`
+/// satisfies `i % N == k`. Positions are taken after `--points`
+/// filtering, so for a fixed spec + filter the shards are disjoint and
+/// union-complete for every `N`, and round-robin assignment balances
+/// grids whose cost grows along an axis (e.g. a qubit ladder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index (`k` in `k/N`); always `< count`.
+    pub index: usize,
+    /// Total number of shards (`N` in `k/N`); always `>= 1`.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the `--shard k/N` syntax (`k` zero-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for non-numeric parts, `N == 0`, or
+    /// `k >= N` — the malformed values must be rejected up front, not
+    /// discovered as an empty or overlapping partition mid-sweep.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let Some((k, n)) = s.split_once('/') else {
+            return Err(format!(
+                "--shard '{s}': expected k/N with zero-based k (e.g. 0/4)"
+            ));
+        };
+        let index: usize = k
+            .trim()
+            .parse()
+            .map_err(|e| format!("--shard '{s}': bad shard index '{k}': {e}"))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|e| format!("--shard '{s}': bad shard count '{n}': {e}"))?;
+        if count == 0 {
+            return Err(format!("--shard '{s}': shard count must be at least 1"));
+        }
+        if index >= count {
+            return Err(format!(
+                "--shard '{s}': shard index {index} out of range (valid: 0..{count})"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns the point at selection position `i`.
+    pub fn selects(&self, position: usize) -> bool {
+        position % self.count == self.index
+    }
+}
+
 /// How a sweep should execute. [`SweepOptions::default`] is the quiet
 /// library configuration; [`SweepOptions::from_env_args`] is the CLI
 /// wrapper configuration (`--threads`, `--resume`, `--points`,
-/// `--json`).
+/// `--shard`, `--merge`, `--summary`, `--json`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepOptions {
     /// Worker threads for point evaluation (1 = run on the caller).
@@ -57,6 +113,18 @@ pub struct SweepOptions {
     pub artifact: Option<PathBuf>,
     /// Subset filter (`--points a=x|y,b=z`); `None` runs the full grid.
     pub filter: Option<PointFilter>,
+    /// Deterministic `k/N` partition of the selected points (`--shard`);
+    /// `None` runs them all.
+    pub shard: Option<Shard>,
+    /// Shard artifacts to reassemble (`--merge a.jsonl,b.jsonl`): their
+    /// rows are treated like resumed rows but *are* written to the
+    /// artifact, and the run errors instead of computing anything if the
+    /// inputs do not cover every selected point. The reassembled
+    /// artifact is byte-identical to an unsharded `--resume` run.
+    pub merge: Vec<PathBuf>,
+    /// Emit a `~sweep-summary` row (timing quantiles, resume/cache
+    /// counts) on stdout after the run.
+    pub summary: bool,
     /// Echo each completed row to stdout as JSONL.
     pub echo_json: bool,
     /// Per-point progress/ETA lines on stderr.
@@ -71,6 +139,9 @@ impl Default for SweepOptions {
             threads: 1,
             artifact: None,
             filter: None,
+            shard: None,
+            merge: Vec::new(),
+            summary: false,
             echo_json: false,
             progress: false,
             seed: DEFAULT_SWEEP_SEED,
@@ -80,10 +151,11 @@ impl Default for SweepOptions {
 
 impl SweepOptions {
     /// Parses the standard sweep flags from the process arguments:
-    /// `--threads N`, `--resume PATH`, `--points FILTER`, `--json`
-    /// (all also accepted as `--flag=value`). Unrecognized arguments are
-    /// ignored so binaries can add their own flags; progress reporting
-    /// is enabled, and `EFT_JSON=1` also turns on JSONL echo.
+    /// `--threads N`, `--resume PATH`, `--points FILTER`, `--shard k/N`,
+    /// `--merge P1,P2,...` (repeatable), `--summary`, `--json` (all also
+    /// accepted as `--flag=value`). Unrecognized arguments are ignored
+    /// so binaries can add their own flags; progress reporting is
+    /// enabled, and `EFT_JSON=1` also turns on JSONL echo.
     ///
     /// # Errors
     ///
@@ -117,6 +189,8 @@ impl SweepOptions {
         while let Some(arg) = it.next() {
             if arg == "--json" {
                 opts.echo_json = true;
+            } else if arg == "--summary" {
+                opts.summary = true;
             } else if let Some(v) = value_of("--threads", &arg, &mut it) {
                 opts.threads = v
                     .parse()
@@ -128,7 +202,22 @@ impl SweepOptions {
                 opts.artifact = Some(PathBuf::from(v));
             } else if let Some(v) = value_of("--points", &arg, &mut it) {
                 opts.filter = Some(PointFilter::parse(&v)?);
-            } else if arg == "--threads" || arg == "--resume" || arg == "--points" {
+            } else if let Some(v) = value_of("--shard", &arg, &mut it) {
+                opts.shard = Some(Shard::parse(&v)?);
+            } else if let Some(v) = value_of("--merge", &arg, &mut it) {
+                let paths: Vec<PathBuf> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(PathBuf::from)
+                    .collect();
+                if paths.is_empty() {
+                    return Err(format!("--merge '{v}': no input paths"));
+                }
+                opts.merge.extend(paths);
+            } else if ["--threads", "--resume", "--points", "--shard", "--merge"]
+                .contains(&arg.as_str())
+            {
                 return Err(format!("{arg}: missing value"));
             }
             // Anything else belongs to the wrapping binary.
@@ -155,12 +244,79 @@ pub struct SweepReport {
     pub computed: usize,
     /// Points skipped because the artifact already had their rows.
     pub resumed: usize,
+    /// Points reassembled from `--merge` shard artifacts.
+    pub merged: usize,
     /// Artifact lines that parsed but matched no selected point (other
     /// sweeps sharing the file, or rows from a stale grid).
     pub unmatched_lines: usize,
     /// Artifact lines that failed to parse (e.g. a line truncated by a
     /// kill mid-write).
     pub malformed_lines: usize,
+    /// Wall-clock evaluation seconds of each freshly computed point, in
+    /// completion order (empty when everything resumed/merged).
+    pub point_secs: Vec<f64>,
+    /// Wall-clock seconds of the whole run (scan + compute + emit).
+    pub elapsed_secs: f64,
+}
+
+impl SweepReport {
+    /// The `--summary` row: point counts by provenance, artifact-line
+    /// health, and per-point timing quantiles. Tagged `~sweep-summary`
+    /// (the `~` cannot collide with a spec name), so it never matches a
+    /// grid point if it ends up in a resumed file. Drivers with
+    /// [`crate::ArtifactCache`]s append their hit/miss counts before
+    /// printing.
+    pub fn summary_row(&self, spec: &SweepSpec) -> Row {
+        let mut secs = self.point_secs.clone();
+        secs.sort_by(f64::total_cmp);
+        let quantile = |q: f64| -> f64 {
+            if secs.is_empty() {
+                0.0
+            } else {
+                secs[((secs.len() - 1) as f64 * q).round() as usize]
+            }
+        };
+        let mut row = Row::new(SUMMARY_LABEL).str("spec", spec.name());
+        if let Some(config) = spec.config() {
+            row = row.str("config", config);
+        }
+        row.int("points", self.rows.len() as i64)
+            .int("computed", self.computed as i64)
+            .int("resumed", self.resumed as i64)
+            .int("merged", self.merged as i64)
+            .int("unmatched_lines", self.unmatched_lines as i64)
+            .int("malformed_lines", self.malformed_lines as i64)
+            .num("elapsed_s", self.elapsed_secs)
+            .num("point_p50_s", quantile(0.5))
+            .num("point_p90_s", quantile(0.9))
+            .num("point_max_s", quantile(1.0))
+    }
+}
+
+/// Prints the [`SweepReport::summary_row`] to stdout when `--summary`
+/// was requested; `extend` lets the caller append driver-specific fields
+/// (e.g. [`crate::ArtifactCache`] hit/miss counts) before printing.
+pub fn emit_summary<F: FnOnce(Row) -> Row>(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    report: &SweepReport,
+    extend: F,
+) {
+    if opts.summary {
+        println!("{}", extend(report.summary_row(spec)).to_json_row());
+    }
+}
+
+/// Where a completed row came from, which decides whether it must be
+/// (re-)written to the artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowSource {
+    /// Parsed back out of the artifact itself — already on disk.
+    Artifact,
+    /// Parsed from a `--merge` shard input — must be written.
+    Merge,
+    /// Freshly evaluated this run — must be written.
+    Computed,
 }
 
 /// Runs the sweep and returns all selected rows in point order.
@@ -184,61 +340,107 @@ pub fn run_sweep<F>(spec: &SweepSpec, opts: &SweepOptions, eval: F) -> Result<Sw
 where
     F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
 {
-    let points = spec.select(opts.filter.as_ref())?;
+    let started = Instant::now();
+    let selected = spec.select(opts.filter.as_ref())?;
+    let points: Vec<SweepPoint> = match &opts.shard {
+        Some(shard) => selected
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| shard.selects(*i))
+            .map(|(_, p)| p)
+            .collect(),
+        None => selected,
+    };
     let root = SeedSequence::new(opts.seed).derive(spec.name());
 
-    // Resume: parse the artifact (when present) and mark completed points.
-    let mut resumed: BTreeMap<usize, Row> = BTreeMap::new(); // index into `points`
+    // Resume: parse the artifact (when present) and every `--merge`
+    // shard input, and mark completed points. The artifact is scanned
+    // first so its rows win ties — they are already on disk and must not
+    // be re-appended.
+    let mut resumed: BTreeMap<usize, (Row, RowSource)> = BTreeMap::new(); // index into `points`
     let mut unmatched_lines = 0usize;
     let mut malformed_lines = 0usize;
-    if let Some(path) = &opts.artifact {
-        if path.exists() {
-            let file = File::open(path)
-                .map_err(|e| format!("cannot read artifact {}: {e}", path.display()))?;
-            for line in BufReader::new(file).lines() {
-                let line = line.map_err(|e| format!("artifact {}: {e}", path.display()))?;
-                if line.trim().is_empty() {
-                    continue;
+    let mut scan = |path: &PathBuf, source: RowSource| -> Result<(), String> {
+        let file = File::open(path)
+            .map_err(|e| format!("cannot read artifact {}: {e}", path.display()))?;
+        for line in BufReader::new(file).lines() {
+            let line = line.map_err(|e| format!("artifact {}: {e}", path.display()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(row) = parse_row(&line) else {
+                malformed_lines += 1;
+                continue;
+            };
+            // Configuration stamp: rows computed under a different
+            // configuration (e.g. a reduced run resumed by EFT_FULL)
+            // share axis values but not meaning — refuse them.
+            if row.label() == META_LABEL {
+                if row.get_str("spec") == Some(spec.name())
+                    && row.get_str("config") != spec.config()
+                {
+                    return Err(format!(
+                        "artifact {} was produced under configuration {:?}, \
+                         but this sweep runs under {:?} — use a different \
+                         --resume path (or delete the artifact) instead of \
+                         mixing configurations",
+                        path.display(),
+                        row.get_str("config").unwrap_or("<none>"),
+                        spec.config().unwrap_or("<none>"),
+                    ));
                 }
-                let Ok(row) = parse_row(&line) else {
-                    malformed_lines += 1;
-                    continue;
-                };
-                // Configuration stamp: rows computed under a different
-                // configuration (e.g. a reduced run resumed by EFT_FULL)
-                // share axis values but not meaning — refuse them.
-                if row.label() == META_LABEL {
-                    if row.get_str("spec") == Some(spec.name())
-                        && row.get_str("config") != spec.config()
-                    {
-                        return Err(format!(
-                            "artifact {} was produced under configuration {:?}, \
-                             but this sweep runs under {:?} — use a different \
-                             --resume path (or delete the artifact) instead of \
-                             mixing configurations",
-                            path.display(),
-                            row.get_str("config").unwrap_or("<none>"),
-                            spec.config().unwrap_or("<none>"),
-                        ));
-                    }
-                    continue;
-                }
-                let matched = row.label() == spec.name()
-                    && points
-                        .iter()
-                        .position(|p| row_covers_point(&row, p))
-                        .map(|i| resumed.entry(i).or_insert(row))
-                        .is_some();
-                if !matched {
-                    unmatched_lines += 1;
-                }
+                continue;
+            }
+            let matched = row.label() == spec.name()
+                && points
+                    .iter()
+                    .position(|p| row_covers_point(&row, p))
+                    .map(|i| resumed.entry(i).or_insert((row, source)))
+                    .is_some();
+            if !matched {
+                unmatched_lines += 1;
             }
         }
+        Ok(())
+    };
+    if let Some(path) = &opts.artifact {
+        if path.exists() {
+            scan(path, RowSource::Artifact)?;
+        }
+    }
+    for path in &opts.merge {
+        // Merge inputs are named explicitly, so a missing one is an
+        // error (a lost shard), not an empty resume.
+        scan(path, RowSource::Merge)?;
     }
 
     let todo: Vec<usize> = (0..points.len())
         .filter(|i| !resumed.contains_key(i))
         .collect();
+    if !opts.merge.is_empty() && !todo.is_empty() {
+        let missing: Vec<String> = todo
+            .iter()
+            .take(8)
+            .map(|&i| points[i].id.to_string())
+            .collect();
+        return Err(format!(
+            "merge: {} of {} selected points are missing from the merge inputs \
+             (point ids {}{}) — the shard union is incomplete, refusing to \
+             recompute them silently",
+            todo.len(),
+            points.len(),
+            missing.join(", "),
+            if todo.len() > missing.len() {
+                ", ..."
+            } else {
+                ""
+            },
+        ));
+    }
+    let merged = resumed
+        .values()
+        .filter(|(_, s)| *s == RowSource::Merge)
+        .count();
     let emitter = Mutex::new(Emitter::open(spec, opts, &points, &resumed, todo.len())?);
 
     let run_point = |i: usize| {
@@ -246,12 +448,14 @@ where
         let ctx = PointCtx {
             seed: root.derive_index(point.id as u64),
         };
+        let eval_started = Instant::now();
         let row = eval(point, &ctx);
+        let secs = eval_started.elapsed().as_secs_f64();
         check_row_contract(spec, point, &row);
         emitter
             .lock()
             .expect("sweep emitter poisoned")
-            .push(i, row, true);
+            .push(i, row, RowSource::Computed, secs);
     };
 
     let workers = opts.threads.clamp(1, todo.len().max(1));
@@ -274,13 +478,16 @@ where
     }
 
     let emitter = emitter.into_inner().expect("sweep emitter poisoned");
-    let rows = emitter.finish()?;
+    let (rows, point_secs) = emitter.finish()?;
     Ok(SweepReport {
         rows,
         computed: todo.len(),
-        resumed: resumed.len(),
+        resumed: resumed.len() - merged,
+        merged,
         unmatched_lines,
         malformed_lines,
+        point_secs,
+        elapsed_secs: started.elapsed().as_secs_f64(),
     })
 }
 
@@ -353,7 +560,8 @@ fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row) {
 }
 
 /// In-order row emission: rows buffer until every earlier point is done,
-/// then stream to the artifact (fresh rows only), stdout (under
+/// then stream to the artifact (freshly computed and merged rows — rows
+/// resumed from the artifact itself are already on disk), stdout (under
 /// `--json`) and the progress meter.
 struct Emitter {
     name: String,
@@ -361,8 +569,9 @@ struct Emitter {
     echo_json: bool,
     progress: bool,
     next: usize,
-    buffered: BTreeMap<usize, (Row, bool)>,
+    buffered: BTreeMap<usize, (Row, RowSource)>,
     done: Vec<Row>,
+    point_secs: Vec<f64>,
     fresh_done: usize,
     fresh_total: usize,
     resumed: usize,
@@ -375,7 +584,7 @@ impl Emitter {
         spec: &SweepSpec,
         opts: &SweepOptions,
         points: &[SweepPoint],
-        resumed: &BTreeMap<usize, Row>,
+        resumed: &BTreeMap<usize, (Row, RowSource)>,
         fresh_total: usize,
     ) -> Result<Self, String> {
         let file = match &opts.artifact {
@@ -421,6 +630,7 @@ impl Emitter {
             next: 0,
             buffered: BTreeMap::new(),
             done: Vec::with_capacity(points.len()),
+            point_secs: Vec::new(),
             fresh_done: 0,
             fresh_total,
             resumed: resumed.len(),
@@ -433,28 +643,30 @@ impl Emitter {
                 emitter.name, emitter.resumed, emitter.total
             );
         }
-        // Seed the resumed rows so in-order flushing can interleave them.
-        for (&i, row) in resumed {
-            emitter.push(i, row.clone(), false);
+        // Seed the resumed/merged rows so in-order flushing can
+        // interleave them.
+        for (&i, (row, source)) in resumed {
+            emitter.push(i, row.clone(), *source, 0.0);
         }
         Ok(emitter)
     }
 
-    fn push(&mut self, index: usize, row: Row, fresh: bool) {
-        self.buffered.insert(index, (row, fresh));
-        while let Some((row, fresh)) = self.buffered.remove(&self.next) {
-            self.flush_one(&row, fresh);
+    fn push(&mut self, index: usize, row: Row, source: RowSource, secs: f64) {
+        self.buffered.insert(index, (row, source));
+        while let Some((row, source)) = self.buffered.remove(&self.next) {
+            self.flush_one(&row, source);
             self.done.push(row);
             self.next += 1;
         }
-        if fresh {
+        if source == RowSource::Computed {
+            self.point_secs.push(secs);
             self.fresh_done += 1;
             self.report_progress();
         }
     }
 
-    fn flush_one(&mut self, row: &Row, fresh: bool) {
-        if fresh {
+    fn flush_one(&mut self, row: &Row, source: RowSource) {
+        if source != RowSource::Artifact {
             if let Some(file) = &mut self.file {
                 // Flushed per row: this is the checkpoint a killed run
                 // resumes from.
@@ -494,7 +706,7 @@ impl Emitter {
         );
     }
 
-    fn finish(self) -> Result<Vec<Row>, String> {
+    fn finish(self) -> Result<(Vec<Row>, Vec<f64>), String> {
         if self.done.len() != self.total {
             return Err(format!(
                 "[{}] internal error: emitted {} of {} rows",
@@ -503,7 +715,7 @@ impl Emitter {
                 self.total
             ));
         }
-        Ok(self.done)
+        Ok((self.done, self.point_secs))
     }
 }
 
@@ -748,6 +960,246 @@ mod tests {
     }
 
     #[test]
+    fn shards_partition_the_selection_for_every_k_and_n() {
+        // Disjoint and union-complete: every selection position lands in
+        // exactly one shard, for all N (including N > the point count).
+        for len in [1usize, 2, 7, 12, 13] {
+            for count in 1..=2 * len {
+                let mut seen = vec![0usize; len];
+                for index in 0..count {
+                    let shard = Shard { index, count };
+                    for (i, hits) in seen.iter_mut().enumerate() {
+                        if shard.selects(i) {
+                            *hits += 1;
+                        }
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&h| h == 1),
+                    "len {len} count {count}: {seen:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_shard_values_are_rejected_with_clear_errors() {
+        for (bad, needle) in [
+            ("3", "expected k/N"),
+            ("a/4", "bad shard index"),
+            ("0/b", "bad shard count"),
+            ("1/0", "at least 1"),
+            ("0/0", "at least 1"),
+            ("4/4", "out of range"),
+            ("9/4", "out of range"),
+            ("-1/4", "bad shard index"),
+            ("0.5/4", "bad shard index"),
+        ] {
+            let err = Shard::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err}");
+            assert!(err.contains(bad), "{bad}: {err}");
+            // The CLI layer surfaces the same error instead of panicking.
+            let args = vec!["--shard".to_string(), bad.to_string()];
+            assert_eq!(SweepOptions::from_args(args).unwrap_err(), err);
+        }
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard { index: 0, count: 1 });
+        assert_eq!(Shard::parse("3/4").unwrap(), Shard { index: 3, count: 4 });
+    }
+
+    #[test]
+    fn merged_shards_reassemble_the_unsharded_artifact_byte_for_byte() {
+        let spec = spec().with_config("reduced");
+        let unsharded = tmp("shard-unsharded.jsonl");
+        let _ = std::fs::remove_file(&unsharded);
+        let full = run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(unsharded.clone()),
+                threads: 8,
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+
+        for count in [1usize, 2, 4, 5] {
+            let mut shard_paths = Vec::new();
+            let mut sizes = Vec::new();
+            for index in 0..count {
+                let path = tmp(&format!("shard-{index}-of-{count}.jsonl"));
+                let _ = std::fs::remove_file(&path);
+                let report = run_sweep(
+                    &spec,
+                    &SweepOptions {
+                        artifact: Some(path.clone()),
+                        shard: Some(Shard { index, count }),
+                        threads: 3,
+                        ..SweepOptions::default()
+                    },
+                    eval,
+                )
+                .unwrap();
+                sizes.push(report.rows.len());
+                shard_paths.push(path);
+            }
+            // Disjoint and union-complete over the 12-point grid.
+            assert_eq!(sizes.iter().sum::<usize>(), 12, "count {count}");
+
+            let merged = tmp(&format!("shard-merged-{count}.jsonl"));
+            let _ = std::fs::remove_file(&merged);
+            let report = run_sweep(
+                &spec,
+                &SweepOptions {
+                    artifact: Some(merged.clone()),
+                    merge: shard_paths,
+                    ..SweepOptions::default()
+                },
+                |_, _| unreachable!("merge must not compute"),
+            )
+            .unwrap();
+            assert_eq!(report.computed, 0);
+            assert_eq!(report.merged, 12);
+            assert_eq!(
+                std::fs::read(&merged).unwrap(),
+                std::fs::read(&unsharded).unwrap(),
+                "count {count}"
+            );
+            let a: Vec<String> = full.rows.iter().map(Row::to_json_row).collect();
+            let b: Vec<String> = report.rows.iter().map(Row::to_json_row).collect();
+            assert_eq!(a, b, "count {count}");
+        }
+    }
+
+    #[test]
+    fn merge_refuses_an_incomplete_shard_union() {
+        let spec = spec();
+        let only_shard_0 = tmp("merge-incomplete.jsonl");
+        let _ = std::fs::remove_file(&only_shard_0);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(only_shard_0.clone()),
+                shard: Some(Shard { index: 0, count: 3 }),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+        let err = run_sweep(
+            &spec,
+            &SweepOptions {
+                merge: vec![only_shard_0],
+                ..SweepOptions::default()
+            },
+            |_, _| unreachable!("merge must not compute"),
+        )
+        .unwrap_err();
+        assert!(err.contains("merge"), "{err}");
+        assert!(err.contains("8 of 12"), "{err}");
+        // A missing merge input is an error, not an empty resume.
+        let err = run_sweep(
+            &spec,
+            &SweepOptions {
+                merge: vec![tmp("never-written.jsonl")],
+                ..SweepOptions::default()
+            },
+            |_, _| unreachable!("merge must not compute"),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn shard_composes_with_points_filter_and_resume() {
+        let spec = spec();
+        let filter = PointFilter::parse("model=B").unwrap();
+        // Reference: the filtered-but-unsharded artifact.
+        let reference = tmp("shard-filter-ref.jsonl");
+        let _ = std::fs::remove_file(&reference);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(reference.clone()),
+                filter: Some(filter.clone()),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+        let reference_lines = lines(&reference);
+        assert_eq!(reference_lines.len(), 6);
+
+        // Shard 1/2 of the filtered selection, killed after its first
+        // point: the resume computes only the remainder of *this shard*.
+        let shard = Shard { index: 1, count: 2 };
+        let killed = tmp("shard-filter-killed.jsonl");
+        let _ = std::fs::remove_file(&killed);
+        let shard_opts = SweepOptions {
+            artifact: Some(killed.clone()),
+            filter: Some(filter.clone()),
+            shard: Some(shard),
+            ..SweepOptions::default()
+        };
+        run_sweep(&spec, &shard_opts, eval).unwrap();
+        let full_shard_lines = lines(&killed);
+        assert_eq!(full_shard_lines.len(), 3);
+        // Selection positions 1, 3, 5 → reference lines 1, 3, 5.
+        assert_eq!(
+            full_shard_lines,
+            vec![
+                reference_lines[1].clone(),
+                reference_lines[3].clone(),
+                reference_lines[5].clone()
+            ]
+        );
+        std::fs::write(&killed, format!("{}\n", full_shard_lines[0])).unwrap();
+        let calls = AtomicUsize::new(0);
+        let resumed = run_sweep(&spec, &shard_opts, |p, ctx| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval(p, ctx)
+        })
+        .unwrap();
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(resumed.computed, 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(lines(&killed), full_shard_lines, "artifact converges");
+    }
+
+    #[test]
+    fn summary_row_reports_counts_and_timing_quantiles() {
+        let spec = spec().with_config("reduced");
+        let report = run_sweep(&spec, &SweepOptions::default(), eval).unwrap();
+        assert_eq!(report.point_secs.len(), 12);
+        assert!(report.elapsed_secs >= 0.0);
+        let row = report.summary_row(&spec);
+        assert_eq!(row.label(), "~sweep-summary");
+        assert_eq!(row.get_str("spec"), Some("toy"));
+        assert_eq!(row.get_str("config"), Some("reduced"));
+        assert_eq!(row.get_int("points"), Some(12));
+        assert_eq!(row.get_int("computed"), Some(12));
+        assert_eq!(row.get_int("resumed"), Some(0));
+        assert_eq!(row.get_int("merged"), Some(0));
+        let p50 = row.get_num("point_p50_s").unwrap();
+        let p90 = row.get_num("point_p90_s").unwrap();
+        let max = row.get_num("point_max_s").unwrap();
+        assert!(0.0 <= p50 && p50 <= p90 && p90 <= max, "{p50} {p90} {max}");
+        assert_eq!(max, report.point_secs.iter().copied().fold(0.0, f64::max));
+        // An all-resumed run has no fresh timings.
+        let path = tmp("summary-resumed.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            artifact: Some(path),
+            ..SweepOptions::default()
+        };
+        run_sweep(&spec, &opts, eval).unwrap();
+        let again = run_sweep(&spec, &opts, |_, _| unreachable!("all resumed")).unwrap();
+        let row = again.summary_row(&spec);
+        assert_eq!(row.get_int("resumed"), Some(12));
+        assert_eq!(row.get_int("computed"), Some(0));
+        assert_eq!(row.get_num("point_p50_s"), Some(0.0));
+    }
+
+    #[test]
     fn cli_parsing_covers_the_standard_flags() {
         let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let o = SweepOptions::from_args(args(&[
@@ -757,22 +1209,44 @@ mod tests {
             "--resume",
             "out.jsonl",
             "--points=n=4|8",
+            "--shard",
+            "1/4",
+            "--merge",
+            "a.jsonl, b.jsonl",
+            "--merge=c.jsonl",
+            "--summary",
             "--other-binary-flag",
         ]))
         .unwrap();
         assert!(o.echo_json);
         assert!(o.progress);
+        assert!(o.summary);
         assert_eq!(o.threads, 8);
         assert_eq!(o.artifact.as_deref(), Some(Path::new("out.jsonl")));
         assert_eq!(o.filter, Some(PointFilter::parse("n=4|8").unwrap()));
+        assert_eq!(o.shard, Some(Shard { index: 1, count: 4 }));
+        assert_eq!(
+            o.merge,
+            vec![
+                PathBuf::from("a.jsonl"),
+                PathBuf::from("b.jsonl"),
+                PathBuf::from("c.jsonl")
+            ]
+        );
 
         let o = SweepOptions::from_args(args(&["--threads=3"])).unwrap();
         assert_eq!(o.threads, 3);
         assert!(!o.echo_json);
+        assert!(!o.summary);
+        assert_eq!(o.shard, None);
+        assert!(o.merge.is_empty());
 
         assert!(SweepOptions::from_args(args(&["--threads"])).is_err());
         assert!(SweepOptions::from_args(args(&["--threads", "zero"])).is_err());
         assert!(SweepOptions::from_args(args(&["--threads", "0"])).is_err());
         assert!(SweepOptions::from_args(args(&["--points", "broken"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--shard"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--shard", "4/4"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--merge", " , "])).is_err());
     }
 }

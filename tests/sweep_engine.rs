@@ -1,9 +1,11 @@
 //! Integration suite for the sweep-orchestration engine: thread/seed
-//! invariance, kill-and-resume convergence, subset filtering, and the
-//! compilation-hoist equivalence — exercised through the umbrella's
-//! prelude on real (reduced) physics workloads.
+//! invariance, kill-and-resume convergence, subset filtering, shard
+//! partitioning + merge reassembly, and the compilation-hoist
+//! equivalence — exercised through the umbrella's prelude on real
+//! (reduced) physics workloads.
 
 use eft_vqa_repro::prelude::*;
+use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -155,6 +157,165 @@ fn subset_filter_selects_exactly_the_matching_points() {
     let full = run_sweep(&spec, &SweepOptions::default(), mini_eval).unwrap();
     assert_eq!(jsonl(&report.rows)[0], jsonl(&full.rows)[5]);
     assert_eq!(jsonl(&report.rows)[1], jsonl(&full.rows)[7]);
+}
+
+#[test]
+fn merged_shards_match_the_unsharded_threaded_artifact() {
+    // The acceptance contract: for any N, running every shard and
+    // merging reassembles the byte-identical artifact of an unsharded
+    // `--threads 8` run.
+    let spec = mini_spec();
+    let unsharded = tmp("mini-unsharded.jsonl");
+    let _ = std::fs::remove_file(&unsharded);
+    run_sweep(
+        &spec,
+        &SweepOptions {
+            artifact: Some(unsharded.clone()),
+            threads: 8,
+            ..SweepOptions::default()
+        },
+        mini_eval,
+    )
+    .unwrap();
+    let reference = file_lines(&unsharded);
+    assert_eq!(reference.len(), 8);
+
+    for count in [1usize, 2, 4] {
+        let mut shard_paths = Vec::new();
+        let mut shard_sizes = Vec::new();
+        for index in 0..count {
+            let path = tmp(&format!("mini-shard-{index}-{count}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            let report = run_sweep(
+                &spec,
+                &SweepOptions {
+                    artifact: Some(path.clone()),
+                    shard: Some(Shard { index, count }),
+                    threads: 2,
+                    ..SweepOptions::default()
+                },
+                mini_eval,
+            )
+            .unwrap();
+            shard_sizes.push(report.rows.len());
+            shard_paths.push(path);
+        }
+        // The shards partition the grid: disjoint and union-complete.
+        assert_eq!(shard_sizes.iter().sum::<usize>(), 8, "N = {count}");
+        let mut all_lines: Vec<String> = shard_paths.iter().flat_map(|p| file_lines(p)).collect();
+        all_lines.sort();
+        let mut expect = reference.clone();
+        expect.sort();
+        assert_eq!(all_lines, expect, "N = {count}");
+
+        let merged = tmp(&format!("mini-merged-{count}.jsonl"));
+        let _ = std::fs::remove_file(&merged);
+        let report = run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(merged.clone()),
+                merge: shard_paths,
+                ..SweepOptions::default()
+            },
+            |_, _| unreachable!("merge must not compute"),
+        )
+        .unwrap();
+        assert_eq!(report.merged, 8, "N = {count}");
+        assert_eq!(
+            std::fs::read(&merged).unwrap(),
+            std::fs::read(&unsharded).unwrap(),
+            "N = {count}"
+        );
+    }
+}
+
+#[test]
+fn shard_resumes_after_a_mid_shard_kill() {
+    // `--shard` composes with `--resume`: a shard killed after its first
+    // point completes only its own remainder, and the shard artifact
+    // converges to the uninterrupted shard run's bytes.
+    let spec = mini_spec();
+    let shard = Shard { index: 1, count: 2 };
+    let path = tmp("mini-shard-killed.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let opts = SweepOptions {
+        artifact: Some(path.clone()),
+        shard: Some(shard),
+        ..SweepOptions::default()
+    };
+    run_sweep(&spec, &opts, mini_eval).unwrap();
+    let reference = file_lines(&path);
+    assert_eq!(reference.len(), 4);
+
+    // Kill after one completed point (the runner appends in point order
+    // and flushes per row).
+    std::fs::write(&path, format!("{}\n", reference[0])).unwrap();
+    let evals = AtomicUsize::new(0);
+    let report = run_sweep(
+        &spec,
+        &SweepOptions {
+            threads: 4,
+            ..opts.clone()
+        },
+        |p, ctx| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            mini_eval(p, ctx)
+        },
+    )
+    .unwrap();
+    assert_eq!(report.resumed, 1);
+    assert_eq!(report.computed, 3);
+    assert_eq!(evals.load(Ordering::Relaxed), 3);
+    assert_eq!(file_lines(&path), reference, "shard artifact converges");
+
+    // The resumed shard still merges into the unsharded artifact.
+    let other = tmp("mini-shard-other.jsonl");
+    let _ = std::fs::remove_file(&other);
+    run_sweep(
+        &spec,
+        &SweepOptions {
+            artifact: Some(other.clone()),
+            shard: Some(Shard { index: 0, count: 2 }),
+            ..SweepOptions::default()
+        },
+        mini_eval,
+    )
+    .unwrap();
+    let merged = tmp("mini-shard-killed-merged.jsonl");
+    let _ = std::fs::remove_file(&merged);
+    let report = run_sweep(
+        &spec,
+        &SweepOptions {
+            artifact: Some(merged.clone()),
+            merge: vec![other, path],
+            ..SweepOptions::default()
+        },
+        |_, _| unreachable!("merge must not compute"),
+    )
+    .unwrap();
+    assert_eq!(report.merged, 8);
+    let unsharded = run_sweep(&spec, &SweepOptions::default(), mini_eval).unwrap();
+    assert_eq!(file_lines(&merged), jsonl(&unsharded.rows));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shards partition the selection for arbitrary grid sizes and shard
+    /// counts: every position is owned by exactly one shard.
+    #[test]
+    fn shards_partition_arbitrary_selections(len in 1usize..64, count in 1usize..12) {
+        let mut owners = vec![0usize; len];
+        for index in 0..count {
+            let shard = Shard { index, count };
+            for (i, owned) in owners.iter_mut().enumerate() {
+                if shard.selects(i) {
+                    *owned += 1;
+                }
+            }
+        }
+        prop_assert!(owners.iter().all(|&n| n == 1), "{owners:?}");
+    }
 }
 
 #[test]
