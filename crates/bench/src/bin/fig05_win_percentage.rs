@@ -7,8 +7,9 @@
 //!
 //! Backed by the `eftq_sweep` engine ([`Fig5Driver::spec`]); supports
 //! `--json`, `--threads N`, `--resume <path>`,
-//! `--points device_qubits=10000`, `--shard k/N`, `--merge <shards>`
-//! and `--summary`.
+//! `--points device_qubits=10000`, `--shard k/N`, `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig5Driver;
 use eftq_bench::{full_scale, header};

@@ -3,8 +3,9 @@
 //!
 //! Backed by the `eftq_sweep` engine ([`Fig6Driver::spec`]); supports
 //! `--json`, `--threads N`, `--resume <path>`,
-//! `--points logical_qubits=12|20`, `--shard k/N`, `--merge <shards>`
-//! and `--summary`.
+//! `--points logical_qubits=12|20`, `--shard k/N`, `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig6Driver;
 use eftq_bench::{fmt, header};

@@ -3,7 +3,9 @@
 //!
 //! Backed by the `eftq_sweep` engine ([`Fig8Driver::spec`]); supports
 //! `--json`, `--threads N`, `--resume <path>`, `--points qubits=20|40`,
-//! `--shard k/N`, `--merge <shards>` and `--summary`.
+//! `--shard k/N`, `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig8Driver;
 use eftq_bench::header;

@@ -5,8 +5,9 @@
 //! Backed by the `eftq_sweep` engine as two grids (curves: `fig11`,
 //! crossover: `fig11_crossover`, sharing one checkpoint file); supports
 //! `--json`, `--threads N`, `--resume <path>`, `--points qubits=8|16`
-//! (applies to the curve grid), `--shard k/N`, `--merge <shards>` and
-//! `--summary`.
+//! (applies to the curve grid), `--shard k/N`, `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig11Driver;
 use eftq_bench::{fmt, header};

@@ -12,7 +12,10 @@
 //! (JSONL checkpoint: a killed run continues instead of restarting),
 //! `--points model=Ising,qubits=16|24` (subset filtering), `--shard k/N`
 //! (deterministic partition for multi-machine sweeps), `--merge <shards>`
-//! (reassemble shard artifacts) and `--summary` (run statistics row).
+//! (reassemble shard artifacts), `--summary` (run statistics row) and
+//! farm mode: `--farm ADDR` coordinates a lease-based worker farm,
+//! `--worker ADDR` joins one (same artifact bytes either way), and
+//! `--lease-secs S` tunes how long a silent lease survives.
 
 use eft_vqa::sweeps::Fig12Driver;
 use eftq_bench::{fmt, full_scale, header};

@@ -10,7 +10,9 @@
 //! chemistry: `fig13_chem`); supports `--json`, `--threads N`,
 //! `--resume <path>` (both grids share one checkpoint file),
 //! `--points` (filters apply to the physics grid's axes), `--shard k/N`,
-//! `--merge <shards>` and `--summary`.
+//! `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig13Driver;
 use eftq_bench::{fmt, full_scale, header};

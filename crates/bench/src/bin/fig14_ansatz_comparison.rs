@@ -3,8 +3,9 @@
 //!
 //! Backed by the `eftq_sweep` engine ([`Fig14Driver::spec`]); supports
 //! `--json`, `--threads N`, `--resume <path>`,
-//! `--points model=Ising,qubits=16`, `--shard k/N`, `--merge <shards>`
-//! and `--summary`.
+//! `--points model=Ising,qubits=16`, `--shard k/N`, `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig14Driver;
 use eftq_bench::{fmt, full_scale, header};

@@ -4,7 +4,9 @@
 //!
 //! Backed by the `eftq_sweep` engine ([`Fig15Driver::spec`]); supports
 //! `--json`, `--threads N`, `--resume <path>`, `--points model=Ising`,
-//! `--shard k/N`, `--merge <shards>` and `--summary`.
+//! `--shard k/N`, `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Fig15Driver;
 use eftq_bench::{fmt, full_scale, header};

@@ -5,7 +5,9 @@
 //! Backed by the `eftq_sweep` engine ([`Table1Driver::spec`]); supports
 //! `--json`, `--threads N`, `--resume <path>`,
 //! `--points layout=Grid,ansatz=linear`, `--shard k/N`,
-//! `--merge <shards>` and `--summary`.
+//! `--merge <shards>`, `--summary` and farm mode
+//! (`--farm ADDR` to coordinate a lease-based worker farm,
+//! `--worker ADDR` to join one, `--lease-secs S`).
 
 use eft_vqa::sweeps::Table1Driver;
 use eftq_bench::header;

@@ -5,7 +5,12 @@
 //! per-point evaluator returning an [`eftq_sweep::Row`], and the
 //! binaries are thin CLI wrappers that hand both to
 //! [`eftq_sweep::run_sweep`] for work-stealing parallelism, JSONL
-//! checkpoints/resume, `--shard k/N` partitioning and shard merging.
+//! checkpoints/resume, `--shard k/N` partitioning, shard merging, and
+//! farm mode (`--farm` coordinates, `--worker` joins). Because each
+//! evaluator is a pure function of its point and derived seed, a driver
+//! needs no farm awareness at all: the same closure runs locally, in a
+//! shard, or on a leased batch shipped over TCP, and the artifact bytes
+//! come out identical.
 //! Drivers share compiled artifacts (ansatz structures,
 //! [`eftq_stabilizer::NoiseTemplate`]s keyed by
 //! [`NoiseTemplate::cache_key`], Figure-11 fidelity curves) across

@@ -23,6 +23,12 @@
 //! * [`Row`] — the flat JSONL output row (re-exported by `eftq_bench`
 //!   for the binaries), with a parser ([`jsonl::parse_row`]) that
 //!   round-trips every line the runner writes.
+//! * [`farm`] — distributed execution: `--farm addr` turns a run into a
+//!   lease-based coordinator and `--worker addr` turns the same binary
+//!   into a worker that joins it over the TCP/JSONL [`protocol`].
+//!   Disconnects and expired leases re-lease automatically, completions
+//!   are accepted first-writer-wins, and the artifact stays
+//!   byte-identical to a single-process run.
 //!
 //! # Examples
 //!
@@ -46,12 +52,16 @@
 //! ```
 
 pub mod cache;
+pub mod farm;
 pub mod jsonl;
+pub mod protocol;
 pub mod rows;
 pub mod runner;
 pub mod spec;
 
 pub use cache::ArtifactCache;
+pub use farm::{Completion, FarmState, LeaseGrant};
+pub use protocol::Msg;
 pub use rows::{json_mode, Row};
 pub use runner::{
     emit_summary, run_sweep, run_sweep_or_exit, PointCtx, Shard, SweepOptions, SweepReport,

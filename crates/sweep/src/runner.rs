@@ -22,6 +22,12 @@
 //!   `EFT_FULL=1` sweep continues instead of restarting.
 //! * **Progress/ETA** — per-point progress lines on stderr (enabled by
 //!   default in the CLI wrappers, off in library use).
+//! * **Farm mode** — `--farm addr` turns the run into a
+//!   [`crate::farm`] coordinator that leases points to remote
+//!   `--worker addr` processes (and to its own threads) instead of
+//!   executing the static `todo` list locally; completions stream
+//!   through the same in-order emitter, so resume/merge semantics and
+//!   artifact bytes are unchanged.
 
 use crate::jsonl::parse_row;
 use crate::rows::Row;
@@ -131,6 +137,19 @@ pub struct SweepOptions {
     pub progress: bool,
     /// Root seed for [`PointCtx`] derivation.
     pub seed: u64,
+    /// Coordinate a sweep farm on this address (`--farm host:port`):
+    /// lease points to `--worker` processes and to `threads` local
+    /// worker threads (`threads` may be 0 for a pure coordinator).
+    pub farm: Option<String>,
+    /// Join the farm coordinated at this address (`--worker host:port`)
+    /// instead of running a sweep: evaluate leased points (with
+    /// `threads` threads) and ship the rows back. Mutually exclusive
+    /// with `farm`, `shard` and `merge`; `artifact` is ignored — the
+    /// coordinator owns the checkpoint.
+    pub worker: Option<String>,
+    /// Farm lease duration in seconds (`--lease-secs`): how long a
+    /// granted batch may stay silent before its points are re-leased.
+    pub lease_secs: f64,
 }
 
 impl Default for SweepOptions {
@@ -145,6 +164,9 @@ impl Default for SweepOptions {
             echo_json: false,
             progress: false,
             seed: DEFAULT_SWEEP_SEED,
+            farm: None,
+            worker: None,
+            lease_secs: crate::farm::DEFAULT_LEASE_SECS,
         }
     }
 }
@@ -152,7 +174,8 @@ impl Default for SweepOptions {
 impl SweepOptions {
     /// Parses the standard sweep flags from the process arguments:
     /// `--threads N`, `--resume PATH`, `--points FILTER`, `--shard k/N`,
-    /// `--merge P1,P2,...` (repeatable), `--summary`, `--json` (all also
+    /// `--merge P1,P2,...` (repeatable), `--farm ADDR`, `--worker ADDR`,
+    /// `--lease-secs S`, `--summary`, `--json` (all also
     /// accepted as `--flag=value`). Unrecognized arguments are ignored
     /// so binaries can add their own flags; progress reporting is
     /// enabled, and `EFT_JSON=1` also turns on JSONL echo.
@@ -195,9 +218,6 @@ impl SweepOptions {
                 opts.threads = v
                     .parse()
                     .map_err(|e| format!("--threads {v}: {e} (expected a positive integer)"))?;
-                if opts.threads == 0 {
-                    return Err("--threads 0: need at least one worker".into());
-                }
             } else if let Some(v) = value_of("--resume", &arg, &mut it) {
                 opts.artifact = Some(PathBuf::from(v));
             } else if let Some(v) = value_of("--points", &arg, &mut it) {
@@ -215,12 +235,55 @@ impl SweepOptions {
                     return Err(format!("--merge '{v}': no input paths"));
                 }
                 opts.merge.extend(paths);
-            } else if ["--threads", "--resume", "--points", "--shard", "--merge"]
-                .contains(&arg.as_str())
+            } else if let Some(v) = value_of("--farm", &arg, &mut it) {
+                opts.farm = Some(v);
+            } else if let Some(v) = value_of("--worker", &arg, &mut it) {
+                opts.worker = Some(v);
+            } else if let Some(v) = value_of("--lease-secs", &arg, &mut it) {
+                opts.lease_secs = v
+                    .parse()
+                    .map_err(|e| format!("--lease-secs {v}: {e} (expected seconds)"))?;
+                if !(opts.lease_secs > 0.0 && opts.lease_secs.is_finite()) {
+                    return Err(format!("--lease-secs {v}: must be a positive duration"));
+                }
+            } else if [
+                "--threads",
+                "--resume",
+                "--points",
+                "--shard",
+                "--merge",
+                "--farm",
+                "--worker",
+                "--lease-secs",
+            ]
+            .contains(&arg.as_str())
             {
                 return Err(format!("{arg}: missing value"));
             }
             // Anything else belongs to the wrapping binary.
+        }
+        // `--threads 0` means "coordinate only" and so requires a farm.
+        if opts.threads == 0 && opts.farm.is_none() {
+            return Err("--threads 0: need at least one worker (or --farm, \
+                        where 0 means coordinate-only)"
+                .into());
+        }
+        if opts.farm.is_some() && opts.worker.is_some() {
+            return Err("--farm and --worker are mutually exclusive: a process \
+                        either coordinates a farm or joins one"
+                .into());
+        }
+        if opts.worker.is_some() {
+            if opts.shard.is_some() {
+                return Err("--worker: --shard does not apply (the coordinator \
+                            assigns points dynamically)"
+                    .into());
+            }
+            if !opts.merge.is_empty() {
+                return Err("--worker: --merge does not apply (the coordinator \
+                            owns the artifact)"
+                    .into());
+            }
         }
         Ok(opts)
     }
@@ -310,7 +373,7 @@ pub fn emit_summary<F: FnOnce(Row) -> Row>(
 /// Where a completed row came from, which decides whether it must be
 /// (re-)written to the artifact.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum RowSource {
+pub(crate) enum RowSource {
     /// Parsed back out of the artifact itself — already on disk.
     Artifact,
     /// Parsed from a `--merge` shard input — must be written.
@@ -340,6 +403,11 @@ pub fn run_sweep<F>(spec: &SweepSpec, opts: &SweepOptions, eval: F) -> Result<Sw
 where
     F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
 {
+    // Worker mode: no grid ownership, no artifact — join the farm at
+    // the given address and evaluate whatever it leases us.
+    if let Some(addr) = &opts.worker {
+        return crate::farm::run_worker(spec, opts, addr, &eval);
+    }
     let started = Instant::now();
     let selected = spec.select(opts.filter.as_ref())?;
     let points: Vec<SweepPoint> = match &opts.shard {
@@ -458,23 +526,31 @@ where
             .push(i, row, RowSource::Computed, secs);
     };
 
-    let workers = opts.threads.clamp(1, todo.len().max(1));
-    if workers <= 1 {
-        for &i in &todo {
-            run_point(i);
-        }
+    if let Some(addr) = &opts.farm {
+        // Farm mode: the same todo list, leased out dynamically (to
+        // remote workers and `opts.threads` local ones) instead of
+        // walked behind a local cursor. Accepted rows enter the same
+        // emitter, so the artifact bytes cannot tell the modes apart.
+        crate::farm::coordinate(spec, opts, addr, &points, &todo, &emitter, &eval)?;
     } else {
-        let cursor = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = todo.get(k) else { break };
-                    run_point(i);
-                });
+        let workers = opts.threads.clamp(1, todo.len().max(1));
+        if workers <= 1 {
+            for &i in &todo {
+                run_point(i);
             }
-        })
-        .expect("sweep worker panicked");
+        } else {
+            let cursor = AtomicUsize::new(0);
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = todo.get(k) else { break };
+                        run_point(i);
+                    });
+                }
+            })
+            .expect("sweep worker panicked");
+        }
     }
 
     let emitter = emitter.into_inner().expect("sweep emitter poisoned");
@@ -492,15 +568,21 @@ where
 }
 
 /// [`run_sweep`] for CLI wrappers: prints the error to stderr and exits
-/// with status 2 instead of returning it.
+/// with status 2 instead of returning it. A `--worker` run exits 0 as
+/// soon as the farm releases it — the coordinator holds the full row
+/// set, so the wrapper's table/summary code never sees a partial one.
 pub fn run_sweep_or_exit<F>(spec: &SweepSpec, opts: &SweepOptions, eval: F) -> SweepReport
 where
     F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
 {
-    run_sweep(spec, opts, eval).unwrap_or_else(|e| {
+    let report = run_sweep(spec, opts, eval).unwrap_or_else(|e| {
         eprintln!("{}: {e}", spec.name());
         std::process::exit(2);
-    })
+    });
+    if opts.worker.is_some() {
+        std::process::exit(0);
+    }
+    report
 }
 
 /// Whether the file exists, is non-empty, and lacks a final newline.
@@ -527,7 +609,7 @@ fn ends_without_newline(path: &std::path::Path) -> Result<bool, String> {
 /// Whether `row` carries every axis of `point` with the point's value
 /// (per [`AxisValue::loosely_equals`]: ints and floats promote, since
 /// JSON cannot tell `1.0` from `1`).
-fn row_covers_point(row: &Row, point: &SweepPoint) -> bool {
+pub(crate) fn row_covers_point(row: &Row, point: &SweepPoint) -> bool {
     use crate::rows::Value;
     point.values.iter().all(|(name, want)| {
         row.value(name).is_some_and(|v| {
@@ -541,7 +623,7 @@ fn row_covers_point(row: &Row, point: &SweepPoint) -> bool {
     })
 }
 
-fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row) {
+pub(crate) fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row) {
     assert_eq!(
         row.label(),
         spec.name(),
@@ -563,7 +645,7 @@ fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row) {
 /// then stream to the artifact (freshly computed and merged rows — rows
 /// resumed from the artifact itself are already on disk), stdout (under
 /// `--json`) and the progress meter.
-struct Emitter {
+pub(crate) struct Emitter {
     name: String,
     file: Option<File>,
     echo_json: bool,
@@ -651,7 +733,7 @@ impl Emitter {
         Ok(emitter)
     }
 
-    fn push(&mut self, index: usize, row: Row, source: RowSource, secs: f64) {
+    pub(crate) fn push(&mut self, index: usize, row: Row, source: RowSource, secs: f64) {
         self.buffered.insert(index, (row, source));
         while let Some((row, source)) = self.buffered.remove(&self.next) {
             self.flush_one(&row, source);
@@ -1248,5 +1330,57 @@ mod tests {
         assert!(SweepOptions::from_args(args(&["--shard"])).is_err());
         assert!(SweepOptions::from_args(args(&["--shard", "4/4"])).is_err());
         assert!(SweepOptions::from_args(args(&["--merge", " , "])).is_err());
+    }
+
+    #[test]
+    fn cli_parsing_covers_the_farm_flags() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Coordinator: --farm, optionally coordinate-only (--threads 0).
+        let o = SweepOptions::from_args(args(&[
+            "--farm",
+            "127.0.0.1:7413",
+            "--threads=0",
+            "--lease-secs",
+            "5.5",
+        ]))
+        .unwrap();
+        assert_eq!(o.farm.as_deref(), Some("127.0.0.1:7413"));
+        assert_eq!(o.worker, None);
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.lease_secs, 5.5);
+
+        // Worker: --worker, default lease untouched.
+        let o =
+            SweepOptions::from_args(args(&["--worker=farmhost:7413", "--threads", "4"])).unwrap();
+        assert_eq!(o.worker.as_deref(), Some("farmhost:7413"));
+        assert_eq!(o.farm, None);
+        assert_eq!(o.lease_secs, crate::farm::DEFAULT_LEASE_SECS);
+
+        // Invalid combinations are rejected with actionable messages.
+        for (bad, needle) in [
+            (vec!["--farm"], "missing value"),
+            (vec!["--worker"], "missing value"),
+            (vec!["--lease-secs"], "missing value"),
+            (vec!["--lease-secs", "soon"], "expected seconds"),
+            (vec!["--lease-secs", "0"], "positive duration"),
+            (vec!["--lease-secs", "-3"], "positive duration"),
+            (vec!["--lease-secs", "inf"], "positive duration"),
+            (
+                vec!["--farm", "a:1", "--worker", "b:2"],
+                "mutually exclusive",
+            ),
+            (
+                vec!["--worker", "a:1", "--shard", "0/2"],
+                "--shard does not apply",
+            ),
+            (
+                vec!["--worker", "a:1", "--merge", "x.jsonl"],
+                "--merge does not apply",
+            ),
+            (vec!["--threads", "0"], "--farm"),
+        ] {
+            let err = SweepOptions::from_args(args(&bad)).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
     }
 }
