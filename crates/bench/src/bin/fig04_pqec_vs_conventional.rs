@@ -10,7 +10,7 @@
 
 use eft_vqa::sweeps::Fig4Driver;
 use eftq_bench::{fmt, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -25,7 +25,7 @@ fn main() {
         "qubits", "factory", "f_pQEC", "f_conv", "improvement"
     );
     let mut ratios = Vec::new();
-    for row in &report.rows {
+    for row in report.ok_rows() {
         let improvement = row.get_num("improvement").expect("improvement field");
         ratios.push(improvement);
         println!(
@@ -44,4 +44,5 @@ fn main() {
     );
     println!("paper shape: pQEC >= conventional everywhere; sweet spot (11,5,5) 1-2.5x; gap grows with qubits");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

@@ -13,7 +13,7 @@
 
 use eft_vqa::sweeps::Fig5Driver;
 use eftq_bench::{full_scale, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -34,7 +34,7 @@ fn main() {
     for &n in &programs {
         print!("{n:>8}");
         for &d in &devices {
-            let cell = report.rows.iter().find(|r| {
+            let cell = report.ok_rows().find(|r| {
                 r.get_int("device_qubits") == Some(d as i64)
                     && r.get_int("logical_qubits") == Some(n as i64)
             });
@@ -50,4 +50,5 @@ fn main() {
     }
     println!("\npaper shape: conventional wins small-program/large-device corner; pQEC wins at the device frontier");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

@@ -9,7 +9,7 @@
 
 use eft_vqa::sweeps::Fig6Driver;
 use eftq_bench::{fmt, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -25,7 +25,7 @@ fn main() {
     // null improvement; a cell another shard / the --points filter owns
     // is absent from the report and must not be mislabeled as unfit.
     let cell = |n: i64, d: i64| -> String {
-        match report.rows.iter().find(|r| {
+        match report.ok_rows().find(|r| {
             r.get_int("logical_qubits") == Some(n) && r.get_int("device_qubits") == Some(d)
         }) {
             None => "         -".into(),
@@ -46,4 +46,5 @@ fn main() {
     }
     println!("\npaper shape: cultivation wins at small logical counts (ratio < 1); pQEC wins as qubits grow; 20k shifts the crossover right");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

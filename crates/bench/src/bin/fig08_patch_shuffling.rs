@@ -9,7 +9,7 @@
 
 use eft_vqa::sweeps::Fig8Driver;
 use eftq_bench::header;
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -23,7 +23,7 @@ fn main() {
         "{:>7} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "qubits", "shuffling", "naive b=1", "naive b=2", "naive b=3", "naive b=4"
     );
-    for row in &report.rows {
+    for row in report.ok_rows() {
         print!(
             "{:>7} {:>14.3e}",
             row.get_int("qubits").expect("qubits field"),
@@ -39,4 +39,5 @@ fn main() {
     }
     println!("\npaper shape: shuffling below every naive curve; naive volume grows with b");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

@@ -11,7 +11,7 @@
 
 use eft_vqa::sweeps::Fig11Driver;
 use eftq_bench::{fmt, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -23,7 +23,7 @@ fn main() {
     let driver = Fig11Driver::new();
     let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
     let mut current_qubits = 0i64;
-    for row in &report.rows {
+    for row in report.ok_rows() {
         let n = row.get_int("qubits").expect("qubits field");
         if n != current_qubits {
             current_qubits = n;
@@ -48,12 +48,14 @@ fn main() {
         Fig11Driver::eval_crossover(p)
     });
     if let Some(n) = cross
-        .rows
-        .first()
+        .ok_rows()
+        .next()
         .and_then(|r| r.get_int("crossover_qubits"))
     {
         println!("\ntheoretical crossover (Section 4.4): N = {n} (paper: 13; empirical: ~12)");
     }
     println!("paper shape: NISQ wins at 8 qubits for large depth; EFT wins at 12 and 16");
     emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
+    exit_if_failed(&cross_spec, &cross);
+    exit_if_failed(&spec, &report);
 }

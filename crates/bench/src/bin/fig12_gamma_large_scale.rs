@@ -19,7 +19,7 @@
 
 use eft_vqa::sweeps::Fig12Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -33,7 +33,7 @@ fn main() {
     let report = run_sweep_or_exit(&spec, &opts, |p, _| driver.eval(p));
     let mut all_gammas = Vec::new();
     let mut current_model = "";
-    for row in &report.rows {
+    for row in report.ok_rows() {
         let model = row.get_str("model").expect("model field");
         if model != current_model {
             current_model = model;
@@ -62,4 +62,5 @@ fn main() {
     );
     println!("paper: gamma_avg(Ising) = 6.83x (max 257.54x), gamma_avg(Heisenberg) = 12.59x (max 189.54x)");
     emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
+    exit_if_failed(&spec, &report);
 }

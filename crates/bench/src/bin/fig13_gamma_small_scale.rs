@@ -16,7 +16,7 @@
 
 use eft_vqa::sweeps::Fig13Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, Row, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, Row, SweepOptions};
 
 fn print_gamma_row(row: &Row, gammas: &mut Vec<f64>) {
     let gamma = row.get_num("gamma").expect("gamma field");
@@ -46,7 +46,7 @@ fn main() {
         "benchmark", "E0", "E_pQEC", "E_NISQ", "gamma"
     );
     let mut gammas = Vec::new();
-    for row in &report.rows {
+    for row in report.ok_rows() {
         print_gamma_row(row, &mut gammas);
     }
     if full {
@@ -58,10 +58,11 @@ fn main() {
         };
         let chem_spec = Fig13Driver::chem_spec();
         let chem = run_sweep_or_exit(&chem_spec, &chem_opts, |p, _| driver.eval_chem(p));
-        for row in &chem.rows {
+        for row in chem.ok_rows() {
             print_gamma_row(row, &mut gammas);
         }
         emit_summary(&chem_spec, &chem_opts, &chem, |r| r);
+        exit_if_failed(&chem_spec, &chem);
     } else {
         println!("(set EFT_FULL=1 for the 12-qubit H2O/H6/LiH chemistry rows)");
     }
@@ -72,4 +73,5 @@ fn main() {
     );
     println!("paper: Ising avg 3.45x, Heisenberg avg 3.005x, H2O avg 19.52x, H6 avg 2.69x, LiH avg 1.61x");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

@@ -10,7 +10,7 @@
 
 use eft_vqa::sweeps::Fig13ZneDriver;
 use eftq_bench::{fmt, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -24,7 +24,7 @@ fn main() {
         "{:>7} {:>12} {:>12} {:>12} {:>12}",
         "regime", "noiseless", "noisy", "ZNE", "recovered"
     );
-    for row in &report.rows {
+    for row in report.ok_rows() {
         println!(
             "{:>7} {} {} {} {:>11.1}%",
             row.get_str("regime").expect("regime field"),
@@ -37,4 +37,5 @@ fn main() {
     println!("\nSection 7's claim: pre/post-processing mitigation like ZNE transitions");
     println!("to the EFT regime; under pQEC it targets the injected-rotation channel.");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

@@ -9,7 +9,7 @@
 
 use eft_vqa::sweeps::Fig14Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -25,7 +25,7 @@ fn main() {
         "{:>12} {:>7} {:>6} {:>10} {:>10} {:>10} {:>12}",
         "model", "qubits", "J", "E_blocked", "E_FCHE", "gamma", "ideal ratio"
     );
-    for row in &report.rows {
+    for row in report.ok_rows() {
         println!(
             "{:>12} {:>7} {:>6.2} {} {} {} {:>12.3}",
             row.get_str("model").expect("model field"),
@@ -42,4 +42,5 @@ fn main() {
         "plus: blocked executes in less than half the FCHE cycles (Table 2) regardless of gamma"
     );
     emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
+    exit_if_failed(&spec, &report);
 }

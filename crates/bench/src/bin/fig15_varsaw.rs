@@ -10,7 +10,7 @@
 
 use eft_vqa::sweeps::Fig15Driver;
 use eftq_bench::{fmt, full_scale, header};
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -26,7 +26,7 @@ fn main() {
         "{:>14} {:>7} {:>12} {:>12} {:>12}",
         "model", "regime", "plain", "with VarSaw", "E0"
     );
-    for row in &report.rows {
+    for row in report.ok_rows() {
         println!(
             "{:>14} {:>7} {} {} {}",
             row.get_str("model").expect("model field"),
@@ -38,4 +38,5 @@ fn main() {
     }
     println!("\npaper shape: mitigation converges to lower energy in both regimes (larger effect under NISQ's 1e-2 readout error)");
     emit_summary(&spec, &opts, &report, |r| driver.append_cache_stats(r));
+    exit_if_failed(&spec, &report);
 }

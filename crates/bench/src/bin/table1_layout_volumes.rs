@@ -11,7 +11,7 @@
 
 use eft_vqa::sweeps::Table1Driver;
 use eftq_bench::header;
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -26,7 +26,7 @@ fn main() {
         "Layout", "linear", "fully_connected", "blocked_all_to_all"
     );
     let mut current_layout = "";
-    for row in &report.rows {
+    for row in report.ok_rows() {
         let layout = row.get_str("layout").expect("layout field");
         if layout != current_layout {
             if !current_layout.is_empty() {
@@ -41,4 +41,5 @@ fn main() {
     println!("\npaper values:  Compact 1.04/1.02/1.81  Intermediate 1.19/1.15/1.93  Fast 2.7/2.6/4.06  Grid 5.3/5.08/7.92");
     println!("shape checks: every ratio >= 1; ordering Compact <= Intermediate <= Fast <= Grid; blocked column largest");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

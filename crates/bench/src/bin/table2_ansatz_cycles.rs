@@ -8,7 +8,7 @@
 
 use eft_vqa::sweeps::Table2Driver;
 use eftq_bench::header;
-use eftq_sweep::{emit_summary, run_sweep_or_exit, SweepOptions};
+use eftq_sweep::{emit_summary, exit_if_failed, run_sweep_or_exit, SweepOptions};
 
 fn main() {
     let opts = SweepOptions::from_env_args().unwrap_or_else(|e| {
@@ -19,7 +19,7 @@ fn main() {
     let spec = Table2Driver::spec();
     let report = run_sweep_or_exit(&spec, &opts, |p, _| Table2Driver::eval(p));
     println!("{:>8} {:>22} {:>8}", "qubits", "blocked_all_to_all", "FCHE");
-    for row in &report.rows {
+    for row in report.ok_rows() {
         println!(
             "{:>8} {:>22} {:>8}",
             row.get_int("qubits").expect("qubits field"),
@@ -29,4 +29,5 @@ fn main() {
     }
     println!("\npaper values: blocked 71/121/171, FCHE 131/271/411 (exact match expected)");
     emit_summary(&spec, &opts, &report, |r| r);
+    exit_if_failed(&spec, &report);
 }

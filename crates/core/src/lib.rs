@@ -106,7 +106,7 @@ pub mod prelude {
         NoiseTemplate, StabilizerNoise, Tableau,
     };
     pub use eftq_sweep::{
-        run_sweep, ArtifactCache, Completion, FarmState, PointCtx, PointFilter, Row, Shard,
-        SweepOptions, SweepPoint, SweepSpec,
+        run_sweep, ArtifactCache, Completion, FarmState, FaultKind, FaultPlan, PointCtx,
+        PointFilter, Row, Shard, SweepOptions, SweepPoint, SweepSpec,
     };
 }

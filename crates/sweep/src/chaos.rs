@@ -1,0 +1,348 @@
+//! The deterministic chaos harness: planted faults for the sweep stack.
+//!
+//! A [`FaultPlan`] names which points of a sweep must misbehave and how
+//! — panic, stall past the `--point-timeout-secs` deadline, or sever the
+//! worker's coordinator connection — so the fault-containment machinery
+//! (catch-and-quarantine in the runner, `Failed` reporting and re-lease
+//! in the farm) can be proven against *reproducible* failures instead of
+//! hoping production finds them first. Probabilistic rules draw from the
+//! sweep's own [`SeedSequence`] tree (the `~chaos` child of the spec's
+//! root node), so a plan selects the same victims on every run, at every
+//! thread count, on every machine — which is what lets the chaos suite
+//! assert byte-identical artifacts.
+//!
+//! Plans parse from a compact spec (the `EFT_FAULT_PLAN` environment
+//! variable, read by `SweepOptions::from_args`):
+//!
+//! ```text
+//! panic@3,stall@8,disconnect@5x1,panic~0.05x2
+//! ```
+//!
+//! Each comma-separated rule is `kind` + target + optional attempt cap:
+//!
+//! * `@ID` — fire on the point with global id `ID`.
+//! * `~RATE` — fire on each point independently with probability `RATE`,
+//!   drawn deterministically from the chaos seed.
+//! * `xN` — fire only on a point's first `N` evaluation attempts, then
+//!   heal (models transient faults that a `--retries` budget absorbs).
+//!   Without `xN` a rule fires on every attempt.
+//!
+//! Faults are injected inside the guarded evaluation (behind the
+//! `PointCtx::fault` hook), so a planted panic exercises exactly the
+//! containment path a real evaluator panic would take.
+
+use eftq_numerics::SeedSequence;
+
+/// One way a planted fault can misbehave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the evaluation (caught by the runner's guard).
+    Panic,
+    /// Sleep well past the `--point-timeout-secs` deadline, so the
+    /// completed evaluation is discarded as a timeout.
+    Stall,
+    /// Sever the worker's coordinator connection before evaluating
+    /// (farm workers only; local runs ignore it — there is no socket).
+    Disconnect,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "panic" => Ok(FaultKind::Panic),
+            "stall" => Ok(FaultKind::Stall),
+            "disconnect" => Ok(FaultKind::Disconnect),
+            other => Err(format!(
+                "fault plan: unknown fault kind '{other}' (expected panic, stall or disconnect)"
+            )),
+        }
+    }
+}
+
+/// Which points a rule targets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Target {
+    /// Exactly the point with this global id (`@ID`).
+    Point(usize),
+    /// Each point independently with this probability (`~RATE`), drawn
+    /// from the chaos seed — deterministic per (rule, point).
+    Rate(f64),
+}
+
+/// One parsed fault rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct FaultRule {
+    kind: FaultKind,
+    target: Target,
+    /// Fire only on attempts `1..=max_attempts` (`u32::MAX` = always).
+    max_attempts: u32,
+}
+
+/// A deterministic set of planted faults for one sweep.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+/// Environment variable holding the fault plan for CLI runs (parsed by
+/// `SweepOptions::from_args`, alongside the flags).
+pub const FAULT_PLAN_ENV: &str = "EFT_FAULT_PLAN";
+
+impl FaultPlan {
+    /// Parses a comma-separated plan like `panic@3,stall@8,disconnect~0.05x1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description for an unknown fault kind, a malformed
+    /// point id, a rate outside `[0, 1]`, or a bad attempt cap.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut rules = Vec::new();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            // Split the optional trailing attempt cap (`xN`) first: the
+            // separator is a literal 'x' after the target.
+            let (head, max_attempts) = match part.rsplit_once('x') {
+                Some((head, n)) if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) => {
+                    let cap: u32 = n
+                        .parse()
+                        .map_err(|e| format!("fault plan '{part}': bad attempt cap '{n}': {e}"))?;
+                    if cap == 0 {
+                        return Err(format!(
+                            "fault plan '{part}': attempt cap must be at least 1"
+                        ));
+                    }
+                    (head, cap)
+                }
+                _ => (part, u32::MAX),
+            };
+            let (kind, target) = if let Some((k, id)) = head.split_once('@') {
+                let id: usize = id
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("fault plan '{part}': bad point id '{id}': {e}"))?;
+                (FaultKind::parse(k.trim())?, Target::Point(id))
+            } else if let Some((k, rate)) = head.split_once('~') {
+                let rate: f64 = rate
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("fault plan '{part}': bad rate '{rate}': {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("fault plan '{part}': rate {rate} outside [0, 1]"));
+                }
+                (FaultKind::parse(k.trim())?, Target::Rate(rate))
+            } else {
+                return Err(format!(
+                    "fault plan '{part}': expected kind@ID or kind~RATE \
+                     (e.g. panic@3, stall~0.05)"
+                ));
+            };
+            rules.push(FaultRule {
+                kind,
+                target,
+                max_attempts,
+            });
+        }
+        if rules.is_empty() {
+            return Err(format!("fault plan '{s}': no rules"));
+        }
+        Ok(FaultPlan { rules })
+    }
+
+    /// Reads the plan from [`FAULT_PLAN_ENV`]; `Ok(None)` when unset or
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for a malformed plan (a typo must abort
+    /// the run, not silently disable the chaos).
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(v) if !v.trim().is_empty() => Self::parse(&v).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The fault (if any) planted on `point_id`'s `attempt`-th
+    /// evaluation (1-based). The first matching rule wins; `chaos` is
+    /// the sweep's chaos seed node (`root.derive("~chaos")`), which
+    /// makes `~RATE` rules deterministic per (rule, point).
+    pub fn fault_for(
+        &self,
+        chaos: &SeedSequence,
+        point_id: usize,
+        attempt: u32,
+    ) -> Option<FaultKind> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| attempt <= r.max_attempts)
+            .find(|(idx, r)| match r.target {
+                Target::Point(id) => id == point_id,
+                Target::Rate(rate) => {
+                    let draw = chaos
+                        .derive_index(*idx as u64)
+                        .derive_index(point_id as u64)
+                        .seed();
+                    unit_interval(draw) < rate
+                }
+            })
+            .map(|(_, r)| r.kind)
+    }
+}
+
+/// Maps a seed to `[0, 1)` with 53 uniform bits (the same construction
+/// `StdRng::gen::<f64>` uses), for rate draws and backoff jitter.
+pub(crate) fn unit_interval(seed: u64) -> f64 {
+    (seed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Executes a planted fault inside the guarded evaluation. Panics for
+/// [`FaultKind::Panic`] (with a message deterministic in the point id),
+/// sleeps past the deadline for [`FaultKind::Stall`].
+/// [`FaultKind::Disconnect`] is handled by the farm worker before the
+/// evaluation starts and is a no-op here.
+pub(crate) fn inject(kind: FaultKind, point_id: usize, timeout_secs: Option<f64>) {
+    match kind {
+        FaultKind::Panic => panic!("chaos: planted panic at point {point_id}"),
+        FaultKind::Stall => {
+            // Twice the deadline guarantees the overrun whatever the
+            // real evaluation costs; without a deadline the stall is a
+            // bounded nuisance, not a hang.
+            let secs = timeout_secs.map_or(1.0, |t| (2.0 * t).max(0.05));
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        }
+        FaultKind::Disconnect => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_point_rate_and_attempt_capped_rules() {
+        let plan = FaultPlan::parse("panic@3, stall@8x2 ,disconnect~0.25x1").unwrap();
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(
+            plan.rules[0],
+            FaultRule {
+                kind: FaultKind::Panic,
+                target: Target::Point(3),
+                max_attempts: u32::MAX,
+            }
+        );
+        assert_eq!(
+            plan.rules[1],
+            FaultRule {
+                kind: FaultKind::Stall,
+                target: Target::Point(8),
+                max_attempts: 2,
+            }
+        );
+        assert_eq!(
+            plan.rules[2],
+            FaultRule {
+                kind: FaultKind::Disconnect,
+                target: Target::Rate(0.25),
+                max_attempts: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_clear_errors() {
+        for (bad, needle) in [
+            ("", "no rules"),
+            (" , ", "no rules"),
+            ("panic", "expected kind@ID or kind~RATE"),
+            ("explode@3", "unknown fault kind"),
+            ("panic@three", "bad point id"),
+            ("panic~lots", "bad rate"),
+            ("panic~1.5", "outside [0, 1]"),
+            ("panic~-0.1", "outside [0, 1]"),
+            ("panic@3x0", "attempt cap must be at least 1"),
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn point_rules_fire_on_their_point_until_the_attempt_cap() {
+        let chaos = SeedSequence::new(7).derive("toy").derive("~chaos");
+        let plan = FaultPlan::parse("panic@3x2,stall@5").unwrap();
+        assert_eq!(plan.fault_for(&chaos, 3, 1), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_for(&chaos, 3, 2), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_for(&chaos, 3, 3), None, "healed after the cap");
+        assert_eq!(plan.fault_for(&chaos, 5, 9), Some(FaultKind::Stall));
+        assert_eq!(plan.fault_for(&chaos, 4, 1), None);
+    }
+
+    #[test]
+    fn rate_rules_are_deterministic_and_calibrated() {
+        let chaos = SeedSequence::new(42).derive("toy").derive("~chaos");
+        let plan = FaultPlan::parse("panic~0.2").unwrap();
+        let victims: Vec<usize> = (0..1000)
+            .filter(|&pid| plan.fault_for(&chaos, pid, 1).is_some())
+            .collect();
+        // Deterministic: the same chaos seed picks the same victims.
+        let again: Vec<usize> = (0..1000)
+            .filter(|&pid| plan.fault_for(&chaos, pid, 1).is_some())
+            .collect();
+        assert_eq!(victims, again);
+        // Calibrated: a 20% rate hits roughly 200 of 1000 points.
+        assert!(
+            (120..280).contains(&victims.len()),
+            "rate 0.2 selected {} of 1000",
+            victims.len()
+        );
+        // A different chaos seed (different sweep seed) picks different
+        // victims; rate 0 and 1 are the degenerate edges.
+        let other = SeedSequence::new(43).derive("toy").derive("~chaos");
+        let moved: Vec<usize> = (0..1000)
+            .filter(|&pid| plan.fault_for(&other, pid, 1).is_some())
+            .collect();
+        assert_ne!(victims, moved);
+        let never = FaultPlan::parse("panic~0").unwrap();
+        let always = FaultPlan::parse("panic~1").unwrap();
+        assert!((0..100).all(|pid| never.fault_for(&chaos, pid, 1).is_none()));
+        assert!((0..100).all(|pid| always.fault_for(&chaos, pid, 1).is_some()));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let chaos = SeedSequence::new(1).derive("toy").derive("~chaos");
+        let plan = FaultPlan::parse("stall@3,panic@3").unwrap();
+        assert_eq!(plan.fault_for(&chaos, 3, 1), Some(FaultKind::Stall));
+        // An attempt-capped first rule yields to the second once healed.
+        let plan = FaultPlan::parse("stall@3x1,panic@3").unwrap();
+        assert_eq!(plan.fault_for(&chaos, 3, 1), Some(FaultKind::Stall));
+        assert_eq!(plan.fault_for(&chaos, 3, 2), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn env_plan_round_trips() {
+        // No env var set in the test harness: from_env is None.
+        std::env::remove_var(FAULT_PLAN_ENV);
+        assert_eq!(FaultPlan::from_env().unwrap(), None);
+        std::env::set_var(FAULT_PLAN_ENV, "panic@3");
+        assert_eq!(
+            FaultPlan::from_env().unwrap(),
+            Some(FaultPlan::parse("panic@3").unwrap())
+        );
+        std::env::set_var(FAULT_PLAN_ENV, "broken");
+        assert!(FaultPlan::from_env().is_err());
+        std::env::remove_var(FAULT_PLAN_ENV);
+    }
+
+    #[test]
+    fn unit_interval_is_uniformish() {
+        assert_eq!(unit_interval(0), 0.0);
+        let mut acc = 0.0;
+        for i in 0..1000u64 {
+            let u = unit_interval(eftq_numerics::splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        assert!((acc / 1000.0 - 0.5).abs() < 0.05);
+    }
+}

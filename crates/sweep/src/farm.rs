@@ -34,17 +34,21 @@
 //! time-dependent method takes an explicit `now` in seconds, so tests
 //! drive lease expiry with a manual clock instead of sleeps.
 
+use crate::chaos::FaultKind;
 use crate::jsonl::parse_row;
 use crate::protocol::Msg;
 use crate::rows::Row;
-use crate::runner::{check_row_contract, Emitter, PointCtx, RowSource, SweepOptions, SweepReport};
+use crate::runner::{
+    check_row_contract, eval_guarded, Emitter, EvalOutcome, PointCtx, RowSource, SweepOptions,
+    SweepReport,
+};
 use crate::spec::{SweepPoint, SweepSpec};
 use crossbeam::thread;
 use eftq_numerics::SeedSequence;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -85,6 +89,24 @@ pub enum Completion {
     Fresh,
     /// The point was already completed (stale lease, duplicate message,
     /// or the re-lease and the original both finishing) — discard.
+    Duplicate,
+    /// The point id is not part of this sweep's selection — discard.
+    Unknown,
+}
+
+/// Verdict on an incoming failure report ([`FarmState::fail`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailVerdict {
+    /// The point goes back in the queue for another worker to try.
+    Retry,
+    /// The point exhausted its failure budget — the caller must emit a
+    /// `~sweep-error` row recording `attempts` failed evaluations.
+    Quarantine {
+        /// Total failed attempts accumulated on the point.
+        attempts: u32,
+    },
+    /// The point already has an accepted completion (or quarantine) —
+    /// a stale lease reporting late; discard.
     Duplicate,
     /// The point id is not part of this sweep's selection — discard.
     Unknown,
@@ -132,6 +154,15 @@ pub struct FarmState {
     lease_secs: f64,
     /// Completions discarded as duplicate/unknown (observability).
     discarded: usize,
+    /// Per-point failure history: selection index → (distinct workers
+    /// that failed it, total failed attempts).
+    fails: HashMap<usize, (HashSet<u64>, u32)>,
+    /// Failures tolerated per point before quarantine (`retries + 1`).
+    failure_budget: u32,
+    /// Failed attempts accepted so far (retried or quarantined).
+    failed_attempts: usize,
+    /// Points quarantined after exhausting their failure budget.
+    quarantined: usize,
 }
 
 impl FarmState {
@@ -164,7 +195,23 @@ impl FarmState {
             workers: HashSet::new(),
             lease_secs,
             discarded: 0,
+            fails: HashMap::new(),
+            failure_budget: 1,
+            failed_attempts: 0,
+            quarantined: 0,
         }
+    }
+
+    /// Sets the per-point failure budget from a `--retries` count: a
+    /// point survives `retries` failures before the next one (see
+    /// [`FarmState::fail`] for the exact rule) quarantines it. The
+    /// default is `retries = 0`: quarantine on the first failure, which
+    /// keeps the quarantine attempt count — and so the `~sweep-error`
+    /// row bytes — identical to a local run's.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.failure_budget = retries.saturating_add(1);
+        self
     }
 
     /// Whether every selected point has an accepted completion.
@@ -180,6 +227,75 @@ impl FarmState {
     /// Completions discarded as duplicate or unknown so far.
     pub fn discarded(&self) -> usize {
         self.discarded
+    }
+
+    /// Points quarantined after exhausting their failure budget.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Failed attempts accepted so far (each either requeued its point
+    /// or quarantined it).
+    pub fn failed_attempts(&self) -> usize {
+        self.failed_attempts
+    }
+
+    /// Records a *failed* evaluation of global point `point` reported
+    /// by `worker` under `lease` (a caught panic or deadline overrun).
+    /// Mirrors [`FarmState::complete`]'s first-writer-wins keying on the
+    /// point: failures for already-resolved points are discarded.
+    ///
+    /// Quarantine fires when **distinct workers** reach the failure
+    /// budget (`retries + 1`) — a deterministic fault fails everywhere,
+    /// so spreading attempts across machines is the farm's retry — or,
+    /// as a backstop against a single worker repeatedly failing the
+    /// same point it keeps re-leasing, when *total* failures reach twice
+    /// the budget. Otherwise the point requeues for another attempt.
+    pub fn fail(&mut self, lease: u64, point: usize, worker: u64, now: f64) -> FailVerdict {
+        // Like `complete`: the lease id and clock are informational.
+        let _ = (lease, now);
+        let Some(&index) = self.index_of.get(&point) else {
+            self.discarded += 1;
+            return FailVerdict::Unknown;
+        };
+        if self.done[index] {
+            self.discarded += 1;
+            return FailVerdict::Duplicate;
+        }
+        self.failed_attempts += 1;
+        let entry = self.fails.entry(index).or_default();
+        entry.0.insert(worker);
+        entry.1 += 1;
+        let (distinct, total) = (entry.0.len() as u32, entry.1);
+        // Drop the point from whichever lease carries it, reaping
+        // emptied leases (same bookkeeping as an accepted completion).
+        self.leases.retain(|_, l| {
+            l.pending.retain(|&i| i != index);
+            !l.pending.is_empty()
+        });
+        if distinct >= self.failure_budget || total >= 2 * self.failure_budget {
+            self.done[index] = true;
+            self.remaining -= 1;
+            self.quarantined += 1;
+            FailVerdict::Quarantine { attempts: total }
+        } else {
+            self.queue.push_back(index);
+            FailVerdict::Retry
+        }
+    }
+
+    /// Suggested back-off for a worker told to wait (everything pending
+    /// is leased out): half the observed median point time, so the
+    /// worker re-requests roughly when a point frees up, bounded away
+    /// from both busy-polling and minutes of idleness.
+    pub fn suggested_wait(&self) -> f64 {
+        if self.secs.is_empty() {
+            return WAIT_RETRY_SECS;
+        }
+        let mut sorted = self.secs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p50 = sorted[sorted.len() / 2];
+        (p50 / 2.0).clamp(WAIT_RETRY_SECS, 5.0)
     }
 
     /// The next lease's batch size: `target / p50` of the observed
@@ -351,6 +467,18 @@ fn send_msg<W: Write>(writer: &mut W, msg: &Msg) -> std::io::Result<()> {
     writer.flush()
 }
 
+/// Failure tallies of a completed farm run, folded into the
+/// [`SweepReport`] by the caller.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FarmStats {
+    /// Failed evaluation attempts accepted by the coordinator.
+    pub failed: usize,
+    /// Failed attempts that requeued their point for another worker.
+    pub retried: usize,
+    /// Points quarantined as `~sweep-error` rows.
+    pub quarantined: usize,
+}
+
 /// Runs the coordinator side of a farm sweep: binds `addr`, spawns
 /// `opts.threads` in-process workers plus one connection handler per
 /// remote worker, and returns once every point in `todo` has an
@@ -359,7 +487,9 @@ fn send_msg<W: Write>(writer: &mut W, msg: &Msg) -> std::io::Result<()> {
 /// `points` is the full selection, `todo` the indices still to compute;
 /// accepted rows are pushed into `emitter` as [`RowSource::Computed`]
 /// exactly once per point, in whatever order they finish (the emitter
-/// restores point order).
+/// restores point order). A point whose evaluations keep failing (see
+/// [`FarmState::fail`]) quarantines as a `~sweep-error` row instead of
+/// wedging the sweep.
 pub(crate) fn coordinate<F>(
     spec: &SweepSpec,
     opts: &SweepOptions,
@@ -368,12 +498,12 @@ pub(crate) fn coordinate<F>(
     todo: &[usize],
     emitter: &Mutex<Emitter>,
     eval: &F,
-) -> Result<(), String>
+) -> Result<FarmStats, String>
 where
     F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
 {
     if todo.is_empty() {
-        return Ok(()); // everything resumed/merged: nothing to farm out
+        return Ok(FarmStats::default()); // everything resumed/merged
     }
     let listener =
         TcpListener::bind(addr).map_err(|e| format!("--farm {addr}: cannot bind listener: {e}"))?;
@@ -395,8 +525,14 @@ where
 
     let slot_of: HashMap<usize, usize> = todo.iter().map(|&slot| (points[slot].id, slot)).collect();
     let pids: Vec<usize> = todo.iter().map(|&slot| points[slot].id).collect();
-    let state = Mutex::new(FarmState::new(&pids, opts.lease_secs));
+    let state = Mutex::new(FarmState::new(&pids, opts.lease_secs).with_retries(opts.retries));
     let root = SeedSequence::new(opts.seed).derive(spec.name());
+    // Same chaos derivation node as a local run and as the workers, so
+    // a planted fault plan fires identically under every topology.
+    let chaos = root.derive("~chaos");
+    // Evaluation attempts per point *in this process* (the chaos
+    // harness's attempt counter for the in-process workers).
+    let local_attempts: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
     let started = Instant::now();
     let now = || started.elapsed().as_secs_f64();
     let next_worker = AtomicU64::new(1);
@@ -426,6 +562,35 @@ where
                 row,
                 RowSource::Computed,
                 secs,
+            );
+        }
+    };
+
+    // Records a failed attempt; on quarantine, emits the point's
+    // `~sweep-error` row (first-writer-wins like `accept`).
+    let fail_point = |lease: u64, pid: usize, worker: u64, cause: &str, message: &str| {
+        let Some(&slot) = slot_of.get(&pid) else {
+            state.lock().expect("farm state poisoned").discarded += 1;
+            return;
+        };
+        let verdict = state
+            .lock()
+            .expect("farm state poisoned")
+            .fail(lease, pid, worker, now());
+        if let FailVerdict::Quarantine { attempts } = verdict {
+            if opts.progress {
+                eprintln!(
+                    "[{}] farm: point {pid} quarantined after {attempts} failed attempt(s): \
+                     {cause}: {message}",
+                    spec.name()
+                );
+            }
+            let row = points[slot].error_row(spec.name(), cause, message, attempts);
+            emitter.lock().expect("sweep emitter poisoned").push(
+                slot,
+                row,
+                RowSource::Computed,
+                0.0,
             );
         }
     };
@@ -535,7 +700,7 @@ where
                                 expires_s: opts.lease_secs,
                             }),
                             None => Some(Msg::Wait {
-                                retry_s: WAIT_RETRY_SECS,
+                                retry_s: st.suggested_wait(),
                             }),
                         }
                     }
@@ -554,6 +719,18 @@ where
                     } else {
                         state.lock().expect("farm state poisoned").discarded += 1;
                     }
+                    None
+                }
+                Msg::Failed {
+                    lease,
+                    point,
+                    cause,
+                    message,
+                    ..
+                } => {
+                    // A worker caught a panic/timeout and reported it
+                    // instead of dying: retry or quarantine the point.
+                    fail_point(lease, point, worker_id, &cause, &message);
                     None
                 }
                 // Coordinator-bound connections only carry the three
@@ -594,14 +771,32 @@ where
                     };
                     for pid in g.points {
                         let point = &points[slot_of[&pid]];
+                        let attempt = {
+                            let mut map = local_attempts.lock().expect("farm attempts poisoned");
+                            let n = map.entry(pid).or_insert(0);
+                            *n += 1;
+                            *n
+                        };
+                        // Disconnect faults target a worker's TCP link;
+                        // the in-process workers have none to sever.
+                        let fault = opts.fault_plan.as_ref().and_then(|plan| {
+                            plan.fault_for(&chaos, pid, attempt)
+                                .filter(|f| *f != FaultKind::Disconnect)
+                        });
                         let ctx = PointCtx {
                             seed: root.derive_index(point.id as u64),
+                            attempt,
+                            fault,
                         };
-                        let eval_started = Instant::now();
-                        let row = eval(point, &ctx);
-                        let secs = eval_started.elapsed().as_secs_f64();
-                        check_row_contract(spec, point, &row);
-                        accept(g.lease, pid, secs, row);
+                        match eval_guarded(eval, point, &ctx, opts.point_timeout_secs) {
+                            EvalOutcome::Ok { row, secs } => {
+                                check_row_contract(spec, point, &row);
+                                accept(g.lease, pid, secs, row);
+                            }
+                            EvalOutcome::Failed { cause, message, .. } => {
+                                fail_point(g.lease, pid, worker_id, cause, &message);
+                            }
+                        }
                     }
                 }
             });
@@ -634,7 +829,13 @@ where
             st.discarded()
         );
     }
-    Ok(())
+    let failed = st.failed_attempts();
+    let quarantined = st.quarantined();
+    Ok(FarmStats {
+        failed,
+        retried: failed - quarantined,
+        quarantined,
+    })
 }
 
 /// Connects to `addr`, retrying for up to `patience` (workers routinely
@@ -680,16 +881,26 @@ fn recv_msg(reader: &mut BufReader<TcpStream>) -> Result<Msg, String> {
     }
 }
 
+/// Base delay (seconds) before reconnect attempt `attempt` (0-based):
+/// exponential from 100 ms, capped at 2 s. Callers add jitter on top so
+/// a fleet of workers orphaned together does not reconnect in lockstep.
+fn backoff_base(attempt: u32) -> f64 {
+    (0.1 * f64::powi(2.0, attempt.min(16) as i32)).min(2.0)
+}
+
 /// Runs the worker side of a farm sweep (`--worker <addr>`): joins the
 /// coordinator at `addr`, evaluates leased points (with `opts.threads`
 /// threads inside each lease) until the coordinator sends the finish
 /// message, and returns a report over the rows *this worker* computed
-/// (in point-id order).
+/// (in point-id order; `failed` counts this worker's failed attempts,
+/// while retry/quarantine decisions live on the coordinator).
 ///
 /// The worker writes no artifact — accepted rows live in the
-/// coordinator's checkpoint. A connection lost while idle between
-/// leases is treated as the sweep finishing (the coordinator exits as
-/// soon as its grid completes); one lost mid-lease is an error.
+/// coordinator's checkpoint. A lost connection (idle *or* mid-lease)
+/// reconnects with jittered exponential backoff and re-joins; the
+/// coordinator re-leases anything the break orphaned. A coordinator
+/// that stays unreachable after a successful join means the sweep
+/// finished — the worker exits cleanly rather than erroring.
 pub(crate) fn run_worker<F>(
     spec: &SweepSpec,
     opts: &SweepOptions,
@@ -700,113 +911,214 @@ where
     F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
 {
     let started = Instant::now();
-    let stream = connect_with_retry(addr, Duration::from_secs(10))?;
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| format!("--worker {addr}: {e}"))?,
-    );
-    let writer = Mutex::new(stream);
-    let send = |msg: &Msg| -> Result<(), String> {
-        send_msg(&mut *writer.lock().expect("worker writer poisoned"), msg)
-            .map_err(|e| format!("coordinator write failed: {e}"))
+    let worker_name = format!("worker-{}", std::process::id());
+    // De-synchronization jitter for reconnect delays and wait sleeps.
+    // Never touches artifact bytes, so a process-local stream is fine
+    // (the vendored rand is test-only; this reuses the chaos PRNG).
+    let jitter_counter = AtomicU64::new(0);
+    let jitter = || {
+        let n = jitter_counter.fetch_add(1, Ordering::Relaxed);
+        crate::chaos::unit_interval(
+            SeedSequence::new(u64::from(std::process::id()))
+                .derive("~worker-jitter")
+                .derive_index(n)
+                .seed(),
+        )
     };
 
-    send(&Msg::Hello {
-        spec: spec.name().to_string(),
-        config: spec.config().map(str::to_string),
-        worker: format!("worker-{}", std::process::id()),
-    })?;
-    let seed = match recv_msg(&mut reader)? {
-        Msg::Welcome { seed, points } => {
-            if opts.progress {
-                eprintln!(
-                    "[{}] worker: joined farm at {addr} ({points} points in the sweep)",
-                    spec.name()
-                );
-            }
-            seed
-        }
-        Msg::Reject { reason } => return Err(format!("farm rejected this worker: {reason}")),
-        other => return Err(format!("unexpected farm reply to hello: {other:?}")),
-    };
-    // The coordinator's seed, not ours: every worker derives the exact
-    // per-point streams of a single-process run.
-    let root = SeedSequence::new(seed).derive(spec.name());
-
+    // Evaluation attempts per point *on this worker*, persisted across
+    // reconnects so a capped chaos fault (`disconnect@5x1`) does not
+    // re-fire after the connection bounces.
+    let attempts: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
     let rows: Mutex<Vec<(usize, f64, Row)>> = Mutex::new(Vec::new());
-    loop {
-        send(&Msg::Request)?;
-        let reply = match recv_msg(&mut reader) {
-            Ok(msg) => msg,
-            // Lost while idle: the coordinator exits the moment its grid
-            // completes, so this is the normal end of a farm for any
-            // worker that did not receive an explicit Fin first.
-            Err(_) => break,
+    let failed_attempts = AtomicUsize::new(0);
+    let mut joined = false;
+    let mut reconnects = 0u32;
+
+    'sessions: loop {
+        // A first connection waits out a coordinator that has not bound
+        // its listener yet; a *re*connection gets a short patience — the
+        // likeliest reason the link died is that the sweep finished.
+        if joined {
+            let delay = backoff_base(reconnects) * (1.0 + jitter());
+            std::thread::sleep(Duration::from_secs_f64(delay));
+            reconnects += 1;
+        }
+        let patience = Duration::from_secs(if joined { 3 } else { 10 });
+        let stream = match connect_with_retry(addr, patience) {
+            Ok(s) => s,
+            Err(e) if !joined => return Err(e),
+            // Joined once, now unreachable: the coordinator exits the
+            // moment its grid completes, so this is the normal end of a
+            // farm for a worker that missed its Fin.
+            Err(_) => break 'sessions,
         };
-        match reply {
-            Msg::Grant { lease, points, .. } => {
-                let cursor = AtomicUsize::new(0);
-                let eval_one = || -> Result<(), String> {
-                    loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&pid) = points.get(k) else {
-                            return Ok(());
-                        };
-                        let point = spec.point(pid);
-                        let ctx = PointCtx {
-                            seed: root.derive_index(point.id as u64),
-                        };
-                        let eval_started = Instant::now();
-                        let row = eval(&point, &ctx);
-                        let secs = eval_started.elapsed().as_secs_f64();
-                        check_row_contract(spec, &point, &row);
-                        send(&Msg::Done {
-                            lease,
-                            point: pid,
-                            secs,
-                            data: row.to_json_row(),
-                        })
-                        .map_err(|e| format!("{e} (mid-lease, rows will be re-leased)"))?;
-                        rows.lock()
-                            .expect("worker rows poisoned")
-                            .push((pid, secs, row));
-                    }
-                };
-                let threads = opts.threads.clamp(1, points.len());
-                if threads <= 1 {
-                    eval_one()?;
-                } else {
-                    let failure: Mutex<Option<String>> = Mutex::new(None);
-                    thread::scope(|scope| {
-                        for _ in 0..threads {
-                            scope.spawn(|_| {
-                                if let Err(e) = eval_one() {
-                                    failure
-                                        .lock()
-                                        .expect("worker failure slot poisoned")
-                                        .get_or_insert(e);
-                                }
-                            });
+        let _ = stream.set_nodelay(true);
+        let read_half = match stream.try_clone() {
+            Ok(h) => h,
+            Err(e) if !joined => return Err(format!("--worker {addr}: {e}")),
+            Err(_) => continue 'sessions,
+        };
+        let mut reader = BufReader::new(read_half);
+        let writer = Mutex::new(stream);
+        let send = |msg: &Msg| -> Result<(), String> {
+            send_msg(&mut *writer.lock().expect("worker writer poisoned"), msg)
+                .map_err(|e| format!("coordinator write failed: {e}"))
+        };
+
+        let hello = Msg::Hello {
+            spec: spec.name().to_string(),
+            config: spec.config().map(str::to_string),
+            worker: worker_name.clone(),
+        };
+        let seed = match send(&hello).and_then(|()| recv_msg(&mut reader)) {
+            Ok(Msg::Welcome { seed, points }) => {
+                if opts.progress && !joined {
+                    eprintln!(
+                        "[{}] worker: joined farm at {addr} ({points} points in the sweep)",
+                        spec.name()
+                    );
+                }
+                seed
+            }
+            // A rejection is a configuration error, never retried.
+            Ok(Msg::Reject { reason }) => {
+                return Err(format!("farm rejected this worker: {reason}"))
+            }
+            Ok(other) => return Err(format!("unexpected farm reply to hello: {other:?}")),
+            Err(e) if !joined => return Err(e),
+            Err(_) => continue 'sessions, // handshake raced the shutdown
+        };
+        joined = true;
+        // The coordinator's seed, not ours: every worker derives the
+        // exact per-point streams of a single-process run.
+        let root = SeedSequence::new(seed).derive(spec.name());
+        let chaos = root.derive("~chaos");
+
+        // One request/grant session: ends with Fin (sweep done) or a
+        // lost connection (reconnect and re-join above).
+        loop {
+            if send(&Msg::Request).is_err() {
+                continue 'sessions;
+            }
+            let reply = match recv_msg(&mut reader) {
+                Ok(msg) => msg,
+                Err(_) => continue 'sessions,
+            };
+            match reply {
+                Msg::Grant { lease, points, .. } => {
+                    let cursor = AtomicUsize::new(0);
+                    let lease_lost = AtomicBool::new(false);
+                    let eval_one = || loop {
+                        if lease_lost.load(Ordering::Relaxed) {
+                            return;
                         }
-                    })
-                    .map_err(|_| "worker evaluation thread panicked".to_string())?;
-                    if let Some(e) = failure.into_inner().expect("worker failure slot poisoned") {
-                        return Err(e);
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&pid) = points.get(k) else { return };
+                        let point = spec.point(pid);
+                        let attempt = {
+                            let mut map = attempts.lock().expect("worker attempts poisoned");
+                            let n = map.entry(pid).or_insert(0);
+                            *n += 1;
+                            *n
+                        };
+                        let fault = opts
+                            .fault_plan
+                            .as_ref()
+                            .and_then(|plan| plan.fault_for(&chaos, pid, attempt));
+                        if fault == Some(FaultKind::Disconnect) {
+                            // Sever the coordinator link mid-lease: the
+                            // unfinished points re-lease to other
+                            // workers while this one reconnects.
+                            let _ = writer
+                                .lock()
+                                .expect("worker writer poisoned")
+                                .shutdown(Shutdown::Both);
+                            lease_lost.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        let ctx = PointCtx {
+                            seed: root.derive_index(pid as u64),
+                            attempt,
+                            fault,
+                        };
+                        match eval_guarded(eval, &point, &ctx, opts.point_timeout_secs) {
+                            EvalOutcome::Ok { row, secs } => {
+                                check_row_contract(spec, &point, &row);
+                                let msg = Msg::Done {
+                                    lease,
+                                    point: pid,
+                                    secs,
+                                    data: row.to_json_row(),
+                                };
+                                // On a mid-lease send failure the row is
+                                // *not* recorded: it never reached the
+                                // coordinator, which will re-lease it.
+                                if send(&msg).is_err() {
+                                    lease_lost.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                                rows.lock()
+                                    .expect("worker rows poisoned")
+                                    .push((pid, secs, row));
+                            }
+                            EvalOutcome::Failed {
+                                cause,
+                                message,
+                                secs,
+                            } => {
+                                // Report the caught panic/timeout
+                                // instead of dying with the lease.
+                                failed_attempts.fetch_add(1, Ordering::Relaxed);
+                                let msg = Msg::Failed {
+                                    lease,
+                                    point: pid,
+                                    secs,
+                                    cause: cause.to_string(),
+                                    message,
+                                };
+                                if send(&msg).is_err() {
+                                    lease_lost.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                        }
+                    };
+                    let threads = opts.threads.clamp(1, points.len());
+                    if threads <= 1 {
+                        eval_one();
+                    } else {
+                        thread::scope(|scope| {
+                            for _ in 0..threads {
+                                scope.spawn(|_| eval_one());
+                            }
+                        })
+                        .map_err(|_| "worker evaluation thread panicked".to_string())?;
+                    }
+                    if lease_lost.load(Ordering::Relaxed) {
+                        continue 'sessions;
                     }
                 }
+                Msg::Wait { retry_s } => {
+                    // Honor the coordinator's suggestion (sized from its
+                    // observed point timings), de-synchronized with
+                    // jitter so waiting workers don't re-request in
+                    // lockstep.
+                    let secs = (retry_s * (1.0 + 0.5 * jitter())).clamp(0.01, 60.0);
+                    std::thread::sleep(Duration::from_secs_f64(secs));
+                }
+                Msg::Fin => break 'sessions,
+                other => return Err(format!("unexpected farm message: {other:?}")),
             }
-            Msg::Wait { retry_s } => {
-                std::thread::sleep(Duration::from_secs_f64(retry_s.clamp(0.01, 1.0)));
-            }
-            Msg::Fin => break,
-            other => return Err(format!("unexpected farm message: {other:?}")),
         }
     }
 
     let mut rows = rows.into_inner().expect("worker rows poisoned");
     rows.sort_by_key(|(pid, _, _)| *pid);
+    // A lease expired and re-issued to this same worker can complete a
+    // point twice; the coordinator deduplicates, and so does the local
+    // report.
+    rows.dedup_by_key(|(pid, _, _)| *pid);
     let point_secs: Vec<f64> = rows.iter().map(|(_, s, _)| *s).collect();
     let computed = rows.len();
     if opts.progress {
@@ -824,6 +1136,9 @@ where
         malformed_lines: 0,
         point_secs,
         elapsed_secs: started.elapsed().as_secs_f64(),
+        failed: failed_attempts.into_inner(),
+        retried: 0,
+        quarantined: 0,
     })
 }
 
@@ -988,5 +1303,103 @@ mod tests {
     #[should_panic(expected = "duplicate point id")]
     fn duplicate_point_ids_are_rejected() {
         let _ = FarmState::new(&[1, 1], 60.0);
+    }
+
+    #[test]
+    fn zero_retries_quarantines_on_the_first_failure() {
+        let mut farm = FarmState::new(&[3, 4], 60.0); // default budget = 1
+        let g = farm.grant(1, 0.0).unwrap();
+        assert_eq!(
+            farm.fail(g.lease, g.points[0], 1, 0.1),
+            FailVerdict::Quarantine { attempts: 1 },
+            "attempts=1 matches a local retries=0 error row"
+        );
+        assert_eq!(farm.quarantined(), 1);
+        assert_eq!(farm.failed_attempts(), 1);
+        assert_eq!(farm.remaining(), 1, "the quarantined point is resolved");
+        // Late reports about the quarantined point are duplicates.
+        assert_eq!(farm.fail(g.lease, 3, 2, 0.2), FailVerdict::Duplicate);
+        assert_eq!(farm.complete(g.lease, 3, 0.2), Completion::Duplicate);
+        assert_eq!(farm.fail(g.lease, 999, 1, 0.2), FailVerdict::Unknown);
+    }
+
+    #[test]
+    fn retries_spread_failures_across_distinct_workers() {
+        // Budget 2 (retries=1): one worker failing twice is not enough
+        // by the distinct-worker rule; a second worker's failure is.
+        let mut farm = FarmState::new(&[7], 60.0).with_retries(1);
+        let g = farm.grant(1, 0.0).unwrap();
+        assert_eq!(farm.fail(g.lease, 7, 1, 0.1), FailVerdict::Retry);
+        // The point requeued: another worker leases it.
+        let g2 = farm.grant(2, 0.2).unwrap();
+        assert_eq!(g2.points, vec![7]);
+        assert_eq!(
+            farm.fail(g2.lease, 7, 2, 0.3),
+            FailVerdict::Quarantine { attempts: 2 },
+            "two distinct workers exhaust a budget of 2"
+        );
+        assert!(farm.is_done());
+        assert_eq!(farm.failed_attempts(), 2);
+        assert_eq!(farm.quarantined(), 1);
+    }
+
+    #[test]
+    fn a_lone_worker_hits_the_total_failure_backstop() {
+        // Budget 2, single worker: distinct workers stays at 1 forever,
+        // so the 2×budget total-failures backstop must end it.
+        let mut farm = FarmState::new(&[7], 60.0).with_retries(1);
+        for expect_retry in [true, true, true] {
+            let g = farm.grant(1, 0.0).unwrap();
+            let v = farm.fail(g.lease, 7, 1, 0.1);
+            assert_eq!(v, FailVerdict::Retry, "{v:?}");
+            let _ = expect_retry;
+        }
+        let g = farm.grant(1, 0.0).unwrap();
+        assert_eq!(
+            farm.fail(g.lease, 7, 1, 0.1),
+            FailVerdict::Quarantine { attempts: 4 },
+            "4 total failures = 2 × budget"
+        );
+        assert!(farm.is_done());
+    }
+
+    #[test]
+    fn failed_points_drop_out_of_their_lease() {
+        // A lease holding [a, b] whose worker reports a failure for `a`
+        // keeps only `b` pending; expiry then requeues just `b`.
+        let mut farm = FarmState::new(&[0, 1], 10.0);
+        let g = farm.grant(1, 0.0).unwrap();
+        let g2 = farm.grant(1, 0.0).unwrap();
+        assert_eq!(farm.fail(g.lease, g.points[0], 1, 0.1), {
+            FailVerdict::Quarantine { attempts: 1 }
+        });
+        assert_eq!(farm.expire(10.0), 1, "only the other lease's point");
+        let _ = g2;
+    }
+
+    #[test]
+    fn suggested_wait_tracks_the_median_point_time() {
+        let mut farm = FarmState::new(&[0, 1, 2], 60.0);
+        assert_eq!(farm.suggested_wait(), WAIT_RETRY_SECS, "no timings yet");
+        let g = farm.grant(1, 0.0).unwrap();
+        farm.complete(g.lease, g.points[0], 4.0);
+        assert_eq!(farm.suggested_wait(), 2.0, "half the p50");
+        let g = farm.grant(1, 0.0).unwrap();
+        farm.complete(g.lease, g.points[0], 100.0);
+        assert_eq!(farm.suggested_wait(), 5.0, "capped at 5 s");
+        let mut fast = FarmState::new(&[9], 60.0);
+        let g = fast.grant(1, 0.0).unwrap();
+        fast.complete(g.lease, g.points[0], 1e-4);
+        assert_eq!(fast.suggested_wait(), WAIT_RETRY_SECS, "floored");
+    }
+
+    #[test]
+    fn reconnect_backoff_grows_exponentially_and_caps() {
+        assert_eq!(backoff_base(0), 0.1);
+        assert_eq!(backoff_base(1), 0.2);
+        assert_eq!(backoff_base(2), 0.4);
+        assert_eq!(backoff_base(4), 1.6);
+        assert_eq!(backoff_base(5), 2.0, "capped");
+        assert_eq!(backoff_base(60), 2.0, "no overflow at large attempts");
     }
 }

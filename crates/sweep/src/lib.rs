@@ -29,6 +29,15 @@
 //!   Disconnects and expired leases re-lease automatically, completions
 //!   are accepted first-writer-wins, and the artifact stays
 //!   byte-identical to a single-process run.
+//! * **Fault containment** — every evaluation runs behind
+//!   `catch_unwind` plus an optional `--point-timeout-secs` deadline; a
+//!   point that keeps failing after `--retries` re-evaluations is
+//!   quarantined as a structured `~sweep-error` row (its axis fields,
+//!   cause, message, attempt count) instead of killing the sweep, and a
+//!   later `--resume` retries quarantined points. [`chaos`] supplies a
+//!   deterministic [`FaultPlan`] (the `EFT_FAULT_PLAN` variable) that
+//!   plants panics, stalls and disconnects for testing exactly this
+//!   machinery.
 //!
 //! # Examples
 //!
@@ -52,6 +61,7 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 pub mod farm;
 pub mod jsonl;
 pub mod protocol;
@@ -60,11 +70,12 @@ pub mod runner;
 pub mod spec;
 
 pub use cache::ArtifactCache;
-pub use farm::{Completion, FarmState, LeaseGrant};
+pub use chaos::{FaultKind, FaultPlan};
+pub use farm::{Completion, FailVerdict, FarmState, LeaseGrant};
 pub use protocol::Msg;
-pub use rows::{json_mode, Row};
+pub use rows::{json_mode, Row, ERROR_LABEL};
 pub use runner::{
-    emit_summary, run_sweep, run_sweep_or_exit, PointCtx, Shard, SweepOptions, SweepReport,
-    DEFAULT_SWEEP_SEED,
+    emit_summary, exit_if_failed, run_sweep, run_sweep_or_exit, PointCtx, Shard, SweepOptions,
+    SweepReport, DEFAULT_SWEEP_SEED,
 };
 pub use spec::{Axis, AxisValue, PointFilter, SweepPoint, SweepSpec};

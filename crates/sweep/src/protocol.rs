@@ -79,6 +79,24 @@ pub enum Msg {
         /// The completed row's JSON, exactly as the worker serialized it.
         data: String,
     },
+    /// Worker → coordinator: one point of a lease failed its guarded
+    /// evaluation (panic or deadline overrun). Reporting the failure —
+    /// instead of letting the panic kill the worker — keeps the worker
+    /// alive for the rest of its lease and lets the coordinator count
+    /// failures toward the point's quarantine budget.
+    Failed {
+        /// The lease the point was granted under (informational, like
+        /// `Done`).
+        lease: u64,
+        /// Global point id.
+        point: usize,
+        /// Wall-clock seconds spent on the failed attempt.
+        secs: f64,
+        /// Failure class: `panic` or `timeout`.
+        cause: String,
+        /// The panic payload or deadline description.
+        message: String,
+    },
     /// Coordinator → worker: the sweep is complete, disconnect.
     Fin,
 }
@@ -90,6 +108,7 @@ const REQUEST: &str = "~farm-request";
 const GRANT: &str = "~farm-grant";
 const WAIT: &str = "~farm-wait";
 const DONE: &str = "~farm-done";
+const FAILED: &str = "~farm-failed";
 const FIN: &str = "~farm-fin";
 
 impl Msg {
@@ -136,6 +155,18 @@ impl Msg {
                 .int("point", *point as i64)
                 .num("secs", *secs)
                 .str("data", data),
+            Msg::Failed {
+                lease,
+                point,
+                secs,
+                cause,
+                message,
+            } => Row::new(FAILED)
+                .int("lease", *lease as i64)
+                .int("point", *point as i64)
+                .num("secs", *secs)
+                .str("cause", cause)
+                .str("message", message),
             Msg::Fin => Row::new(FIN),
         }
         .to_json_row()
@@ -210,6 +241,14 @@ impl Msg {
                 secs: num("secs")?,
                 data: text("data")?,
             }),
+            FAILED => Ok(Msg::Failed {
+                lease: int("lease")? as u64,
+                point: usize::try_from(int("point")?)
+                    .map_err(|_| "~farm-failed: negative point id".to_string())?,
+                secs: num("secs")?,
+                cause: text("cause")?,
+                message: text("message")?,
+            }),
             other => Err(format!("unknown farm message '{other}'")),
         }
     }
@@ -260,6 +299,20 @@ mod tests {
             secs: 0.125,
             data: r#"{"row":"fig12","model":"Ising","qubits":16,"gamma":6.83}"#.into(),
         });
+        round_trip(Msg::Failed {
+            lease: 3,
+            point: 7,
+            secs: 0.25,
+            cause: "panic".into(),
+            message: "chaos: planted panic at point 7".into(),
+        });
+        round_trip(Msg::Failed {
+            lease: 0,
+            point: 0,
+            secs: 60.0,
+            cause: "timeout".into(),
+            message: "evaluation exceeded the 30s point deadline \"quoted\"".into(),
+        });
         round_trip(Msg::Fin);
     }
 
@@ -300,7 +353,9 @@ mod tests {
             r#"{"row":"~farm-grant","lease":1,"points":"1,x","expires_s":1}"#, // bad id
             r#"{"row":"~farm-done","lease":1,"point":-2,"secs":0,"data":"{}"}"#, // negative id
             r#"{"row":"~farm-done","lease":1,"point":2,"secs":0}"#, // missing payload
-            r#"{"row":"~farm-nope"}"#,  // unknown label
+            r#"{"row":"~farm-failed","lease":1,"point":-2,"secs":0,"cause":"panic","message":"m"}"#, // negative id
+            r#"{"row":"~farm-failed","lease":1,"point":2,"secs":0,"cause":"panic"}"#, // missing message
+            r#"{"row":"~farm-nope"}"#,        // unknown label
             r#"{"row":"fig12","qubits":16}"#, // artifact row, not a message
             r#"{"row":"~farm-welcome","seed":1,"points":-4}"#, // negative count
         ] {

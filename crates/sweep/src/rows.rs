@@ -19,6 +19,14 @@ pub(crate) enum Value {
     Str(String),
 }
 
+/// Row tag of a quarantined point's structured failure record: the
+/// point's axis fields plus `cause` (`panic`/`timeout`), `message` and
+/// `attempts`. Written in place of a data row when a point exhausts its
+/// `--retries` budget; a later `--resume` recomputes the point instead
+/// of trusting the error row as a result. The `~` prefix cannot collide
+/// with a spec name (like `~sweep-config`).
+pub const ERROR_LABEL: &str = "~sweep-error";
+
 /// A flat output row: ordered `key → value` pairs with a hand-rolled
 /// JSON encoder.
 ///
@@ -76,6 +84,13 @@ impl Row {
             Some((k, Value::Str(s))) if k == "row" => s,
             _ => "",
         }
+    }
+
+    /// Whether this is a [`ERROR_LABEL`] quarantine record rather than a
+    /// data row (callers iterating `SweepReport::rows` must skip these
+    /// or use `SweepReport::ok_rows`).
+    pub fn is_sweep_error(&self) -> bool {
+        self.label() == ERROR_LABEL
     }
 
     /// Float field accessor; integer fields promote (JSON cannot tell

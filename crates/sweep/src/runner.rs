@@ -28,16 +28,25 @@
 //!   executing the static `todo` list locally; completions stream
 //!   through the same in-order emitter, so resume/merge semantics and
 //!   artifact bytes are unchanged.
+//! * **Fault containment** — every point evaluation runs behind
+//!   `catch_unwind` and an optional `--point-timeout-secs` deadline; a
+//!   failed point retries up to `--retries N` times (same seed each
+//!   attempt), then quarantines as a structured `~sweep-error` row
+//!   carrying its axis fields, cause and attempt count. The sweep
+//!   completes anyway; `--resume` recomputes quarantined points instead
+//!   of trusting their error rows, and once a resume converges the
+//!   artifact is rewritten to the canonical clean-run bytes.
 
+use crate::chaos::{FaultKind, FaultPlan};
 use crate::jsonl::parse_row;
-use crate::rows::Row;
+use crate::rows::{Row, ERROR_LABEL};
 use crate::spec::{AxisValue, PointFilter, SweepPoint, SweepSpec};
 use crossbeam::thread;
 use eftq_numerics::SeedSequence;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -150,6 +159,22 @@ pub struct SweepOptions {
     /// Farm lease duration in seconds (`--lease-secs`): how long a
     /// granted batch may stay silent before its points are re-leased.
     pub lease_secs: f64,
+    /// Re-evaluation budget for failed points (`--retries N`): a point
+    /// whose evaluation panics or overruns the deadline is retried up to
+    /// `N` more times (same per-point seed), then quarantined as a
+    /// `~sweep-error` row. `0` quarantines on the first failure.
+    pub retries: u32,
+    /// Per-point wall-clock deadline in seconds
+    /// (`--point-timeout-secs S`): an evaluation that finishes past the
+    /// deadline is discarded and counted as a `timeout` failure. The
+    /// check runs on completion — a point that never returns still
+    /// blocks its thread (safe Rust cannot preempt arbitrary code), so
+    /// the deadline bounds *accepted* work, not thread occupancy.
+    pub point_timeout_secs: Option<f64>,
+    /// Planted faults for the chaos harness (the `EFT_FAULT_PLAN`
+    /// environment variable under [`SweepOptions::from_env_args`];
+    /// injected through `PointCtx::fault`). `None` in production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SweepOptions {
@@ -167,6 +192,9 @@ impl Default for SweepOptions {
             farm: None,
             worker: None,
             lease_secs: crate::farm::DEFAULT_LEASE_SECS,
+            retries: 0,
+            point_timeout_secs: None,
+            fault_plan: None,
         }
     }
 }
@@ -175,17 +203,21 @@ impl SweepOptions {
     /// Parses the standard sweep flags from the process arguments:
     /// `--threads N`, `--resume PATH`, `--points FILTER`, `--shard k/N`,
     /// `--merge P1,P2,...` (repeatable), `--farm ADDR`, `--worker ADDR`,
-    /// `--lease-secs S`, `--summary`, `--json` (all also
+    /// `--lease-secs S`, `--retries N`, `--point-timeout-secs S`,
+    /// `--summary`, `--json` (all also
     /// accepted as `--flag=value`). Unrecognized arguments are ignored
     /// so binaries can add their own flags; progress reporting is
-    /// enabled, and `EFT_JSON=1` also turns on JSONL echo.
+    /// enabled, `EFT_JSON=1` also turns on JSONL echo, and
+    /// `EFT_FAULT_PLAN` plants a chaos-harness [`FaultPlan`].
     ///
     /// # Errors
     ///
     /// Returns a usage message when a flag is malformed (missing or
-    /// non-numeric value, unparsable filter).
+    /// non-numeric value, unparsable filter or fault plan).
     pub fn from_env_args() -> Result<Self, String> {
-        Self::from_args(std::env::args().skip(1))
+        let mut opts = Self::from_args(std::env::args().skip(1))?;
+        opts.fault_plan = FaultPlan::from_env()?;
+        Ok(opts)
     }
 
     /// [`SweepOptions::from_env_args`] over an explicit argument list.
@@ -246,6 +278,20 @@ impl SweepOptions {
                 if !(opts.lease_secs > 0.0 && opts.lease_secs.is_finite()) {
                     return Err(format!("--lease-secs {v}: must be a positive duration"));
                 }
+            } else if let Some(v) = value_of("--retries", &arg, &mut it) {
+                opts.retries = v
+                    .parse()
+                    .map_err(|e| format!("--retries {v}: {e} (expected a count)"))?;
+            } else if let Some(v) = value_of("--point-timeout-secs", &arg, &mut it) {
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|e| format!("--point-timeout-secs {v}: {e} (expected seconds)"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!(
+                        "--point-timeout-secs {v}: must be a positive duration"
+                    ));
+                }
+                opts.point_timeout_secs = Some(secs);
             } else if [
                 "--threads",
                 "--resume",
@@ -255,6 +301,8 @@ impl SweepOptions {
                 "--farm",
                 "--worker",
                 "--lease-secs",
+                "--retries",
+                "--point-timeout-secs",
             ]
             .contains(&arg.as_str())
             {
@@ -293,8 +341,29 @@ impl SweepOptions {
 #[derive(Clone, Copy, Debug)]
 pub struct PointCtx {
     /// Deterministic per-point seed: `root.derive(spec).derive_index(id)`
-    /// — identical at any thread count and across resumes.
+    /// — identical at any thread count and across resumes, *and* across
+    /// retry attempts (seed-stable re-evaluation: a retry reruns the
+    /// exact same computation, so only transient faults heal).
     pub seed: SeedSequence,
+    /// 1-based evaluation attempt; `> 1` only when `--retries` re-runs
+    /// the point after a failure.
+    pub attempt: u32,
+    /// Chaos-harness hook: a planted fault the guarded evaluation
+    /// injects before calling the evaluator. Always `None` outside
+    /// chaos runs; evaluators must ignore it.
+    pub fault: Option<FaultKind>,
+}
+
+impl PointCtx {
+    /// A first-attempt, fault-free context over `seed` (the common case
+    /// for tests and library callers).
+    pub fn new(seed: SeedSequence) -> Self {
+        PointCtx {
+            seed,
+            attempt: 1,
+            fault: None,
+        }
+    }
 }
 
 /// Outcome of a sweep run.
@@ -320,6 +389,17 @@ pub struct SweepReport {
     pub point_secs: Vec<f64>,
     /// Wall-clock seconds of the whole run (scan + compute + emit).
     pub elapsed_secs: f64,
+    /// Evaluation attempts that failed this run (panic or timeout);
+    /// every failure either retried or quarantined its point.
+    pub failed: usize,
+    /// Re-evaluation attempts spent under the `--retries` budget
+    /// (`failed - quarantined` for a local run).
+    pub retried: usize,
+    /// Points whose row is a `~sweep-error` quarantine record (failures
+    /// this run plus error rows carried through `--merge`). Nonzero ⇒
+    /// the artifact is incomplete as data and
+    /// [`exit_if_failed`] exits 1.
+    pub quarantined: usize,
 }
 
 impl SweepReport {
@@ -347,12 +427,28 @@ impl SweepReport {
             .int("computed", self.computed as i64)
             .int("resumed", self.resumed as i64)
             .int("merged", self.merged as i64)
+            .int("failed", self.failed as i64)
+            .int("retried", self.retried as i64)
+            .int("quarantined", self.quarantined as i64)
             .int("unmatched_lines", self.unmatched_lines as i64)
             .int("malformed_lines", self.malformed_lines as i64)
             .num("elapsed_s", self.elapsed_secs)
             .num("point_p50_s", quantile(0.5))
             .num("point_p90_s", quantile(0.9))
             .num("point_max_s", quantile(1.0))
+    }
+
+    /// The data rows only: every selected point's row except
+    /// `~sweep-error` quarantine records. Figure/table binaries iterate
+    /// this (their field accessors would panic on an error row).
+    pub fn ok_rows(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter(|r| !r.is_sweep_error())
+    }
+
+    /// The quarantine records among [`SweepReport::rows`] (empty on a
+    /// clean run).
+    pub fn error_rows(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter(|r| r.is_sweep_error())
     }
 }
 
@@ -426,6 +522,10 @@ where
     // first so its rows win ties — they are already on disk and must not
     // be re-appended.
     let mut resumed: BTreeMap<usize, (Row, RowSource)> = BTreeMap::new(); // index into `points`
+                                                                          // Selected points whose artifact row is a `~sweep-error` quarantine
+                                                                          // record: they are *not* resumed (the error is retried, not trusted)
+                                                                          // and their presence marks the artifact for canonical compaction.
+    let mut error_points: BTreeSet<usize> = BTreeSet::new();
     let mut unmatched_lines = 0usize;
     let mut malformed_lines = 0usize;
     let mut scan = |path: &PathBuf, source: RowSource| -> Result<(), String> {
@@ -459,6 +559,23 @@ where
                 }
                 continue;
             }
+            // A quarantine record from a previous run. From the
+            // artifact itself the point is *retried* (the error row is
+            // a tombstone, not a result); from a `--merge` input it is
+            // carried through as-is — the shard already spent its
+            // retry budget on it.
+            if row.is_sweep_error() && row.get_str("spec") == Some(spec.name()) {
+                match points.iter().position(|p| row_covers_point(&row, p)) {
+                    Some(i) if source == RowSource::Artifact => {
+                        error_points.insert(i);
+                    }
+                    Some(i) => {
+                        resumed.entry(i).or_insert((row, source));
+                    }
+                    None => unmatched_lines += 1,
+                }
+                continue;
+            }
             let matched = row.label() == spec.name()
                 && points
                     .iter()
@@ -480,6 +597,19 @@ where
         // Merge inputs are named explicitly, so a missing one is an
         // error (a lost shard), not an empty resume.
         scan(path, RowSource::Merge)?;
+    }
+    // Any matched error line marks the artifact for compaction; a
+    // quarantined point that also has a good row (an interrupted resume
+    // appended the recomputation, then died before compacting) resumes
+    // from the good row instead of retrying.
+    let artifact_dirty = !error_points.is_empty();
+    error_points.retain(|i| !resumed.contains_key(i));
+    if opts.progress && !error_points.is_empty() {
+        eprintln!(
+            "[{}] retrying {} quarantined point(s) from the artifact",
+            spec.name(),
+            error_points.len()
+        );
     }
 
     let todo: Vec<usize> = (0..points.len())
@@ -511,19 +641,59 @@ where
         .count();
     let emitter = Mutex::new(Emitter::open(spec, opts, &points, &resumed, todo.len())?);
 
-    let run_point = |i: usize| {
+    // Failure accounting across worker threads (and the farm).
+    let failed = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
+    let quarantined = AtomicUsize::new(0);
+    // Chaos-harness derivation node: shared by local runs, the farm
+    // coordinator and its workers, so a planted fault plan resolves
+    // identically under every topology.
+    let chaos = root.derive("~chaos");
+
+    // Evaluates point `i` behind the fault guard, retrying up to the
+    // `--retries` budget and quarantining on exhaustion; returns false
+    // once an artifact write failure makes further evaluation pointless.
+    let run_point = |i: usize| -> bool {
         let point = &points[i];
-        let ctx = PointCtx {
-            seed: root.derive_index(point.id as u64),
-        };
-        let eval_started = Instant::now();
-        let row = eval(point, &ctx);
-        let secs = eval_started.elapsed().as_secs_f64();
-        check_row_contract(spec, point, &row);
-        emitter
-            .lock()
-            .expect("sweep emitter poisoned")
-            .push(i, row, RowSource::Computed, secs);
+        let seed = root.derive_index(point.id as u64);
+        let budget = opts.retries.saturating_add(1);
+        for attempt in 1..=budget {
+            // Disconnect faults only mean something to a farm worker's
+            // connection; local runs skip them so the rows stay
+            // identical across topologies.
+            let fault = opts.fault_plan.as_ref().and_then(|plan| {
+                plan.fault_for(&chaos, point.id, attempt)
+                    .filter(|f| *f != FaultKind::Disconnect)
+            });
+            let ctx = PointCtx {
+                seed,
+                attempt,
+                fault,
+            };
+            let (row, secs) = match eval_guarded(&eval, point, &ctx, opts.point_timeout_secs) {
+                EvalOutcome::Ok { row, secs } => {
+                    check_row_contract(spec, point, &row);
+                    (row, secs)
+                }
+                EvalOutcome::Failed {
+                    cause,
+                    message,
+                    secs,
+                } => {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    if attempt < budget {
+                        retried.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    quarantined.fetch_add(1, Ordering::Relaxed);
+                    (point.error_row(spec.name(), cause, &message, attempt), secs)
+                }
+            };
+            let mut em = emitter.lock().expect("sweep emitter poisoned");
+            em.push(i, row, RowSource::Computed, secs);
+            return !em.write_failed();
+        }
+        unreachable!("the retry loop always pushes on its final attempt");
     };
 
     if let Some(addr) = &opts.farm {
@@ -531,12 +701,17 @@ where
         // remote workers and `opts.threads` local ones) instead of
         // walked behind a local cursor. Accepted rows enter the same
         // emitter, so the artifact bytes cannot tell the modes apart.
-        crate::farm::coordinate(spec, opts, addr, &points, &todo, &emitter, &eval)?;
+        let farm = crate::farm::coordinate(spec, opts, addr, &points, &todo, &emitter, &eval)?;
+        failed.fetch_add(farm.failed, Ordering::Relaxed);
+        retried.fetch_add(farm.retried, Ordering::Relaxed);
+        quarantined.fetch_add(farm.quarantined, Ordering::Relaxed);
     } else {
         let workers = opts.threads.clamp(1, todo.len().max(1));
         if workers <= 1 {
             for &i in &todo {
-                run_point(i);
+                if !run_point(i) {
+                    break;
+                }
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -545,7 +720,9 @@ where
                     scope.spawn(|_| loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = todo.get(k) else { break };
-                        run_point(i);
+                        if !run_point(i) {
+                            break;
+                        }
                     });
                 }
             })
@@ -555,6 +732,20 @@ where
 
     let emitter = emitter.into_inner().expect("sweep emitter poisoned");
     let (rows, point_secs) = emitter.finish()?;
+    // Canonical compaction: once a dirty artifact (stale `~sweep-error`
+    // lines) has all its points re-resolved, rewrite it as stamp + rows
+    // in point order — byte-identical to an uninterrupted clean run.
+    // Foreign or malformed lines veto the rewrite: the file is shared
+    // or damaged, and compaction must not drop what it cannot rebuild.
+    if artifact_dirty && unmatched_lines == 0 && malformed_lines == 0 {
+        if let Some(path) = &opts.artifact {
+            compact_artifact(path, spec, &rows)?;
+        }
+    }
+    let merge_quarantined = resumed
+        .values()
+        .filter(|(row, s)| *s == RowSource::Merge && row.is_sweep_error())
+        .count();
     Ok(SweepReport {
         rows,
         computed: todo.len(),
@@ -564,6 +755,9 @@ where
         malformed_lines,
         point_secs,
         elapsed_secs: started.elapsed().as_secs_f64(),
+        failed: failed.into_inner(),
+        retried: retried.into_inner(),
+        quarantined: quarantined.into_inner() + merge_quarantined,
     })
 }
 
@@ -585,6 +779,25 @@ where
     report
 }
 
+/// Exits 1 when the report carries quarantined points. CLI wrappers
+/// call this *after* printing their tables and summary: the sweep
+/// completed every other point and the artifact is a valid checkpoint,
+/// but as data it is incomplete, and a scheduled run must fail loudly
+/// instead of shipping a partial figure. (Exit 2 stays reserved for
+/// usage/IO errors via [`run_sweep_or_exit`].)
+pub fn exit_if_failed(spec: &SweepSpec, report: &SweepReport) {
+    if report.quarantined > 0 {
+        eprintln!(
+            "{}: {} point(s) quarantined after repeated failures — the '{}' \
+             artifact rows record the causes; rerun with --resume to retry them",
+            spec.name(),
+            report.quarantined,
+            ERROR_LABEL,
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Whether the file exists, is non-empty, and lacks a final newline.
 fn ends_without_newline(path: &std::path::Path) -> Result<bool, String> {
     use std::io::{Read, Seek, SeekFrom};
@@ -604,6 +817,29 @@ fn ends_without_newline(path: &std::path::Path) -> Result<bool, String> {
     f.read_exact(&mut last)
         .map_err(|e| format!("artifact {}: {e}", path.display()))?;
     Ok(last[0] != b'\n')
+}
+
+/// Rewrites the artifact as configuration stamp + `rows` in point order
+/// (the byte layout of an uninterrupted clean run), via a temp file and
+/// rename so a kill mid-rewrite cannot lose the original.
+fn compact_artifact(path: &Path, spec: &SweepSpec, rows: &[Row]) -> Result<(), String> {
+    let context = |e: std::io::Error| format!("cannot compact artifact {}: {e}", path.display());
+    let tmp = path.with_extension("compact-tmp");
+    let mut file = File::create(&tmp).map_err(context)?;
+    let mut write_all = || -> std::io::Result<()> {
+        if let Some(config) = spec.config() {
+            let stamp = Row::new(META_LABEL)
+                .str("spec", spec.name())
+                .str("config", config);
+            writeln!(file, "{}", stamp.to_json_row())?;
+        }
+        for row in rows {
+            writeln!(file, "{}", row.to_json_row())?;
+        }
+        file.flush()
+    };
+    write_all().map_err(context)?;
+    std::fs::rename(&tmp, path).map_err(context)
 }
 
 /// Whether `row` carries every axis of `point` with the point's value
@@ -641,6 +877,72 @@ pub(crate) fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row
     );
 }
 
+/// Outcome of one guarded evaluation attempt.
+pub(crate) enum EvalOutcome {
+    /// The evaluator returned a row within the deadline.
+    Ok { row: Row, secs: f64 },
+    /// The attempt panicked or overran the deadline; `cause` is the
+    /// machine-readable kind (`"panic"`/`"timeout"`) and `message` the
+    /// human-readable detail for the `~sweep-error` row.
+    Failed {
+        cause: &'static str,
+        message: String,
+        secs: f64,
+    },
+}
+
+/// Runs one evaluation attempt behind `catch_unwind` and the optional
+/// wall-clock deadline, injecting the context's planted chaos fault (if
+/// any) first. The deadline is checked on completion — safe Rust cannot
+/// preempt the evaluator, so an overrun result is *discarded* rather
+/// than interrupted. The timeout message quotes the configured limit,
+/// not the measured elapsed time, so error rows stay deterministic.
+pub(crate) fn eval_guarded<F>(
+    eval: &F,
+    point: &SweepPoint,
+    ctx: &PointCtx,
+    timeout_secs: Option<f64>,
+) -> EvalOutcome
+where
+    F: Fn(&SweepPoint, &PointCtx) -> Row + Sync,
+{
+    let started = Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(fault) = ctx.fault {
+            crate::chaos::inject(fault, point.id, timeout_secs);
+        }
+        eval(point, ctx)
+    }));
+    let secs = started.elapsed().as_secs_f64();
+    match result {
+        Ok(row) => match timeout_secs {
+            Some(limit) if secs > limit => EvalOutcome::Failed {
+                cause: "timeout",
+                message: format!("evaluation exceeded the {limit}s point deadline"),
+                secs,
+            },
+            _ => EvalOutcome::Ok { row, secs },
+        },
+        Err(payload) => EvalOutcome::Failed {
+            cause: "panic",
+            message: panic_message(payload.as_ref()),
+            secs,
+        },
+    }
+}
+
+/// Extracts a printable message from a `catch_unwind` payload (panics
+/// carry `&str` or `String` in practice).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
 /// In-order row emission: rows buffer until every earlier point is done,
 /// then stream to the artifact (freshly computed and merged rows — rows
 /// resumed from the artifact itself are already on disk), stdout (under
@@ -648,6 +950,12 @@ pub(crate) fn check_row_contract(spec: &SweepSpec, point: &SweepPoint, row: &Row
 pub(crate) struct Emitter {
     name: String,
     file: Option<File>,
+    path: Option<PathBuf>,
+    /// First artifact write failure, with path and cause. Recorded
+    /// instead of panicking: [`Emitter::finish`] surfaces it as the
+    /// run's `Err`, and the run loops stop evaluating once it is set
+    /// (the checkpoint can no longer keep up with the computation).
+    write_error: Option<String>,
     echo_json: bool,
     progress: bool,
     next: usize,
@@ -707,6 +1015,8 @@ impl Emitter {
         let mut emitter = Emitter {
             name: spec.name().to_string(),
             file,
+            path: opts.artifact.clone(),
+            write_error: None,
             echo_json: opts.echo_json,
             progress: opts.progress,
             next: 0,
@@ -748,18 +1058,29 @@ impl Emitter {
     }
 
     fn flush_one(&mut self, row: &Row, source: RowSource) {
-        if source != RowSource::Artifact {
+        if source != RowSource::Artifact && self.write_error.is_none() {
             if let Some(file) = &mut self.file {
                 // Flushed per row: this is the checkpoint a killed run
                 // resumes from.
-                writeln!(file, "{}", row.to_json_row())
-                    .and_then(|()| file.flush())
-                    .unwrap_or_else(|e| panic!("[{}] artifact write failed: {e}", self.name));
+                if let Err(e) = writeln!(file, "{}", row.to_json_row()).and_then(|()| file.flush())
+                {
+                    let path = self
+                        .path
+                        .as_ref()
+                        .map_or_else(|| "<artifact>".to_string(), |p| p.display().to_string());
+                    self.write_error = Some(format!("cannot write artifact {path}: {e}"));
+                }
             }
         }
         if self.echo_json {
             println!("{}", row.to_json_row());
         }
+    }
+
+    /// Whether an artifact write has failed (further evaluation is
+    /// wasted work — the rows could not be checkpointed).
+    pub(crate) fn write_failed(&self) -> bool {
+        self.write_error.is_some()
     }
 
     fn report_progress(&self) {
@@ -789,6 +1110,13 @@ impl Emitter {
     }
 
     fn finish(self) -> Result<(Vec<Row>, Vec<f64>), String> {
+        if let Some(e) = self.write_error {
+            return Err(format!(
+                "[{}] {e} — completed rows could not be checkpointed; rerun \
+                 with --resume once the path is writable",
+                self.name
+            ));
+        }
         if self.done.len() != self.total {
             return Err(format!(
                 "[{}] internal error: emitted {} of {} rows",
@@ -1003,11 +1331,11 @@ mod tests {
                 .into_iter()
                 .find(|p| p.str("model") == "B")
                 .unwrap(),
-            &PointCtx {
-                seed: SeedSequence::new(DEFAULT_SWEEP_SEED)
+            &PointCtx::new(
+                SeedSequence::new(DEFAULT_SWEEP_SEED)
                     .derive("toy")
                     .derive_index(6),
-            },
+            ),
         );
         std::fs::write(
             &path,
@@ -1382,5 +1710,311 @@ mod tests {
             let err = SweepOptions::from_args(args(&bad)).unwrap_err();
             assert!(err.contains(needle), "{bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn cli_parsing_covers_the_fault_flags() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o =
+            SweepOptions::from_args(args(&["--retries", "2", "--point-timeout-secs=1.5"])).unwrap();
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.point_timeout_secs, Some(1.5));
+        assert_eq!(o.fault_plan, None, "fault plans come from the environment");
+        let o = SweepOptions::from_args(args(&[])).unwrap();
+        assert_eq!(o.retries, 0);
+        assert_eq!(o.point_timeout_secs, None);
+        for (bad, needle) in [
+            (vec!["--retries"], "missing value"),
+            (vec!["--retries", "-1"], "expected a count"),
+            (vec!["--point-timeout-secs"], "missing value"),
+            (vec!["--point-timeout-secs", "soon"], "expected seconds"),
+            (vec!["--point-timeout-secs", "0"], "positive duration"),
+            (vec!["--point-timeout-secs", "-2"], "positive duration"),
+            (vec!["--point-timeout-secs", "inf"], "positive duration"),
+        ] {
+            let err = SweepOptions::from_args(args(&bad)).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    /// `eval` with one poison point (model B, n 8, p 1.0) that panics.
+    fn poisoned_eval(p: &SweepPoint, ctx: &PointCtx) -> Row {
+        if p.str("model") == "B" && p.int("n") == 8 && p.num("p") == 1.0 {
+            panic!("poison: bad point");
+        }
+        eval(p, ctx)
+    }
+
+    #[test]
+    fn panicking_points_quarantine_and_the_sweep_completes() {
+        let spec = spec();
+        let base = run_sweep(&spec, &SweepOptions::default(), poisoned_eval).unwrap();
+        assert_eq!(base.rows.len(), 12, "every point has a row");
+        assert_eq!(base.failed, 1);
+        assert_eq!(base.retried, 0);
+        assert_eq!(base.quarantined, 1);
+        assert_eq!(base.ok_rows().count(), 11);
+        let err: Vec<&Row> = base.error_rows().collect();
+        assert_eq!(err.len(), 1);
+        assert_eq!(
+            err[0].to_json_row(),
+            r#"{"row":"~sweep-error","spec":"toy","model":"B","n":8,"p":1,"cause":"panic","message":"poison: bad point","attempts":1}"#,
+            "the error row is a pure function of the point and failure"
+        );
+        // Identical rows — error row included — at any thread count.
+        for threads in [4usize, 16] {
+            let opts = SweepOptions {
+                threads,
+                ..SweepOptions::default()
+            };
+            let got = run_sweep(&spec, &opts, poisoned_eval).unwrap();
+            let a: Vec<String> = base.rows.iter().map(Row::to_json_row).collect();
+            let b: Vec<String> = got.rows.iter().map(Row::to_json_row).collect();
+            assert_eq!(a, b, "threads {threads}");
+        }
+        // The summary row carries the failure counts.
+        let row = base.summary_row(&spec);
+        assert_eq!(row.get_int("failed"), Some(1));
+        assert_eq!(row.get_int("retried"), Some(0));
+        assert_eq!(row.get_int("quarantined"), Some(1));
+    }
+
+    #[test]
+    fn deadline_overruns_quarantine_as_timeouts() {
+        let spec = spec();
+        let opts = SweepOptions {
+            point_timeout_secs: Some(0.01),
+            ..SweepOptions::default()
+        };
+        let slow = |p: &SweepPoint, ctx: &PointCtx| {
+            if p.str("model") == "A" && p.int("n") == 16 && p.num("p") == 0.25 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            eval(p, ctx)
+        };
+        let report = run_sweep(&spec, &opts, slow).unwrap();
+        assert_eq!(report.quarantined, 1);
+        let err: Vec<&Row> = report.error_rows().collect();
+        assert_eq!(err[0].get_str("cause"), Some("timeout"));
+        assert_eq!(
+            err[0].get_str("message"),
+            Some("evaluation exceeded the 0.01s point deadline"),
+            "the message quotes the configured limit, not the elapsed time"
+        );
+    }
+
+    #[test]
+    fn retries_heal_transient_failures_and_converge_to_clean_bytes() {
+        let spec = spec().with_config("reduced");
+        let clean = tmp("retry-clean.jsonl");
+        let flaky_path = tmp("retry-flaky.jsonl");
+        let _ = std::fs::remove_file(&clean);
+        let _ = std::fs::remove_file(&flaky_path);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(clean.clone()),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+        // Every n=4 point fails its first attempt; `--retries 1` heals
+        // them because the retry reruns the identical computation.
+        let flaky = |p: &SweepPoint, ctx: &PointCtx| {
+            assert!(ctx.attempt <= 2, "budget is retries + 1 = 2");
+            if ctx.attempt == 1 && p.int("n") == 4 {
+                panic!("transient");
+            }
+            eval(p, ctx)
+        };
+        let opts = SweepOptions {
+            artifact: Some(flaky_path.clone()),
+            retries: 1,
+            threads: 4,
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&spec, &opts, flaky).unwrap();
+        assert_eq!(report.failed, 4);
+        assert_eq!(report.retried, 4);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(
+            std::fs::read(&flaky_path).unwrap(),
+            std::fs::read(&clean).unwrap(),
+            "seed-stable retries converge to the clean artifact bytes"
+        );
+    }
+
+    #[test]
+    fn resume_retries_quarantined_points_and_compacts_to_clean_bytes() {
+        let spec = spec().with_config("reduced");
+        let clean = tmp("quarantine-clean.jsonl");
+        let path = tmp("quarantine-resume.jsonl");
+        let _ = std::fs::remove_file(&clean);
+        let _ = std::fs::remove_file(&path);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(clean.clone()),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+
+        let poisoned = run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(path.clone()),
+                threads: 8,
+                ..SweepOptions::default()
+            },
+            poisoned_eval,
+        )
+        .unwrap();
+        assert_eq!(poisoned.quarantined, 1);
+        let poisoned_lines = lines(&path);
+        assert_eq!(poisoned_lines.len(), 13, "stamp + 11 good + 1 error row");
+        assert!(poisoned_lines.iter().any(|l| l.contains("~sweep-error")));
+
+        // Resume with the fault gone: only the quarantined point is
+        // recomputed (good rows are trusted) and the artifact compacts
+        // to the clean run's exact bytes.
+        let calls = AtomicUsize::new(0);
+        let resume_opts = SweepOptions {
+            artifact: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let resumed = run_sweep(&spec, &resume_opts, |p, ctx| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval(p, ctx)
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "good rows not recomputed");
+        assert_eq!(resumed.resumed, 11);
+        assert_eq!(resumed.computed, 1);
+        assert_eq!(resumed.quarantined, 0);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&clean).unwrap(),
+            "resume + compaction converge to the clean artifact bytes"
+        );
+        // A second resume computes nothing and leaves the bytes alone.
+        let again = run_sweep(&spec, &resume_opts, |_, _| unreachable!("all resumed")).unwrap();
+        assert_eq!(again.resumed, 12);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&clean).unwrap()
+        );
+
+        // With the fault still present, the error row is retried — not
+        // trusted — and the re-quarantine is byte-idempotent.
+        let again_path = tmp("quarantine-again.jsonl");
+        let _ = std::fs::remove_file(&again_path);
+        let again_opts = SweepOptions {
+            artifact: Some(again_path.clone()),
+            ..SweepOptions::default()
+        };
+        run_sweep(&spec, &again_opts, poisoned_eval).unwrap();
+        let first = std::fs::read(&again_path).unwrap();
+        let second = run_sweep(&spec, &again_opts, poisoned_eval).unwrap();
+        assert_eq!(second.computed, 1, "only the quarantined point re-ran");
+        assert_eq!(second.quarantined, 1);
+        assert_eq!(std::fs::read(&again_path).unwrap(), first);
+    }
+
+    #[test]
+    fn foreign_lines_veto_artifact_compaction() {
+        let spec = spec();
+        let path = tmp("no-compact.jsonl");
+        let _ = std::fs::remove_file(&path);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+            poisoned_eval,
+        )
+        .unwrap();
+        // Another sweep shares the file: compaction must not rewrite it.
+        let foreign = r#"{"row":"other","keep":"me"}"#;
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str(foreign);
+        content.push('\n');
+        std::fs::write(&path, content).unwrap();
+        let resumed = run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+        assert_eq!(resumed.computed, 1);
+        assert_eq!(resumed.unmatched_lines, 1);
+        assert_eq!(resumed.quarantined, 0);
+        assert_eq!(resumed.ok_rows().count(), 12, "the report is healed");
+        let all = lines(&path);
+        assert!(all.contains(&foreign.to_string()), "foreign line survives");
+        assert!(
+            all.iter().any(|l| l.contains("~sweep-error")),
+            "no compaction: the stale error line is left in place"
+        );
+    }
+
+    #[test]
+    fn unwritable_artifact_path_is_an_error_not_a_panic() {
+        // The artifact's parent "directory" is a regular file, so the
+        // open fails for any user (a chmod-based test would pass for
+        // root).
+        let bogus_parent = tmp("not-a-dir");
+        std::fs::write(&bogus_parent, "x").unwrap();
+        let path = bogus_parent.join("out.jsonl");
+        let err = run_sweep(
+            &spec(),
+            &SweepOptions {
+                artifact: Some(path),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot append to artifact"), "{err}");
+        assert!(err.contains("not-a-dir"), "{err}");
+    }
+
+    #[test]
+    fn mid_run_write_failures_surface_with_path_and_cause() {
+        // Swap in a read-only handle: the first flush records the
+        // failure instead of panicking, later pushes skip writing, and
+        // finish() surfaces it as the run's error.
+        let victim = tmp("readonly-artifact.jsonl");
+        std::fs::write(&victim, "").unwrap();
+        let mut em = Emitter {
+            name: "toy".into(),
+            file: Some(File::open(&victim).unwrap()), // read-only handle
+            path: Some(victim.clone()),
+            write_error: None,
+            echo_json: false,
+            progress: false,
+            next: 0,
+            buffered: BTreeMap::new(),
+            done: Vec::new(),
+            point_secs: Vec::new(),
+            fresh_done: 0,
+            fresh_total: 2,
+            resumed: 0,
+            total: 2,
+            started: Instant::now(),
+        };
+        em.push(0, Row::new("toy").int("n", 1), RowSource::Computed, 0.0);
+        assert!(em.write_failed());
+        em.push(1, Row::new("toy").int("n", 2), RowSource::Computed, 0.0);
+        let err = em.finish().unwrap_err();
+        assert!(err.contains("cannot write artifact"), "{err}");
+        assert!(err.contains("readonly-artifact.jsonl"), "{err}");
+        assert!(err.contains("--resume"), "{err}");
     }
 }

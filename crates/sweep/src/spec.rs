@@ -8,6 +8,7 @@
 //! seed derivation (`seed.derive_index(point_id)`) and checkpoint/resume
 //! sound.
 
+use crate::rows::Row;
 use std::fmt;
 
 /// One axis value: the sweep grids mix integers (qubit counts, shot
@@ -305,6 +306,28 @@ impl SweepPoint {
             AxisValue::Str(s) => s,
             v => panic!("axis '{name}' is not categorical (got {v})"),
         }
+    }
+
+    /// Builds this point's quarantine record (a `~sweep-error` row): the
+    /// spec name, every axis field with the point's value (so resume and
+    /// merge re-associate it exactly like a data row), the failure
+    /// `cause` (`panic` or `timeout`), its `message`, and how many
+    /// evaluation attempts failed. The fields are pure functions of
+    /// their inputs — no timestamps, no hostnames — so a planted fault
+    /// produces byte-identical error rows at any thread count, shard
+    /// split or farm topology.
+    pub fn error_row(&self, spec_name: &str, cause: &str, message: &str, attempts: u32) -> Row {
+        let mut row = Row::new(crate::rows::ERROR_LABEL).str("spec", spec_name);
+        for (name, value) in &self.values {
+            row = match value {
+                AxisValue::Int(i) => row.int(name, *i),
+                AxisValue::Num(x) => row.num(name, *x),
+                AxisValue::Str(s) => row.str(name, s),
+            };
+        }
+        row.str("cause", cause)
+            .str("message", message)
+            .int("attempts", i64::from(attempts))
     }
 }
 
