@@ -1,0 +1,58 @@
+//! Criterion benches for the planner's surrogate lookups: the repo's
+//! first latency SLO. A `/plan` answer is four surface interpolations
+//! plus an argmax; the whole path must stay in the microsecond range or
+//! the service's deadline math (default 250 ms, 50 ms exact budget)
+//! loses its safety margin. `eft_bench_guard` compares the recorded
+//! timings against `ci/bench-refs/BENCH_planner_lookup.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eftq_planner::index::{ADVISOR_METRICS, ADVISOR_SPEC};
+use eftq_planner::SurfaceIndex;
+
+fn bench_planner_lookup(c: &mut Criterion) {
+    let mut index = SurfaceIndex::new();
+    index.add_advisor_grid().expect("advisor grid builds");
+    let surfaces: Vec<_> = ADVISOR_METRICS
+        .iter()
+        .map(|m| {
+            index
+                .get(&format!("{ADVISOR_SPEC}/{m}"))
+                .and_then(|f| f.surface(&[]))
+                .expect("advisor surface registered")
+        })
+        .collect();
+
+    // One interpolated surface evaluation (off-lattice, so the full
+    // 2^k corner blend runs).
+    let single = surfaces[0];
+    c.bench_function("planner/surface_eval", |b| {
+        b.iter(|| single.eval(&[23_456.0, 27.3]));
+    });
+
+    // The full surrogate /plan answer: all four strategy surfaces plus
+    // the argmax, exactly what the server does per request.
+    c.bench_function("planner/plan_surrogate", |b| {
+        b.iter(|| {
+            let mut best = f64::NEG_INFINITY;
+            for s in &surfaces {
+                let hit = s.eval(&[23_456.0, 27.3]);
+                if hit.value > best {
+                    best = hit.value;
+                }
+            }
+            best
+        });
+    });
+
+    // Fitting the whole advisor grid from scratch (startup cost).
+    c.bench_function("planner/fit_advisor_grid", |b| {
+        b.iter(|| {
+            let mut idx = SurfaceIndex::new();
+            idx.add_advisor_grid().unwrap();
+            idx.len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_planner_lookup);
+criterion_main!(benches);

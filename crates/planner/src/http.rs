@@ -1,0 +1,205 @@
+//! A deliberately minimal HTTP/1.1 layer for the planner service.
+//!
+//! The server speaks exactly what its clients (curl, CI scripts, the
+//! soak test) need: one request per connection (`Connection: close`),
+//! GET targets with query strings, JSONL response bodies. Keeping the
+//! parser ~100 lines means the robustness story lives in the server's
+//! admission control, not in a protocol stack; anything outside this
+//! subset gets a structured 400, never a hang (reads sit behind the
+//! caller's socket timeout).
+
+use std::io::{BufRead, Write};
+
+/// A parsed request line + headers (bodies are not consumed: every
+/// planner endpoint is a GET).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`).
+    pub method: String,
+    /// Path component of the target (before `?`).
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of query parameter `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one request from `reader` (request line + headers;
+/// stops at the blank line).
+///
+/// # Errors
+///
+/// `Ok(None)` for a cleanly closed idle connection; `Err` with a
+/// human-readable reason for anything malformed (the caller answers
+/// 400) or an IO/timeout failure.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(format!("read failed: {e}")),
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => return Err(format!("malformed request line: {line:?}")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    // Drain headers up to the blank line; cap their count so a
+    // malicious peer cannot stream headers forever.
+    for _ in 0..64 {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return Err("connection closed mid-headers".into()),
+            Ok(_) if header.trim_end().is_empty() => {
+                let (path, query) = split_target(target);
+                return Ok(Some(Request {
+                    method: method.to_string(),
+                    path,
+                    query,
+                }));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(format!("read failed mid-headers: {e}")),
+        }
+    }
+    Err("too many headers".into())
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (percent_decode(path), params)
+}
+
+/// Decodes `%XX` escapes and `+` (space); malformed escapes pass
+/// through verbatim (they will fail parameter validation downstream).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes a complete `Connection: close` response with a JSONL body.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller drops the connection).
+pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Status",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/jsonl\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, String> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_target_query_and_headers() {
+        let req = parse(
+            "GET /plan?logical_qubits=24&device_qubits=30000&note=a+b%2Fc HTTP/1.1\r\n\
+             Host: localhost\r\n\
+             \r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/plan");
+        assert_eq!(req.param("logical_qubits"), Some("24"));
+        assert_eq!(req.param("device_qubits"), Some("30000"));
+        assert_eq!(req.param("note"), Some("a b/c"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn empty_connection_is_none_and_garbage_is_an_error() {
+        assert!(parse("").unwrap().is_none());
+        assert!(parse("not http\r\n\r\n").is_err());
+        assert!(parse("GET /x SPDY/9\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nunterminated").is_err());
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "{\"row\":\"~planner-error\"}\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 25\r\n"));
+        assert!(text.ends_with("{\"row\":\"~planner-error\"}\n"));
+    }
+}

@@ -200,7 +200,11 @@ pub(crate) fn unit_interval(seed: u64) -> f64 {
 /// sleeps past the deadline for [`FaultKind::Stall`].
 /// [`FaultKind::Disconnect`] is handled by the farm worker before the
 /// evaluation starts and is a no-op here.
-pub(crate) fn inject(kind: FaultKind, point_id: usize, timeout_secs: Option<f64>) {
+///
+/// Public so other fault-guarded execution paths (the planner service's
+/// exact-compute requests) can plant the same faults the sweep runner
+/// does; production code never calls it without a configured plan.
+pub fn inject(kind: FaultKind, point_id: usize, timeout_secs: Option<f64>) {
     match kind {
         FaultKind::Panic => panic!("chaos: planted panic at point {point_id}"),
         FaultKind::Stall => {

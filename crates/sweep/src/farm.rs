@@ -888,6 +888,16 @@ fn backoff_base(attempt: u32) -> f64 {
     (0.1 * f64::powi(2.0, attempt.min(16) as i32)).min(2.0)
 }
 
+/// Exit status of a worker whose `--max-reconnect-secs` budget ran out:
+/// the coordinator kept accepting connections but never completed a
+/// session, so the worker is orphaned rather than released. Distinct
+/// from 0 (released/clean), 1 (quarantined points) and 2 (usage/IO).
+pub const WORKER_ORPHANED_EXIT: i32 = 3;
+
+/// Error-message prefix [`run_worker`] uses for the give-up path, so
+/// `run_sweep_or_exit` can map it to [`WORKER_ORPHANED_EXIT`].
+pub(crate) const ORPHANED_PREFIX: &str = "worker orphaned: ";
+
 /// Runs the worker side of a farm sweep (`--worker <addr>`): joins the
 /// coordinator at `addr`, evaluates leased points (with `opts.threads`
 /// threads inside each lease) until the coordinator sends the finish
@@ -934,12 +944,26 @@ where
     let failed_attempts = AtomicUsize::new(0);
     let mut joined = false;
     let mut reconnects = 0u32;
+    // Armed on the first reconnect attempt, cleared by a completed
+    // handshake: how long this worker has been without a session.
+    let mut orphaned_since: Option<Instant> = None;
 
     'sessions: loop {
         // A first connection waits out a coordinator that has not bound
         // its listener yet; a *re*connection gets a short patience — the
         // likeliest reason the link died is that the sweep finished.
         if joined {
+            if let Some(budget) = opts.max_reconnect_secs {
+                let since = *orphaned_since.get_or_insert_with(Instant::now);
+                if since.elapsed().as_secs_f64() > budget {
+                    return Err(format!(
+                        "{ORPHANED_PREFIX}no completed session with {addr} for \
+                         {:.1}s (--max-reconnect-secs {budget}) — giving up \
+                         instead of reconnecting forever",
+                        since.elapsed().as_secs_f64(),
+                    ));
+                }
+            }
             let delay = backoff_base(reconnects) * (1.0 + jitter());
             std::thread::sleep(Duration::from_secs_f64(delay));
             reconnects += 1;
@@ -990,6 +1014,7 @@ where
             Err(_) => continue 'sessions, // handshake raced the shutdown
         };
         joined = true;
+        orphaned_since = None;
         // The coordinator's seed, not ours: every worker derives the
         // exact per-point streams of a single-process run.
         let root = SeedSequence::new(seed).derive(spec.name());

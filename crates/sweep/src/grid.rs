@@ -1,0 +1,332 @@
+//! Artifact → grid reconstruction: reading a sweep's JSONL checkpoint
+//! back into a dense, point-id-ordered value grid.
+//!
+//! The runner writes one row per grid point (plus meta stamps), in
+//! point-id order for a clean run but in *any* order after resumes,
+//! shard merges or farm re-leases. Consumers that want the grid as a
+//! grid — surrogate-surface fitting in `eftq_planner`, figure plotting,
+//! regression diffs — need the inverse of the emitter: match every row
+//! back to its [`SweepSpec`] point and lay the metrics out densely.
+//! [`ArtifactGrid`] is that inverse, with the same matching rules the
+//! resume scanner uses ([`AxisValue::loosely_equals`] promotion, config
+//! stamp verification) and hard errors where resume is lenient: a
+//! missing, duplicated or quarantined point is a broken grid here, not
+//! work to redo.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::jsonl::parse_row;
+use crate::rows::Row;
+use crate::runner::row_covers_point;
+use crate::spec::SweepSpec;
+
+/// Label of the configuration stamp row (kept in sync with the runner).
+const META_LABEL: &str = "~sweep-config";
+
+/// A sweep artifact reconstructed as a dense grid: exactly one data row
+/// per [`SweepSpec`] point, stored in point-id order.
+#[derive(Clone, Debug)]
+pub struct ArtifactGrid {
+    spec: SweepSpec,
+    rows: Vec<Row>,
+}
+
+impl ArtifactGrid {
+    /// Reads a JSONL artifact and matches its rows onto `spec`'s grid.
+    ///
+    /// # Errors
+    ///
+    /// Anything that would make the grid unusable as data: unreadable
+    /// or malformed lines, a configuration-stamp mismatch, rows for a
+    /// foreign spec, `~sweep-error` quarantine rows, duplicate
+    /// coverage, or missing points.
+    pub fn from_artifact(spec: &SweepSpec, path: &Path) -> Result<Self, String> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| format!("cannot read artifact {}: {e}", path.display()))?;
+        let mut rows = Vec::new();
+        for (idx, line) in BufReader::new(file).lines().enumerate() {
+            let line = line.map_err(|e| format!("artifact {}: {e}", path.display()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row = parse_row(&line).map_err(|e| {
+                format!(
+                    "artifact {}:{}: malformed line: {e}",
+                    path.display(),
+                    idx + 1
+                )
+            })?;
+            rows.push(row);
+        }
+        Self::from_rows(spec, rows).map_err(|e| format!("artifact {}: {e}", path.display()))
+    }
+
+    /// Matches already-parsed rows onto `spec`'s grid. Configuration
+    /// stamps are verified and dropped; see [`ArtifactGrid::from_artifact`]
+    /// for the error contract.
+    pub fn from_rows(spec: &SweepSpec, rows: Vec<Row>) -> Result<Self, String> {
+        let points = spec.points();
+        let mut matched: Vec<Option<Row>> = vec![None; points.len()];
+        for row in rows {
+            if row.label() == META_LABEL {
+                if row.get_str("spec") == Some(spec.name())
+                    && row.get_str("config") != spec.config()
+                {
+                    return Err(format!(
+                        "configuration stamp {:?} does not match the spec's {:?}",
+                        row.get_str("config").unwrap_or("<none>"),
+                        spec.config().unwrap_or("<none>"),
+                    ));
+                }
+                continue;
+            }
+            if row.is_sweep_error() && row.get_str("spec") == Some(spec.name()) {
+                return Err(format!(
+                    "quarantined point ({}) — resume the sweep to heal it before \
+                     fitting a grid",
+                    row.get_str("message").unwrap_or("no message"),
+                ));
+            }
+            if row.label() != spec.name() {
+                return Err(format!(
+                    "row tagged '{}' does not belong to sweep '{}'",
+                    row.label(),
+                    spec.name(),
+                ));
+            }
+            let Some(i) = points.iter().position(|p| row_covers_point(&row, p)) else {
+                return Err(format!(
+                    "row matches no grid point of '{}' (stale axes?): {}",
+                    spec.name(),
+                    row.to_json_row(),
+                ));
+            };
+            if matched[i].is_some() {
+                return Err(format!(
+                    "point {i} is covered twice — the artifact is not a clean grid"
+                ));
+            }
+            matched[i] = Some(row);
+        }
+        let missing: Vec<usize> = matched
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i)
+            .take(8)
+            .collect();
+        if !missing.is_empty() {
+            let total = matched.iter().filter(|r| r.is_none()).count();
+            return Err(format!(
+                "{total} of {} grid points have no row (point ids {}{}) — \
+                 the sweep is incomplete",
+                points.len(),
+                missing
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if total > missing.len() { ", ..." } else { "" },
+            ));
+        }
+        Ok(ArtifactGrid {
+            spec: spec.clone(),
+            rows: matched.into_iter().map(Option::unwrap).collect(),
+        })
+    }
+
+    /// The spec whose grid this artifact covers.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Number of grid points (`spec().num_points()`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the grid has no points (a spec with an empty axis).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The matched rows in point-id order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The row for grid point `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn row(&self, id: usize) -> &Row {
+        &self.rows[id]
+    }
+
+    /// Names of the numeric metrics present in *every* row, excluding
+    /// the axis columns — the fields a surface can be fitted over.
+    /// Sorted for determinism.
+    pub fn metric_names(&self) -> Vec<String> {
+        let axes: BTreeSet<&str> = self.spec.axes().iter().map(|a| a.name.as_str()).collect();
+        let mut names: BTreeSet<&str> = match self.rows.first() {
+            Some(first) => first
+                .keys()
+                .filter(|k| *k != "row" && !axes.contains(k) && first.get_num(k).is_some())
+                .collect(),
+            None => BTreeSet::new(),
+        };
+        for row in &self.rows[1..] {
+            names.retain(|k| row.get_num(k).is_some());
+        }
+        names.into_iter().map(str::to_string).collect()
+    }
+
+    /// The metric's value at every grid point, in point-id order
+    /// (`NaN` where the artifact recorded `null`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first point whose row lacks the
+    /// metric as a number.
+    pub fn metric(&self, name: &str) -> Result<Vec<f64>, String> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.get_num(name).ok_or_else(|| {
+                    format!(
+                        "metric '{name}' is missing or non-numeric at point {i} of '{}'",
+                        self.spec.name(),
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep, SweepOptions};
+    use crate::spec::SweepPoint;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("grid-test")
+            .axis_ints("n", [2, 4, 8])
+            .axis_nums("p", [0.1, 0.5])
+            .axis_strs("model", ["a", "b"])
+    }
+
+    fn eval(point: &SweepPoint) -> Row {
+        Row::new("grid-test")
+            .int("n", point.int("n"))
+            .num("p", point.num("p"))
+            .str("model", point.str("model"))
+            .num("value", point.int("n") as f64 * point.num("p"))
+            .int("count", point.int("n") * 10)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eftq-grid-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_a_sweep_artifact() {
+        let spec = spec().with_config("reduced");
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(path.clone()),
+                threads: 4,
+                ..SweepOptions::default()
+            },
+            |p, _| eval(p),
+        )
+        .unwrap();
+        let grid = ArtifactGrid::from_artifact(&spec, &path).unwrap();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid.metric_names(), vec!["count", "value"]);
+        let values = grid.metric("value").unwrap();
+        for (i, point) in spec.points().iter().enumerate() {
+            assert_eq!(values[i], point.int("n") as f64 * point.num("p"));
+            assert!(row_covers_point(grid.row(i), point));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn matches_rows_in_any_order() {
+        let spec = spec();
+        let mut rows: Vec<Row> = spec.points().iter().map(eval).collect();
+        rows.reverse();
+        let grid = ArtifactGrid::from_rows(&spec, rows).unwrap();
+        assert_eq!(grid.row(0).get_int("n"), Some(2));
+        assert_eq!(grid.metric("count").unwrap()[0], 20.0);
+    }
+
+    #[test]
+    fn rejects_incomplete_duplicate_foreign_and_quarantined() {
+        let spec = spec();
+        let points = spec.points();
+        let full: Vec<Row> = points.iter().map(eval).collect();
+
+        let missing = full[1..].to_vec();
+        let err = ArtifactGrid::from_rows(&spec, missing).unwrap_err();
+        assert!(err.contains("1 of 12"), "{err}");
+
+        let mut dup = full.clone();
+        dup.push(eval(&points[3]));
+        let err = ArtifactGrid::from_rows(&spec, dup).unwrap_err();
+        assert!(err.contains("covered twice"), "{err}");
+
+        let mut foreign = full.clone();
+        foreign.push(Row::new("other").int("n", 2));
+        let err = ArtifactGrid::from_rows(&spec, foreign).unwrap_err();
+        assert!(err.contains("does not belong"), "{err}");
+
+        let mut poisoned = full.clone();
+        poisoned[5] = points[5].error_row("grid-test", "panic", "boom", 1);
+        let err = ArtifactGrid::from_rows(&spec, poisoned).unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+
+        let mut off_grid = full;
+        off_grid[2] = Row::new("grid-test")
+            .int("n", 3)
+            .num("p", 0.1)
+            .str("model", "a")
+            .num("value", 0.0);
+        let err = ArtifactGrid::from_rows(&spec, off_grid).unwrap_err();
+        assert!(err.contains("no grid point"), "{err}");
+    }
+
+    #[test]
+    fn verifies_the_configuration_stamp() {
+        let spec = spec().with_config("full");
+        let mut rows = vec![Row::new(META_LABEL)
+            .str("spec", "grid-test")
+            .str("config", "reduced")];
+        rows.extend(spec.points().iter().map(eval));
+        let err = ArtifactGrid::from_rows(&spec, rows).unwrap_err();
+        assert!(err.contains("configuration stamp"), "{err}");
+    }
+
+    #[test]
+    fn metric_errors_name_the_point() {
+        let spec = SweepSpec::new("grid-test").axis_ints("n", [2, 4]);
+        let rows = vec![
+            Row::new("grid-test").int("n", 2).num("value", 1.0),
+            Row::new("grid-test").int("n", 4).str("value", "oops"),
+        ];
+        let grid = ArtifactGrid::from_rows(&spec, rows).unwrap();
+        assert!(grid.metric_names().is_empty());
+        let err = grid.metric("value").unwrap_err();
+        assert!(err.contains("point 1"), "{err}");
+    }
+}

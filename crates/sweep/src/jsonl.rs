@@ -86,6 +86,12 @@ impl Parser<'_> {
         }
     }
 
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+            .map_err(|e| format!("bad \\u escape: {e}"))
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -106,15 +112,27 @@ impl Parser<'_> {
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            let hi = self.hex4(self.pos + 1)?;
+                            let code = if (0xD800..=0xDBFF).contains(&hi) {
+                                // Foreign JSONL encoders escape astral-plane
+                                // characters as UTF-16 surrogate pairs
+                                // (`\uD83D\uDE00` for U+1F600); our writer
+                                // never does, but the resume scanner must
+                                // read them back.
+                                if self.bytes.get(self.pos + 5) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 6) != Some(&b'u')
+                                {
+                                    return Err(format!("unpaired high surrogate {hi:#x}"));
+                                }
+                                let lo = self.hex4(self.pos + 7)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(format!("bad low surrogate {lo:#x}"));
+                                }
+                                self.pos += 6;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
                             out.push(
                                 char::from_u32(code)
                                     .ok_or_else(|| format!("bad \\u code point {code:#x}"))?,
@@ -222,6 +240,35 @@ mod tests {
     fn parses_unicode_escapes() {
         let r = parse_row("{\"row\":\"t\",\"s\":\"a\\u0007b\"}").unwrap();
         assert_eq!(r.get_str("s"), Some("a\u{7}b"));
+    }
+
+    #[test]
+    fn combines_surrogate_pairs() {
+        let line = "{\"row\":\"t\",\"s\":\"a\\ud83d\\ude00b\"}";
+        let r = parse_row(line).unwrap();
+        assert_eq!(r.get_str("s"), Some("a\u{1F600}b"));
+        // Re-serialization writes the astral char as raw UTF-8.
+        assert_eq!(
+            parse_row(&r.to_json_row()).unwrap().get_str("s"),
+            Some("a\u{1F600}b")
+        );
+    }
+
+    #[test]
+    fn rejects_broken_surrogates_and_truncated_escapes() {
+        for (bad, why) in [
+            ("{\"s\":\"\\ud83d\"}", "lone high surrogate at string end"),
+            ("{\"s\":\"\\ud83dx\"}", "high surrogate then raw char"),
+            ("{\"s\":\"\\ud83d\\n\"}", "high surrogate then other escape"),
+            ("{\"s\":\"\\ud83d\\ud83d\"}", "two high surrogates"),
+            ("{\"s\":\"\\ude00\"}", "lone low surrogate"),
+            ("{\"s\":\"\\ud83d\\ude0", "truncated low escape"),
+            ("{\"s\":\"\\u00", "truncated escape"),
+            ("{\"s\":\"\\u", "bare \\u at end"),
+            ("{\"s\":\"\\uzzzz\"}", "non-hex escape"),
+        ] {
+            assert!(parse_row(bad).is_err(), "{why}: {bad:?}");
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`Row`] — the flat JSONL output row (re-exported by `eftq_bench`
 //!   for the binaries), with a parser ([`jsonl::parse_row`]) that
 //!   round-trips every line the runner writes.
+//! * [`ArtifactGrid`] — the emitter's inverse: an artifact read back as
+//!   a dense, point-id-ordered grid (the surrogate-surface input for
+//!   `eftq_planner`).
 //! * [`farm`] — distributed execution: `--farm addr` turns a run into a
 //!   lease-based coordinator and `--worker addr` turns the same binary
 //!   into a worker that joins it over the TCP/JSONL [`protocol`].
@@ -63,6 +66,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod farm;
+pub mod grid;
 pub mod jsonl;
 pub mod protocol;
 pub mod rows;
@@ -71,7 +75,8 @@ pub mod spec;
 
 pub use cache::ArtifactCache;
 pub use chaos::{FaultKind, FaultPlan};
-pub use farm::{Completion, FailVerdict, FarmState, LeaseGrant};
+pub use farm::{Completion, FailVerdict, FarmState, LeaseGrant, WORKER_ORPHANED_EXIT};
+pub use grid::ArtifactGrid;
 pub use protocol::Msg;
 pub use rows::{json_mode, Row, ERROR_LABEL};
 pub use runner::{

@@ -93,6 +93,11 @@ impl Row {
         self.label() == ERROR_LABEL
     }
 
+    /// The field names in insertion order (the `row` label first).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(k, _)| k.as_str())
+    }
+
     /// Float field accessor; integer fields promote (JSON cannot tell
     /// `1.0` from `1`).
     pub fn get_num(&self, key: &str) -> Option<f64> {

@@ -159,6 +159,13 @@ pub struct SweepOptions {
     /// Farm lease duration in seconds (`--lease-secs`): how long a
     /// granted batch may stay silent before its points are re-leased.
     pub lease_secs: f64,
+    /// Give-up budget for a worker's reconnection loop
+    /// (`--max-reconnect-secs S`): a worker that cannot reach the
+    /// coordinator for this long in a row exits with status
+    /// [`WORKER_ORPHANED_EXIT`](crate::farm::WORKER_ORPHANED_EXIT)
+    /// and a clear message instead of backing off forever. `None`
+    /// (the default) retries indefinitely.
+    pub max_reconnect_secs: Option<f64>,
     /// Re-evaluation budget for failed points (`--retries N`): a point
     /// whose evaluation panics or overruns the deadline is retried up to
     /// `N` more times (same per-point seed), then quarantined as a
@@ -192,6 +199,7 @@ impl Default for SweepOptions {
             farm: None,
             worker: None,
             lease_secs: crate::farm::DEFAULT_LEASE_SECS,
+            max_reconnect_secs: None,
             retries: 0,
             point_timeout_secs: None,
             fault_plan: None,
@@ -203,8 +211,8 @@ impl SweepOptions {
     /// Parses the standard sweep flags from the process arguments:
     /// `--threads N`, `--resume PATH`, `--points FILTER`, `--shard k/N`,
     /// `--merge P1,P2,...` (repeatable), `--farm ADDR`, `--worker ADDR`,
-    /// `--lease-secs S`, `--retries N`, `--point-timeout-secs S`,
-    /// `--summary`, `--json` (all also
+    /// `--lease-secs S`, `--max-reconnect-secs S`, `--retries N`,
+    /// `--point-timeout-secs S`, `--summary`, `--json` (all also
     /// accepted as `--flag=value`). Unrecognized arguments are ignored
     /// so binaries can add their own flags; progress reporting is
     /// enabled, `EFT_JSON=1` also turns on JSONL echo, and
@@ -278,6 +286,16 @@ impl SweepOptions {
                 if !(opts.lease_secs > 0.0 && opts.lease_secs.is_finite()) {
                     return Err(format!("--lease-secs {v}: must be a positive duration"));
                 }
+            } else if let Some(v) = value_of("--max-reconnect-secs", &arg, &mut it) {
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|e| format!("--max-reconnect-secs {v}: {e} (expected seconds)"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(format!(
+                        "--max-reconnect-secs {v}: must be a positive duration"
+                    ));
+                }
+                opts.max_reconnect_secs = Some(secs);
             } else if let Some(v) = value_of("--retries", &arg, &mut it) {
                 opts.retries = v
                     .parse()
@@ -301,6 +319,7 @@ impl SweepOptions {
                 "--farm",
                 "--worker",
                 "--lease-secs",
+                "--max-reconnect-secs",
                 "--retries",
                 "--point-timeout-secs",
             ]
@@ -528,16 +547,27 @@ where
     let mut error_points: BTreeSet<usize> = BTreeSet::new();
     let mut unmatched_lines = 0usize;
     let mut malformed_lines = 0usize;
+    // `file:line` locations of the first few offenders of each kind, so
+    // the resume report can say *where* the damage is, not just how much.
+    let mut unmatched_at: Vec<String> = Vec::new();
+    let mut malformed_at: Vec<String> = Vec::new();
+    fn note_line(at: &mut Vec<String>, path: &Path, lineno: usize) {
+        if at.len() < 8 {
+            at.push(format!("{}:{lineno}", path.display()));
+        }
+    }
     let mut scan = |path: &PathBuf, source: RowSource| -> Result<(), String> {
         let file = File::open(path)
             .map_err(|e| format!("cannot read artifact {}: {e}", path.display()))?;
-        for line in BufReader::new(file).lines() {
+        for (idx, line) in BufReader::new(file).lines().enumerate() {
+            let lineno = idx + 1;
             let line = line.map_err(|e| format!("artifact {}: {e}", path.display()))?;
             if line.trim().is_empty() {
                 continue;
             }
             let Ok(row) = parse_row(&line) else {
                 malformed_lines += 1;
+                note_line(&mut malformed_at, path, lineno);
                 continue;
             };
             // Configuration stamp: rows computed under a different
@@ -572,7 +602,10 @@ where
                     Some(i) => {
                         resumed.entry(i).or_insert((row, source));
                     }
-                    None => unmatched_lines += 1,
+                    None => {
+                        unmatched_lines += 1;
+                        note_line(&mut unmatched_at, path, lineno);
+                    }
                 }
                 continue;
             }
@@ -584,6 +617,7 @@ where
                     .is_some();
             if !matched {
                 unmatched_lines += 1;
+                note_line(&mut unmatched_at, path, lineno);
             }
         }
         Ok(())
@@ -597,6 +631,22 @@ where
         // Merge inputs are named explicitly, so a missing one is an
         // error (a lost shard), not an empty resume.
         scan(path, RowSource::Merge)?;
+    }
+    // Foreign or damaged lines veto compaction (below) — say *where*
+    // they are, not just how many, so the operator can repair the file.
+    for (kind, count, at) in [
+        ("malformed", malformed_lines, &malformed_at),
+        ("unmatched", unmatched_lines, &unmatched_at),
+    ] {
+        if count > 0 {
+            eprintln!(
+                "[{}] resume: {count} {kind} line(s) kept verbatim at {}{} — \
+                 compaction stays disabled while they remain",
+                spec.name(),
+                at.join(", "),
+                if count > at.len() { ", ..." } else { "" },
+            );
+        }
     }
     // Any matched error line marks the artifact for compaction; a
     // quarantined point that also has a good row (an interrupted resume
@@ -771,6 +821,11 @@ where
 {
     let report = run_sweep(spec, opts, eval).unwrap_or_else(|e| {
         eprintln!("{}: {e}", spec.name());
+        // A worker that exhausted --max-reconnect-secs is orphaned, not
+        // misconfigured: give schedulers a distinct status to key on.
+        if e.starts_with(crate::farm::ORPHANED_PREFIX) {
+            std::process::exit(crate::farm::WORKER_ORPHANED_EXIT);
+        }
         std::process::exit(2);
     });
     if opts.worker.is_some() {
@@ -839,6 +894,10 @@ fn compact_artifact(path: &Path, spec: &SweepSpec, rows: &[Row]) -> Result<(), S
         file.flush()
     };
     write_all().map_err(context)?;
+    // fsync before the rename: rename alone only orders metadata, so a
+    // crash right after it could surface an empty-but-renamed artifact.
+    // With sync_all the data is durable before the name flips.
+    file.sync_all().map_err(context)?;
     std::fs::rename(&tmp, path).map_err(context)
 }
 
@@ -1962,6 +2021,38 @@ mod tests {
             all.iter().any(|l| l.contains("~sweep-error")),
             "no compaction: the stale error line is left in place"
         );
+    }
+
+    #[test]
+    fn compaction_tmp_file_never_survives() {
+        let spec = spec().with_config("reduced");
+        let path = tmp("compact-fsync.jsonl");
+        let tmp_path = path.with_extension("compact-tmp");
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            artifact: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        // Quarantine one point, then resume with the fault gone so the
+        // dirty artifact compacts on the way out.
+        run_sweep(&spec, &opts, poisoned_eval).unwrap();
+        run_sweep(&spec, &opts, eval).unwrap();
+        assert!(
+            !tmp_path.exists(),
+            "compaction temp survives: {}",
+            tmp_path.display()
+        );
+        assert_eq!(lines(&path).len(), 13, "stamp + 12 compacted rows");
+        // Direct rewrite over an existing artifact: the fsync+rename
+        // path must consume the temp file too.
+        let rows: Vec<Row> = lines(&path)
+            .iter()
+            .skip(1)
+            .map(|l| parse_row(l).unwrap())
+            .collect();
+        compact_artifact(&path, &spec, &rows).unwrap();
+        assert!(!tmp_path.exists());
+        assert_eq!(lines(&path).len(), 13);
     }
 
     #[test]

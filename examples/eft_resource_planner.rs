@@ -1,43 +1,89 @@
-//! EFT deployment planner: given a VQA size and a device, compare every
-//! execution strategy the paper studies and print a recommendation.
+//! EFT deployment planner: given a VQA size and a device, answer from
+//! the planner's surrogate surfaces first, then cross-check with the
+//! exact advisor and print the full per-strategy breakdown.
 //!
 //! This is the "which regime should my program use?" workflow that
-//! Figures 4-6 motivate: pQEC at the device frontier, conventional
-//! distillation when space is abundant, cultivation in between.
+//! Figures 4-6 motivate — and the same answer path the
+//! `eft_planner_serve` service exposes over HTTP: a microsecond
+//! surrogate lookup (interpolated over the advisor grid), degraded with
+//! a warning when the query leaves the sampled region, backed by exact
+//! recomputation when time allows.
 //!
 //! ```sh
 //! cargo run --release --example eft_resource_planner -- [logical_qubits] [device_qubits]
 //! ```
 
+use std::time::Instant;
+
+use eft_vqa::advisor::plan;
 use eft_vqa::fidelity::{
     conventional_fidelity, cultivation_fidelity, nisq_fidelity, pqec_fidelity, Workload,
 };
 use eftq_layout::layouts::LayoutModel;
+use eftq_planner::index::{metric_strategy, ADVISOR_METRICS, ADVISOR_P_PHYS, ADVISOR_SPEC};
+use eftq_planner::SurfaceIndex;
 use eftq_qec::{DeviceModel, FACTORY_CATALOG};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
     let device_qubits: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
-    let device = DeviceModel::new(device_qubits, 1e-3);
+    let device = DeviceModel::new(device_qubits, ADVISOR_P_PHYS);
     let workload = Workload::fche(n, 1);
 
     println!("== EFT resource plan: {n}-qubit FCHE VQA on a {device_qubits}-qubit device ==\n");
 
+    // The surrogate index the planner service answers from: the advisor
+    // grid evaluated exactly once, then interpolated per query.
+    let t_fit = Instant::now();
+    let mut index = SurfaceIndex::new();
+    index
+        .add_advisor_grid()
+        .expect("advisor grid always builds");
+    let fit_time = t_fit.elapsed();
+
+    let t_query = Instant::now();
+    let mut surrogate_best: Option<(&str, f64)> = None;
+    let mut clamped = false;
+    for metric in ADVISOR_METRICS {
+        let surface = index
+            .get(&format!("{ADVISOR_SPEC}/{metric}"))
+            .and_then(|f| f.surface(&[]))
+            .expect("advisor surfaces registered");
+        let hit = surface.eval(&[device_qubits as f64, n as f64]);
+        clamped |= hit.clamped;
+        if surrogate_best.is_none() || hit.value > surrogate_best.unwrap().1 {
+            surrogate_best = Some((metric, hit.value));
+        }
+    }
+    let query_time = t_query.elapsed();
+    let (surrogate_metric, surrogate_fidelity) = surrogate_best.expect("metrics non-empty");
+    println!(
+        "surrogate answer: {} (fidelity {:.4}) in {:.1?} — grid fitted in {:.0?}{}",
+        metric_strategy(surrogate_metric),
+        surrogate_fidelity,
+        query_time,
+        fit_time,
+        if clamped {
+            "\n  [degraded: query outside the sampled grid, clamped extrapolation]"
+        } else {
+            ""
+        }
+    );
+
     // Layout footprint.
     let layout = LayoutModel::proposed();
     println!(
-        "proposed layout: {} tiles, packing efficiency {:.1}%, {} parallel injection sites",
+        "\nproposed layout: {} tiles, packing efficiency {:.1}%, {} parallel injection sites",
         layout.total_tiles(n),
         100.0 * layout.packing_efficiency(n),
         layout.parallel_injection_sites(n)
     );
 
-    // NISQ baseline.
+    // Exact per-strategy breakdown (what the surrogate interpolates).
     let nisq = nisq_fidelity(&workload, device.p_phys);
     println!("\n{:<28} fidelity {:.4}", "NISQ (no QEC)", nisq);
 
-    // pQEC.
     match pqec_fidelity(&workload, &device) {
         Some(r) => println!(
             "{:<28} fidelity {:.4}   (d = {}, {} physical qubits)",
@@ -46,7 +92,6 @@ fn main() {
         None => println!("{:<28} does not fit", "pQEC"),
     }
 
-    // Conventional distillation, every factory.
     for factory in &FACTORY_CATALOG {
         match conventional_fidelity(&workload, &device, factory) {
             Some(r) => println!(
@@ -65,7 +110,6 @@ fn main() {
         }
     }
 
-    // Cultivation.
     match cultivation_fidelity(&workload, &device) {
         Some(r) => println!(
             "{:<28} fidelity {:.4}   (d = {}, {} units)",
@@ -74,28 +118,18 @@ fn main() {
         None => println!("{:<28} does not fit", "Clifford+T cultivation"),
     }
 
-    // Recommendation.
-    let mut best_name = "NISQ";
-    let mut best = nisq;
-    if let Some(r) = pqec_fidelity(&workload, &device) {
-        if r.fidelity > best {
-            best = r.fidelity;
-            best_name = "pQEC";
-        }
-    }
-    for factory in &FACTORY_CATALOG {
-        if let Some(r) = conventional_fidelity(&workload, &device, factory) {
-            if r.fidelity > best {
-                best = r.fidelity;
-                best_name = factory.name;
-            }
-        }
-    }
-    if let Some(r) = cultivation_fidelity(&workload, &device) {
-        if r.fidelity > best {
-            best = r.fidelity;
-            best_name = "cultivation";
-        }
-    }
-    println!("\nrecommendation: {best_name} (iteration fidelity {best:.4})");
+    // Exact recommendation, and how far the surrogate was from it.
+    let exact = plan(&workload, &device);
+    let best = exact.best();
+    println!(
+        "\nrecommendation (exact): {:?} (iteration fidelity {:.4}, margin {:.4})",
+        best.strategy,
+        best.fidelity,
+        exact.margin()
+    );
+    println!(
+        "surrogate vs exact:     {:+.2e} fidelity error{}",
+        surrogate_fidelity - best.fidelity,
+        if clamped { " (extrapolated)" } else { "" }
+    );
 }

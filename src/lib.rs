@@ -19,13 +19,14 @@
 //!
 //! ```text
 //! numerics → {pauli, sweep} → {circuit, stabilizer, statesim}
-//!          → {qec → layout} → optim → core (eft_vqa) → bench
+//!          → {qec → layout} → optim → core (eft_vqa) → {bench, planner}
 //! ```
 //!
 //! The [`sweep`] layer is the resumable, parallel sweep engine every
-//! figure/table binary runs on; [`prelude`] collects the common types
-//! (circuits, Hamiltonians, estimators, sweep specs) for one-line
-//! imports.
+//! figure/table binary runs on; [`planner`] serves surrogate surfaces
+//! fitted over its checked-in artifacts behind a deadline-aware query
+//! server; [`prelude`] collects the common types (circuits,
+//! Hamiltonians, estimators, sweep specs) for one-line imports.
 //!
 //! # Examples
 //!
@@ -48,6 +49,7 @@ pub use eftq_layout as layout;
 pub use eftq_numerics as numerics;
 pub use eftq_optim as optim;
 pub use eftq_pauli as pauli;
+pub use eftq_planner as planner;
 pub use eftq_qec as qec;
 pub use eftq_stabilizer as stabilizer;
 pub use eftq_statesim as statesim;

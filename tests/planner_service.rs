@@ -1,0 +1,443 @@
+//! Robustness suite for the planner service (`crates/planner`): a
+//! poisoned, overloaded `eft_planner_serve` must shed load and degrade
+//! answers, but never wedge, corrupt a response, or drop a request it
+//! admitted.
+//!
+//! The chaos soak drives a server whose exact-compute path is poisoned
+//! via the PR-7 fault plan (`panic~…`, `stall~…`) from many client
+//! threads at once, past its admission queue bound, and asserts every
+//! single connection receives a complete, parseable JSONL answer with
+//! one of the documented statuses. The SIGTERM test uses the repo's
+//! self-exec pattern (`current_exe()` + `--exact`) so the drain is
+//! exercised by a genuine signal against a live process.
+
+use eft_vqa_repro::planner::{serve, ServerConfig, SurfaceIndex};
+use eft_vqa_repro::sweep::jsonl::parse_row;
+use eft_vqa_repro::sweep::FaultPlan;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eftq-planner-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The advisor-only surrogate index (fast to build, no disk involved).
+fn advisor_index() -> SurfaceIndex {
+    let mut index = SurfaceIndex::new();
+    index.add_advisor_grid().expect("advisor grid builds");
+    index
+}
+
+/// One full HTTP exchange. `Err` only for transport failures — a
+/// well-behaved server never produces one.
+fn raw_get(addr: SocketAddr, target: &str) -> Result<(u16, String), String> {
+    raw_exchange(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn raw_exchange(addr: SocketAddr, wire: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(wire.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .ok_or_else(|| format!("no status in {status_line:?}"))?
+        .parse()
+        .map_err(|e| format!("bad status in {status_line:?}: {e}"))?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read headers: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        if line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader
+        .read_to_string(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok((status, body))
+}
+
+/// Asserts the response invariants every planner answer must satisfy,
+/// whatever chaos is active: documented status, parseable JSONL body,
+/// coherent degradation stamps.
+fn assert_clean(status: u16, body: &str, context: &str) {
+    assert!(
+        matches!(status, 200 | 400 | 404 | 429 | 503 | 504),
+        "{context}: undocumented status {status}: {body}"
+    );
+    assert!(
+        !body.is_empty(),
+        "{context}: empty body with status {status}"
+    );
+    for line in body.lines() {
+        let row = parse_row(line)
+            .unwrap_or_else(|e| panic!("{context}: corrupt JSONL line {line:?}: {e}"));
+        match row.label() {
+            "planner_plan" => {
+                assert_eq!(status, 200, "{context}: plan row with status {status}");
+                let fidelity = row.get_num("fidelity").expect("fidelity field");
+                assert!(fidelity.is_finite(), "{context}: non-finite fidelity");
+                let degraded = row.get_int("degraded").expect("degraded field");
+                assert!((0..=1).contains(&degraded), "{context}: bad degraded flag");
+                if degraded == 1 {
+                    let cause = row.get_str("cause").expect("degraded without cause");
+                    assert!(
+                        [
+                            "extrapolated",
+                            "deadline",
+                            "breaker_open",
+                            "exact_failed",
+                            "exact_overrun"
+                        ]
+                        .contains(&cause),
+                        "{context}: unknown degradation cause {cause:?}"
+                    );
+                }
+            }
+            "planner_lookup" => assert_eq!(status, 200, "{context}: lookup with {status}"),
+            "~planner-error" => {
+                assert_ne!(status, 200, "{context}: error row with status 200");
+                assert_eq!(row.get_int("status"), Some(i64::from(status)));
+                assert!(
+                    row.get_str("cause").is_some(),
+                    "{context}: error without cause"
+                );
+            }
+            "~planner-health" | "planner_surface" => {}
+            other => panic!("{context}: unexpected row label {other:?}"),
+        }
+    }
+}
+
+/// The headline soak: exact-compute poisoned with panics and stalls,
+/// more clients than workers, queries crossing the grid boundary and
+/// malformed wire garbage — every connection still gets one clean
+/// answer and the server drains afterwards.
+#[test]
+fn soak_poisoned_overloaded_server_stays_clean() {
+    let cfg = ServerConfig {
+        deadline: Duration::from_millis(250),
+        queue: 16,
+        workers: 3,
+        parsers: 2,
+        exact_budget: Duration::from_millis(5),
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(50),
+        fault_plan: Some(FaultPlan::parse("panic~0.4x9,stall~0.15x9").unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(advisor_index(), cfg).unwrap();
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 30;
+    let soak_start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut answered = 0usize;
+                for i in 0..PER_CLIENT {
+                    let k = c * PER_CLIENT + i;
+                    let (status, body) = match k % 6 {
+                        0 => raw_get(addr, "/plan?logical_qubits=24&device_qubits=30000"),
+                        // The poisoned path: panics and stalls live here.
+                        1 => raw_get(
+                            addr,
+                            &format!("/plan?logical_qubits={}&device_qubits=25000&exact=1", 8 + k % 40),
+                        ),
+                        2 => raw_get(
+                            addr,
+                            "/lookup?surface=planner_advisor/f_pqec&device_qubits=17500&logical_qubits=23",
+                        ),
+                        // Off-grid: must degrade, not fail.
+                        3 => raw_get(addr, "/plan?logical_qubits=900&device_qubits=200"),
+                        4 => raw_get(addr, "/healthz"),
+                        // Garbage: NaN params and a broken request line.
+                        _ if k % 2 == 0 => {
+                            raw_get(addr, "/lookup?surface=planner_advisor/f_nisq&device_qubits=NaN&logical_qubits=12")
+                        }
+                        _ => raw_exchange(addr, "BROKEN\r\n\r\n"),
+                    }
+                    .unwrap_or_else(|e| panic!("client {c} request {i}: transport failure: {e}"));
+                    assert_clean(status, &body, &format!("client {c} request {i}"));
+                    answered += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+    let answered: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(
+        answered,
+        CLIENTS * PER_CLIENT,
+        "every request must be answered"
+    );
+    assert!(
+        soak_start.elapsed() < Duration::from_secs(120),
+        "soak wedged: {:?}",
+        soak_start.elapsed()
+    );
+
+    // Liveness survived the soak, and the chaos actually bit.
+    let (status, body) = raw_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health = parse_row(body.trim()).unwrap();
+    assert_eq!(health.get_str("status"), Some("live"));
+    let stats = handle.stats();
+    let failures = stats
+        .exact_failures
+        .load(std::sync::atomic::Ordering::SeqCst);
+    let degraded = stats.degraded.load(std::sync::atomic::Ordering::SeqCst);
+    assert!(failures > 0, "fault plan planted no exact failures");
+    assert!(degraded > 0, "no request degraded under chaos");
+    assert!(
+        health.get_int("exact_failures").unwrap() >= 1,
+        "health must report the failures: {body}"
+    );
+
+    handle.drain();
+}
+
+/// Overload a one-worker server whose only worker is stalled: extra
+/// requests shed with 429 (or age out with 504) instead of queueing
+/// unboundedly, and `/healthz` keeps answering throughout.
+#[test]
+fn overload_sheds_with_clean_429s_and_health_stays_live() {
+    let cfg = ServerConfig {
+        deadline: Duration::from_millis(150),
+        queue: 2,
+        workers: 1,
+        parsers: 1,
+        exact_budget: Duration::from_millis(5),
+        breaker_threshold: 10,
+        breaker_cooldown: Duration::from_millis(50),
+        // Every exact attempt stalls for 2x the deadline.
+        fault_plan: Some(FaultPlan::parse("stall~1.0x9").unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(advisor_index(), cfg).unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker with a stalled exact request.
+    let jam = std::thread::spawn(move || {
+        raw_get(addr, "/plan?logical_qubits=24&device_qubits=30000&exact=1").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Burst past the queue bound while the worker sleeps.
+    let burst: Vec<_> = (0..10)
+        .map(|i| {
+            std::thread::spawn(move || {
+                raw_get(addr, "/plan?logical_qubits=16&device_qubits=20000")
+                    .unwrap_or_else(|e| panic!("burst {i}: {e}"))
+            })
+        })
+        .collect();
+    // Health answers while the evaluation stage is jammed.
+    let (status, body) = raw_get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200, "healthz under load: {body}");
+
+    let mut statuses = Vec::new();
+    for (i, t) in burst.into_iter().enumerate() {
+        let (status, body) = t.join().unwrap();
+        assert_clean(status, &body, &format!("burst {i}"));
+        statuses.push(status);
+    }
+    let (status, body) = jam.join().unwrap();
+    assert_clean(status, &body, "jammed exact request");
+    // The stalled request itself degrades (overrun) but is answered.
+    assert_eq!(status, 200, "{body}");
+    let row = parse_row(body.trim()).unwrap();
+    assert_eq!(row.get_int("degraded"), Some(1), "{body}");
+
+    let shed = statuses.iter().filter(|s| **s == 429).count();
+    let expired = statuses.iter().filter(|s| **s == 504).count();
+    assert!(
+        shed + expired > 0,
+        "burst past a full queue must shed or expire, got {statuses:?}"
+    );
+    handle.drain();
+}
+
+/// Shutdown mid-flight: requests already admitted (including one the
+/// stall fault is holding on the worker) are all answered before
+/// `join()` returns, and the listener refuses new work afterwards.
+#[test]
+fn drain_answers_every_admitted_request() {
+    let cfg = ServerConfig {
+        deadline: Duration::from_millis(200),
+        queue: 8,
+        workers: 1,
+        parsers: 1,
+        exact_budget: Duration::from_millis(5),
+        breaker_threshold: 100,
+        breaker_cooldown: Duration::from_millis(50),
+        fault_plan: Some(FaultPlan::parse("stall~1.0x9").unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(advisor_index(), cfg).unwrap();
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                raw_get(addr, "/plan?logical_qubits=24&device_qubits=30000&exact=1")
+                    .unwrap_or_else(|e| panic!("drain client {i}: {e}"))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+    handle.shutdown();
+    for (i, t) in clients.into_iter().enumerate() {
+        let (status, body) = t.join().unwrap();
+        assert_clean(status, &body, &format!("drain client {i}"));
+    }
+    handle.join();
+}
+
+/// The full baseline index serves `/surfaces` and a figure-surface
+/// lookup end to end (the same startup path CI's planner job uses).
+#[test]
+fn serves_the_checked_in_baseline_surfaces() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../ci/baselines");
+    let index = SurfaceIndex::load(&dir).unwrap();
+    let handle = serve(index, ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let (status, body) = raw_get(addr, "/surfaces").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.lines().count() > 4,
+        "expected many baseline surfaces, got: {body}"
+    );
+    assert!(body.contains("fig05/pqec_win_fraction"), "{body}");
+
+    let (status, body) = raw_get(
+        addr,
+        "/lookup?surface=fig05/pqec_win_fraction&device_qubits=10000&logical_qubits=12",
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let row = parse_row(body.trim()).unwrap();
+    let value = row.get_num("value").unwrap();
+    assert!((0.0..=1.0).contains(&value), "{body}");
+
+    let (status, _) = raw_get(addr, "/readyz").unwrap();
+    assert_eq!(status, 200);
+    handle.drain();
+}
+
+/// Child-process body for the SIGTERM test: serves the advisor index
+/// with a stall-everything fault plan until SIGTERM, drains, then
+/// writes a completion marker. A no-op under a normal test run.
+#[test]
+fn helper_planner_sigterm_child() {
+    let Ok(state_dir) = std::env::var("EFTQ_PLANNER_TEST_DIR") else {
+        return;
+    };
+    let state_dir = PathBuf::from(state_dir);
+    eft_vqa_repro::planner::install_sigterm_drain();
+    let cfg = ServerConfig {
+        deadline: Duration::from_millis(200),
+        exact_budget: Duration::from_millis(5),
+        fault_plan: Some(FaultPlan::parse("stall~1.0x9").unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(advisor_index(), cfg).unwrap();
+    std::fs::write(state_dir.join("addr"), handle.addr().to_string()).unwrap();
+    while !eft_vqa_repro::planner::sigterm_drain_requested() {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.drain();
+    std::fs::write(state_dir.join("drained"), "clean\n").unwrap();
+}
+
+/// SIGTERM against a live child process: the in-flight (stalled)
+/// request is still answered, the child exits 0, and its drain marker
+/// proves `join()` completed.
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_a_live_server_process() {
+    let state_dir = tmp("sigterm-state");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    std::fs::create_dir_all(&state_dir).unwrap();
+
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .args(["helper_planner_sigterm_child", "--exact", "--nocapture"])
+        .env("EFTQ_PLANNER_TEST_DIR", state_dir.to_str().unwrap())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sigterm helper");
+
+    // Wait for the child's listener.
+    let addr_path = state_dir.join("addr");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr: SocketAddr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_path) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "helper never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let (status, _) = raw_get(addr, "/readyz").unwrap();
+    assert_eq!(status, 200);
+
+    // Park a stalled exact request on the worker, then SIGTERM.
+    let inflight = std::thread::spawn(move || {
+        raw_get(addr, "/plan?logical_qubits=24&device_qubits=30000&exact=1")
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -TERM failed");
+
+    // The in-flight request is answered despite the drain.
+    let (status, body) = inflight.join().unwrap().expect("in-flight answered");
+    assert_clean(status, &body, "in-flight during SIGTERM");
+
+    // The child exits cleanly once drained.
+    let exit_deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(
+            Instant::now() < exit_deadline,
+            "child did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(exit.success(), "child exited {exit:?}");
+    let marker = std::fs::read_to_string(state_dir.join("drained")).expect("drain marker");
+    assert_eq!(marker.trim(), "clean");
+}

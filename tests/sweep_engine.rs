@@ -318,6 +318,90 @@ proptest! {
     }
 }
 
+/// Encodes every char of `s` as JSON `\uXXXX` escapes, astral-plane
+/// chars as UTF-16 surrogate pairs — the encoding style of foreign
+/// JSONL writers, which our own writer never produces.
+fn escape_everything(s: &str) -> String {
+    let mut out = String::new();
+    for ch in s.chars() {
+        let c = ch as u32;
+        if c < 0x10000 {
+            out.push_str(&format!("\\u{c:04x}"));
+        } else {
+            let v = c - 0x10000;
+            out.push_str(&format!(
+                "\\u{:04x}\\u{:04x}",
+                0xd800 + (v >> 10),
+                0xdc00 + (v & 0x3ff)
+            ));
+        }
+    }
+    out
+}
+
+/// Arbitrary unicode strings biased toward the decoder's edge cases:
+/// controls (always escaped by the writer), quotes/backslashes, BMP
+/// text, and astral-plane chars (surrogate pairs when `\u`-escaped).
+fn tricky_string(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .filter_map(|&c| char::from_u32(c % 0x110000))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Writer → decoder round-trip for arbitrary string payloads: the
+    /// parsed row re-serializes to the exact artifact line.
+    #[test]
+    fn jsonl_string_fields_round_trip(codes in proptest::collection::vec(0u32..0x110000, 0..48)) {
+        let s = tricky_string(&codes);
+        let line = Row::new("t").str("s", &s).to_json_row();
+        let row = eft_vqa_repro::sweep::jsonl::parse_row(&line).unwrap();
+        prop_assert_eq!(row.get_str("s"), Some(s.as_str()));
+        prop_assert_eq!(row.to_json_row(), line);
+    }
+
+    /// Foreign encoders escape *everything*, including surrogate pairs
+    /// for astral chars: the decoder must recover the identical string.
+    #[test]
+    fn jsonl_decodes_fully_escaped_foreign_lines(codes in proptest::collection::vec(0u32..0x110000, 0..48)) {
+        let s = tricky_string(&codes);
+        let line = format!("{{\"row\":\"t\",\"s\":\"{}\"}}", escape_everything(&s));
+        let row = eft_vqa_repro::sweep::jsonl::parse_row(&line).unwrap();
+        prop_assert_eq!(row.get_str("s"), Some(s.as_str()));
+    }
+
+    /// A `\u` escape cut anywhere — mid-hex, or between the halves of a
+    /// surrogate pair — is rejected, never panics, never truncates
+    /// silently.
+    #[test]
+    fn jsonl_rejects_truncated_escapes(codes in proptest::collection::vec(0u32..0x110000, 1..16), cut in 0usize..12) {
+        let mut s = tricky_string(&codes);
+        if s.is_empty() {
+            // All codes landed on surrogates: any char will do, the cut
+            // is what is under test.
+            s.push('a');
+        }
+        let escaped = escape_everything(&s);
+        // Cut inside the escape tail (the last escape is 6 bytes long),
+        // leaving the opening brace/quote intact.
+        let keep = escaped.len().saturating_sub(cut % 6 + 1);
+        let line = format!("{{\"row\":\"t\",\"s\":\"{}\"}}", &escaped[..keep]);
+        match eft_vqa_repro::sweep::jsonl::parse_row(&line) {
+            // Cutting exactly at an escape boundary leaves a valid
+            // shorter string — which must then be a prefix of the
+            // original (a widowed high surrogate is an error instead).
+            Ok(row) => {
+                let got = row.get_str("s").unwrap_or_default();
+                prop_assert!(s.starts_with(got), "{s:?} vs {got:?}");
+            }
+            Err(e) => prop_assert!(!e.is_empty()),
+        }
+    }
+}
+
 #[test]
 fn template_hoist_matches_per_genome_compilation() {
     // clifford_vqe (compiles the template internally) and an explicit
