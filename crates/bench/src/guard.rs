@@ -61,9 +61,19 @@ pub fn parse_bench_json(text: &str) -> Result<BTreeMap<String, i64>, String> {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Verdict {
     /// Within tolerance (ratio = new / reference).
-    Ok { id: String, ratio: f64 },
+    Ok {
+        id: String,
+        ratio: f64,
+        new_ns: i64,
+        ref_ns: i64,
+    },
     /// Timing regressed past the tolerance.
-    Regressed { id: String, ratio: f64 },
+    Regressed {
+        id: String,
+        ratio: f64,
+        new_ns: i64,
+        ref_ns: i64,
+    },
     /// Present in the references but absent from the fresh artifact — a
     /// silently dropped bench is treated like a regression.
     Missing { id: String },
@@ -78,12 +88,50 @@ impl Verdict {
     }
 }
 
+/// Renders nanoseconds with a human-scale unit (`1.40us`, `76.0ms`).
+fn fmt_ns(ns: i64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Every compared routine shows its measured-vs-reference pair,
+        // not just the failures: the passing lines are what make a
+        // slowly-creeping routine visible in the CI logs before it
+        // finally trips the guard.
         match self {
-            Verdict::Ok { id, ratio } => write!(f, "ok        {id:<48} {ratio:>6.2}x"),
-            Verdict::Regressed { id, ratio } => {
-                write!(f, "REGRESSED {id:<48} {ratio:>6.2}x")
+            Verdict::Ok {
+                id,
+                ratio,
+                new_ns,
+                ref_ns,
+            } => write!(
+                f,
+                "ok        {id:<48} {ratio:>6.2}x ({} vs {} ref)",
+                fmt_ns(*new_ns),
+                fmt_ns(*ref_ns)
+            ),
+            Verdict::Regressed {
+                id,
+                ratio,
+                new_ns,
+                ref_ns,
+            } => {
+                write!(
+                    f,
+                    "REGRESSED {id:<48} {ratio:>6.2}x ({} vs {} ref)",
+                    fmt_ns(*new_ns),
+                    fmt_ns(*ref_ns)
+                )
             }
             Verdict::Missing { id } => write!(f, "MISSING   {id:<48} (dropped from the suite?)"),
             Verdict::New { id } => write!(f, "new       {id:<48} (no reference yet)"),
@@ -109,11 +157,15 @@ pub fn compare(
                     verdicts.push(Verdict::Regressed {
                         id: id.clone(),
                         ratio,
+                        new_ns,
+                        ref_ns,
                     });
                 } else {
                     verdicts.push(Verdict::Ok {
                         id: id.clone(),
                         ratio,
+                        new_ns,
+                        ref_ns,
                     });
                 }
             }
@@ -222,9 +274,12 @@ mod tests {
         let fresh = map(&[("a", 290 * m), ("b", 301 * m), ("d", 5)]);
         let verdicts = compare(&refs, &fresh, 3.0);
         assert_eq!(verdicts.len(), 4);
-        assert!(matches!(&verdicts[0], Verdict::Ok { id, ratio } if id == "a" && *ratio == 2.9));
         assert!(
-            matches!(&verdicts[1], Verdict::Regressed { id, ratio } if id == "b" && *ratio == 3.01)
+            matches!(&verdicts[0], Verdict::Ok { id, ratio, .. } if id == "a" && *ratio == 2.9)
+        );
+        assert!(
+            matches!(&verdicts[1], Verdict::Regressed { id, ratio, new_ns, ref_ns }
+                if id == "b" && *ratio == 3.01 && *new_ns == 301 * m && *ref_ns == 100 * m)
         );
         assert!(matches!(&verdicts[2], Verdict::Missing { id } if id == "c"));
         assert!(matches!(&verdicts[3], Verdict::New { id } if id == "d"));
@@ -247,6 +302,28 @@ mod tests {
         // Past both the ratio and the floor it fails.
         let fresh = map(&[("tiny", 2_500 + NOISE_FLOOR_NS + 1)]);
         assert!(compare(&refs, &fresh, 3.0)[0].is_failure());
+    }
+
+    #[test]
+    fn every_compared_verdict_displays_measured_vs_reference() {
+        let refs = map(&[("fast", 1_400), ("slow", 100_000_000)]);
+        let fresh = map(&[("fast", 1_400), ("slow", 450_000_000)]);
+        let lines: Vec<String> = compare(&refs, &fresh, 3.0)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            lines[0],
+            format!(
+                "ok        {:<48} {:>6.2}x (1.40us vs 1.40us ref)",
+                "fast", 1.0
+            )
+        );
+        assert!(
+            lines[1].starts_with("REGRESSED") && lines[1].contains("(450.00ms vs 100.00ms ref)"),
+            "{}",
+            lines[1]
+        );
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! `eftq_obs` — the std-only, dependency-free telemetry core.
+//!
+//! Two halves, both built for hot paths that must not slow down:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   log2 [`Histogram`]s, handed out as cached `Arc`s by a name-keyed
+//!   [`Registry`] that renders the whole set in Prometheus text
+//!   exposition format (the `/metrics` wire format).
+//! * [`span`] — lightweight span records ([`SpanRecord`] built directly
+//!   or via the [`SpanGuard`] / [`span!`] RAII style) that serialize to
+//!   the same flat one-object-per-line JSON the sweep artifacts use, so
+//!   trace files are parseable by the existing JSONL tooling.
+//!
+//! The deliberate split between a span's *identity* (name, id, parent,
+//! key=value fields — all deterministic) and its *timing* (duration,
+//! emitted separately) is what lets the sweep runner produce trace
+//! artifacts that are byte-identical across thread counts: the
+//! identity stream diffs clean, the timing stream carries the
+//! wall-clock truth.
+//!
+//! # Examples
+//!
+//! ```
+//! use eftq_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("requests_total").inc();
+//! reg.counter_with("by_route_total", &[("route", "/plan")]).add(3);
+//! reg.histogram("latency_seconds").observe_ns(1_500_000); // 1.5 ms
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("requests_total 1"));
+//! assert!(text.contains(r#"by_route_total{route="/plan"} 3"#));
+//! assert!(text.contains("# TYPE latency_seconds histogram"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use span::{SpanCollector, SpanGuard, SpanRecord, SPAN_LABEL, SPAN_TIMING_LABEL};

@@ -1,0 +1,503 @@
+//! Metric primitives and the process-wide registry.
+//!
+//! Everything here is built from atomics so the *update* path (a
+//! request handler, a sweep worker) never takes a lock; the [`Registry`]
+//! mutex guards only name→handle resolution, and callers cache the
+//! returned `Arc` handles so even that lock stays off the fast path.
+//! Rendering walks a snapshot of the map and is as racy as any
+//! Prometheus scrape: individual values are atomically read, the set is
+//! not frozen — which is exactly the exposition-format contract.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the counter to `target` if it is currently below it (a
+    /// no-op otherwise). This is how an external monotone tally (e.g. a
+    /// server's own atomic stats) is mirrored into the registry at
+    /// scrape time without ever letting the exposed series go backwards.
+    pub fn raise_to(&self, target: u64) {
+        let mut cur = self.get();
+        while cur < target {
+            match self
+                .0
+                .compare_exchange_weak(cur, target, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A signed gauge: a value that goes up and down (queue depth, state
+/// codes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrement).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket `k` counts
+/// observations in `(2^(k-1), 2^k]` nanoseconds (bucket 0 holds exact
+/// zeros); the last bucket absorbs everything larger — `2^63` ns is
+/// ~292 years, so nothing real ever lands there.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram over nanosecond observations.
+///
+/// Log2 bucketing needs no configuration, covers nanoseconds to years
+/// in 64 buckets, and makes the observe path a single `leading_zeros`
+/// plus one atomic add — cheap enough for per-request latency on a hot
+/// server.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index an observation of `ns` lands in. Bucket `k`
+    /// covers `(2^(k-1), 2^k]` (upper bound inclusive), with 0 and 1
+    /// mapped to buckets 0 and 1 respectively.
+    fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            ns as usize
+        } else {
+            ((64 - (ns - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total observations (a snapshot sum over the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// The non-empty buckets as `(exponent, count)` pairs: a bucket with
+    /// exponent `k` counts observations `≤ 2^k` ns (and `> 2^(k-1)` ns
+    /// for `k > 0`).
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((k as u32, n))
+            })
+            .collect()
+    }
+
+    /// The quantile `q` (in `[0, 1]`) as the upper bound of the bucket
+    /// where the cumulative count crosses it, in nanoseconds. Returns 0
+    /// for an empty histogram. Log2 buckets mean the answer is an upper
+    /// bound within 2× of the true quantile — the right fidelity for an
+    /// SLO gauge, not for a benchmark.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (k, &n) in counts.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper_ns(k as u32);
+            }
+        }
+        bucket_upper_ns((HISTOGRAM_BUCKETS - 1) as u32)
+    }
+}
+
+/// The upper bound of bucket `k`, in nanoseconds (`2^k`, saturating).
+fn bucket_upper_ns(k: u32) -> u64 {
+    1u64.checked_shl(k).unwrap_or(u64::MAX)
+}
+
+/// One registered metric.
+#[derive(Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-keyed metric registry that renders Prometheus text format.
+///
+/// Series are keyed by their full rendered name (base name plus the
+/// optional `{label="value"}` suffix); repeated lookups return the same
+/// `Arc` handle, so callers register once and update lock-free.
+#[derive(Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind — that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter for `name` with the given label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, like [`Registry::counter`].
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = series_key(name, labels);
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        match slots
+            .entry(key)
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::new())))
+        {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, like [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(Gauge::new())))
+        {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    /// Histograms are unlabeled: their exposition already fans out into
+    /// `_bucket`/`_sum`/`_count` series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, like [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut slots = self.slots.lock().expect("metric registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new())))
+        {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// Renders every registered series in Prometheus text exposition
+    /// format (version 0.0.4): one `# TYPE` line per metric family,
+    /// cumulative `_bucket{le=...}` series plus `_sum`/`_count` for
+    /// histograms (with `le` in seconds), and derived `_p50_seconds` /
+    /// `_p99_seconds` gauges so quantiles are scrapable without
+    /// server-side histogram math.
+    pub fn render_prometheus(&self) -> String {
+        let snapshot: Vec<(String, Slot)> = {
+            let slots = self.slots.lock().expect("metric registry poisoned");
+            slots.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        fn type_line(out: &mut String, typed: &mut Option<String>, base: &str, kind: &str) {
+            if typed.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                *typed = Some(base.to_string());
+            }
+        }
+        let mut out = String::new();
+        let mut typed: Option<String> = None;
+        for (key, slot) in snapshot {
+            let base = key.split('{').next().unwrap_or(&key).to_string();
+            match slot {
+                Slot::Counter(c) => {
+                    type_line(&mut out, &mut typed, &base, "counter");
+                    let _ = writeln!(out, "{key} {}", c.get());
+                }
+                Slot::Gauge(g) => {
+                    type_line(&mut out, &mut typed, &base, "gauge");
+                    let _ = writeln!(out, "{key} {}", g.get());
+                }
+                Slot::Histogram(h) => {
+                    type_line(&mut out, &mut typed, &base, "histogram");
+                    // One consistent snapshot of the buckets, so the
+                    // cumulative series and `_count` agree even while
+                    // observations race the scrape.
+                    let counts: Vec<u64> = h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let total: u64 = counts.iter().sum();
+                    let top = counts
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .unwrap_or(0)
+                        .min(HISTOGRAM_BUCKETS - 2);
+                    let mut cum = 0u64;
+                    for (k, &n) in counts.iter().enumerate().take(top + 1) {
+                        cum += n;
+                        let le = bucket_upper_ns(k as u32) as f64 * 1e-9;
+                        let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {total}");
+                    let _ = writeln!(out, "{base}_sum {}", h.sum_ns() as f64 * 1e-9);
+                    let _ = writeln!(out, "{base}_count {total}");
+                    for (suffix, q) in [("p50", 0.5), ("p99", 0.99)] {
+                        let quantile = h.quantile_ns(q) as f64 * 1e-9;
+                        let _ = writeln!(out, "# TYPE {base}_{suffix}_seconds gauge");
+                        let _ = writeln!(out, "{base}_{suffix}_seconds {quantile}");
+                    }
+                    // The derived gauges consumed the TYPE cursor.
+                    typed = None;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The full series key: `name` or `name{k="v",...}` with label values
+/// escaped per the exposition format.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::from(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{k}=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => key.push_str("\\\\"),
+                '"' => key.push_str("\\\""),
+                '\n' => key.push_str("\\n"),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.raise_to(3);
+        assert_eq!(c.get(), 5, "raise_to never lowers");
+        c.raise_to(9);
+        assert_eq!(c.get(), 9);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_with_exact_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 1, "2^1 is inclusive");
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(1025), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_the_cumulative_counts() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        for ns in [100u64, 100, 100, 100_000] {
+            h.observe_ns(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_ns(), 100_300);
+        // p50 lands in 100 ns's bucket (upper bound 128), p99 in
+        // 100 µs's bucket (upper bound 131072).
+        assert_eq!(h.quantile_ns(0.5), 128);
+        assert_eq!(h.quantile_ns(0.99), 131_072);
+        assert_eq!(h.quantile_ns(0.0), 128, "q=0 still needs one sample");
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(7, 3), (17, 1)]);
+    }
+
+    #[test]
+    fn registry_caches_handles_and_isolates_label_sets() {
+        let reg = Registry::new();
+        let a = reg.counter_with("req_total", &[("route", "/plan")]);
+        let b = reg.counter_with("req_total", &[("route", "/plan")]);
+        let other = reg.counter_with("req_total", &[("route", "/lookup")]);
+        a.inc();
+        b.inc();
+        other.add(5);
+        assert_eq!(a.get(), 2, "same series, same handle");
+        assert_eq!(other.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_is_a_programming_error() {
+        let reg = Registry::new();
+        let _ = reg.gauge("depth");
+        let _ = reg.counter("depth");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_structurally_valid() {
+        let reg = Registry::new();
+        reg.counter_with("req_total", &[("route", "/plan"), ("status", "200")])
+            .add(2);
+        reg.counter_with("req_total", &[("route", "/plan"), ("status", "429")])
+            .inc();
+        reg.gauge("queue_depth").set(3);
+        let h = reg.histogram("latency_seconds");
+        h.observe_ns(1_000);
+        h.observe_ns(2_000_000);
+        let text = reg.render_prometheus();
+
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE req_total counter").count(),
+            1,
+            "one TYPE line per family: {text}"
+        );
+        assert!(
+            text.contains(r#"req_total{route="/plan",status="200"} 2"#),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth 3"), "{text}");
+        assert!(text.contains("# TYPE latency_seconds histogram"), "{text}");
+        assert!(
+            text.contains(r#"latency_seconds_bucket{le="+Inf"} 2"#),
+            "{text}"
+        );
+        assert!(text.contains("latency_seconds_count 2"), "{text}");
+        assert!(text.contains("latency_seconds_p50_seconds"), "{text}");
+        assert!(text.contains("latency_seconds_p99_seconds"), "{text}");
+
+        // Every non-comment line is `name[{labels}] value` with a
+        // parseable float value.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect(line);
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+        // Cumulative buckets are non-decreasing and end at the count.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("latency_seconds_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "{cums:?}");
+        assert_eq!(*cums.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_with("c_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"c_total{path="a\"b\\c\nd"} 1"#), "{text}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Lightweight span tracing that serializes to flat JSONL rows.
+//!
+//! A [`SpanRecord`] is a named unit of work with a stable id, an
+//! optional parent id, ordered `key=value` fields, and (separately) a
+//! measured duration. The JSON encoding is byte-compatible with the
+//! sweep artifact rows (`{"row":"~span",...}`, one object per line,
+//! identical string escaping and number formatting), so trace files
+//! parse with the same JSONL tooling as every other artifact.
+//!
+//! Identity and timing are deliberately split:
+//!
+//! * [`SpanRecord::to_json_row`] serializes only the deterministic
+//!   identity (name, id, parent, fields) — the stream that must be
+//!   byte-identical across thread counts and reruns.
+//! * [`SpanRecord::timing_json_row`] serializes the measured duration
+//!   as a separate `~span-timing` row keyed by the span id — the
+//!   stream that carries wall-clock truth and is expected to differ
+//!   run to run.
+//!
+//! For code that wants RAII timing, [`SpanGuard`] (or the [`span!`]
+//! macro) stamps the duration on drop and hands the record to a shared
+//! [`SpanCollector`].
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Row tag of a span identity line.
+pub const SPAN_LABEL: &str = "~span";
+
+/// Row tag of a span timing line (the non-deterministic sidecar).
+pub const SPAN_TIMING_LABEL: &str = "~span-timing";
+
+/// One span field value (mirrors the sweep row value kinds).
+#[derive(Clone, Debug, PartialEq)]
+enum FieldValue {
+    Num(f64),
+    Int(i64),
+    Str(String),
+}
+
+/// One recorded span: identity fields plus an optional duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    name: String,
+    id: String,
+    parent: Option<String>,
+    fields: Vec<(String, FieldValue)>,
+    duration_ns: Option<u64>,
+}
+
+impl SpanRecord {
+    /// A span named `name` with the stable id `id`.
+    pub fn new(name: &str, id: &str) -> Self {
+        SpanRecord {
+            name: name.into(),
+            id: id.into(),
+            parent: None,
+            fields: Vec::new(),
+            duration_ns: None,
+        }
+    }
+
+    /// Sets the parent span id.
+    #[must_use]
+    pub fn parent(mut self, id: &str) -> Self {
+        self.parent = Some(id.into());
+        self
+    }
+
+    /// Appends a float field (non-finite values serialize as `null`).
+    #[must_use]
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.into(), FieldValue::Num(v)));
+        self
+    }
+
+    /// Appends an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, v: i64) -> Self {
+        self.fields.push((key.into(), FieldValue::Int(v)));
+        self
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields.push((key.into(), FieldValue::Str(v.into())));
+        self
+    }
+
+    /// Stamps the measured duration.
+    #[must_use]
+    pub fn duration_ns(mut self, ns: u64) -> Self {
+        self.duration_ns = Some(ns);
+        self
+    }
+
+    /// The span's stable id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Serializes the deterministic identity as one flat JSON object:
+    /// `{"row":"~span","id":...,"name":...[,"parent":...],fields...}`.
+    /// The duration is deliberately excluded — see the module docs.
+    pub fn to_json_row(&self) -> String {
+        let mut out = String::from("{");
+        write_json_string(&mut out, "row");
+        out.push(':');
+        write_json_string(&mut out, SPAN_LABEL);
+        for (key, value) in [("id", &self.id), ("name", &self.name)] {
+            out.push(',');
+            write_json_string(&mut out, key);
+            out.push(':');
+            write_json_string(&mut out, value);
+        }
+        if let Some(parent) = &self.parent {
+            out.push(',');
+            write_json_string(&mut out, "parent");
+            out.push(':');
+            write_json_string(&mut out, parent);
+        }
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, k);
+            out.push(':');
+            match v {
+                FieldValue::Num(x) if x.is_finite() => {
+                    let _ = write!(out, "{x}");
+                }
+                FieldValue::Num(_) => out.push_str("null"),
+                FieldValue::Int(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                FieldValue::Str(s) => write_json_string(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serializes the measured duration as a `~span-timing` row keyed by
+    /// the span id, or `None` when no duration was stamped.
+    pub fn timing_json_row(&self) -> Option<String> {
+        let ns = self.duration_ns?;
+        let mut out = String::from("{");
+        write_json_string(&mut out, "row");
+        out.push(':');
+        write_json_string(&mut out, SPAN_TIMING_LABEL);
+        out.push(',');
+        write_json_string(&mut out, "id");
+        out.push(':');
+        write_json_string(&mut out, &self.id);
+        out.push(',');
+        write_json_string(&mut out, "duration_ns");
+        let _ = write!(out, ":{ns}");
+        out.push('}');
+        Some(out)
+    }
+}
+
+/// Byte-compatible replica of the sweep artifact string escaping: `"`,
+/// `\` and the named control escapes, `\u00XX` for other C0 controls,
+/// everything else verbatim.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A shared sink for finished spans (cheaply cloneable).
+#[derive(Clone, Debug, Default)]
+pub struct SpanCollector {
+    inner: Arc<Mutex<Vec<SpanRecord>>>,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finished span.
+    pub fn record(&self, span: SpanRecord) {
+        self.inner
+            .lock()
+            .expect("span collector poisoned")
+            .push(span);
+    }
+
+    /// Takes every collected span, leaving the collector empty.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.inner.lock().expect("span collector poisoned"))
+    }
+}
+
+/// An RAII span: measures from construction to drop, then stamps the
+/// duration and hands the record to its collector.
+#[derive(Debug)]
+pub struct SpanGuard {
+    collector: SpanCollector,
+    record: Option<SpanRecord>,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span; it closes (and records itself) on drop.
+    pub fn enter(collector: &SpanCollector, name: &str, id: &str) -> Self {
+        SpanGuard {
+            collector: collector.clone(),
+            record: Some(SpanRecord::new(name, id)),
+            started: Instant::now(),
+        }
+    }
+
+    /// Sets the parent span id.
+    pub fn set_parent(&mut self, id: &str) {
+        if let Some(r) = self.record.take() {
+            self.record = Some(r.parent(id));
+        }
+    }
+
+    /// Appends a string field.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        if let Some(r) = self.record.take() {
+            self.record = Some(r.str(key, v));
+        }
+    }
+
+    /// Appends an integer field.
+    pub fn field_int(&mut self, key: &str, v: i64) {
+        if let Some(r) = self.record.take() {
+            self.record = Some(r.int(key, v));
+        }
+    }
+
+    /// Appends a float field.
+    pub fn field_num(&mut self, key: &str, v: f64) {
+        if let Some(r) = self.record.take() {
+            self.record = Some(r.num(key, v));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(record) = self.record.take() {
+            let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.collector.record(record.duration_ns(ns));
+        }
+    }
+}
+
+/// Opens a [`SpanGuard`] on a collector: `span!(collector, "eval",
+/// "p3/a1")`. The guard records itself (with its measured duration)
+/// when it goes out of scope; add fields via the guard's `field_*`
+/// methods.
+#[macro_export]
+macro_rules! span {
+    ($collector:expr, $name:expr, $id:expr $(,)?) => {
+        $crate::span::SpanGuard::enter(&$collector, $name, $id)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_rows_are_flat_json_with_sweep_escaping() {
+        let span = SpanRecord::new("eval", "p3/a1")
+            .parent("p3")
+            .int("attempt", 1)
+            .str("outcome", "panic")
+            .str("message", "poison: \"bad\"\npoint")
+            .num("p", 0.25)
+            .num("nan", f64::NAN);
+        assert_eq!(
+            span.to_json_row(),
+            r#"{"row":"~span","id":"p3/a1","name":"eval","parent":"p3","attempt":1,"outcome":"panic","message":"poison: \"bad\"\npoint","p":0.25,"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn durations_live_only_in_the_timing_row() {
+        let bare = SpanRecord::new("point", "p0");
+        assert_eq!(bare.timing_json_row(), None);
+        let timed = bare.clone().duration_ns(1500);
+        assert_eq!(
+            timed.to_json_row(),
+            bare.to_json_row(),
+            "identity bytes ignore the duration"
+        );
+        assert_eq!(
+            timed.timing_json_row().unwrap(),
+            r#"{"row":"~span-timing","id":"p0","duration_ns":1500}"#
+        );
+    }
+
+    #[test]
+    fn guards_record_on_drop_with_a_measured_duration() {
+        let collector = SpanCollector::new();
+        {
+            let mut g = span!(collector, "eval", "p1/a1");
+            g.set_parent("p1");
+            g.field_int("attempt", 1);
+            g.field_str("outcome", "ok");
+        }
+        let spans = collector.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].id(), "p1/a1");
+        assert_eq!(spans[0].name(), "eval");
+        assert!(spans[0].duration_ns.is_some());
+        assert!(spans[0].to_json_row().contains(r#""parent":"p1""#));
+        assert!(collector.drain().is_empty(), "drain empties the collector");
+    }
+}

@@ -105,6 +105,18 @@ impl CircuitBreaker {
     pub fn trips(&self) -> u64 {
         self.trips
     }
+
+    /// The state as a numeric gauge for metrics exposition: 0 closed,
+    /// 1 open, 2 half-open. An open breaker whose cooldown has elapsed
+    /// reports half-open — the next [`CircuitBreaker::allow`] call
+    /// becomes the probe, so that is the state a scrape should see.
+    pub fn state_code(&self, now: Instant) -> i64 {
+        match self.state {
+            State::Closed { .. } => 0,
+            State::Open { until } if now < until => 1,
+            State::Open { .. } | State::HalfOpen => 2,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +156,21 @@ mod tests {
         assert_eq!(b.trips(), 2);
         assert!(!b.allow(t1 + Duration::from_secs(4)));
         assert!(b.allow(t1 + Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn state_codes_track_the_lifecycle() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(1, Duration::from_secs(5));
+        assert_eq!(b.state_code(t0), 0, "closed");
+        b.record_failure(t0);
+        assert_eq!(b.state_code(t0), 1, "open");
+        let t1 = t0 + Duration::from_secs(5);
+        assert_eq!(b.state_code(t1), 2, "cooldown elapsed: half-open");
+        assert!(b.allow(t1), "probe");
+        assert_eq!(b.state_code(t1), 2, "probe in flight");
+        b.record_success();
+        assert_eq!(b.state_code(t1), 0, "closed again");
     }
 
     #[test]

@@ -131,12 +131,32 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// The `Content-Type` of `/metrics` responses (Prometheus text
+/// exposition format).
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Writes a complete `Connection: close` response with a JSONL body.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures (the caller drops the connection).
 pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_with_type(stream, status, "application/jsonl", body)
+}
+
+/// Writes a complete `Connection: close` response with an explicit
+/// content type (the `/metrics` endpoint is text, everything else
+/// JSONL).
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller drops the connection).
+pub fn write_response_with_type<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -149,7 +169,7 @@ pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> std:
     write!(
         stream,
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/jsonl\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\
          \r\n\
@@ -199,7 +219,13 @@ mod tests {
         write_response(&mut out, 429, "{\"row\":\"~planner-error\"}\n").unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Type: application/jsonl\r\n"));
         assert!(text.contains("Content-Length: 25\r\n"));
         assert!(text.ends_with("{\"row\":\"~planner-error\"}\n"));
+
+        let mut out = Vec::new();
+        write_response_with_type(&mut out, 200, METRICS_CONTENT_TYPE, "x 1\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
     }
 }

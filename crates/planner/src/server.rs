@@ -9,10 +9,11 @@
 //!    closes — the one state this server never enters is "accepted but
 //!    silent".
 //! 2. **Parse + route.** Parse threads read the request behind a socket
-//!    read timeout. `/healthz`, `/readyz` and `/surfaces` are answered
-//!    inline — health stays observable however overloaded the
-//!    evaluation stage is. Query endpoints are admitted to the bounded
-//!    work queue; a full queue sheds with 429.
+//!    read timeout. `/healthz`, `/readyz`, `/surfaces` and `/metrics`
+//!    (Prometheus text format) are answered inline — observability
+//!    stays live however overloaded the evaluation stage is. Query
+//!    endpoints are admitted to the bounded work queue; a full queue
+//!    sheds with 429.
 //! 3. **Evaluate.** Worker threads answer from the surrogate index in
 //!    microseconds. A request older than its deadline is answered with
 //!    a structured 504 *without* evaluating. `/plan?exact=1` attempts
@@ -41,7 +42,9 @@ use eftq_sweep::chaos::inject;
 use eftq_sweep::{ArtifactCache, FaultPlan, Row};
 
 use crate::breaker::CircuitBreaker;
-use crate::http::{read_request, write_response, Request};
+use crate::http::{
+    read_request, write_response, write_response_with_type, Request, METRICS_CONTENT_TYPE,
+};
 use crate::index::{metric_strategy, strategy_metric, SurfaceIndex, ADVISOR_METRICS, ADVISOR_SPEC};
 
 /// Row label of error responses (shed, deadline, bad request).
@@ -216,11 +219,85 @@ struct Engine {
     chaos: SeedSequence,
     /// Monotonic request id: the chaos plan's "point id".
     request_ids: AtomicU64,
+    /// Per-server metrics registry behind `/metrics` (never global, so
+    /// parallel test servers cannot share counters).
+    metrics: eftq_obs::Registry,
+    /// Request-latency histogram handle, cached off the registry lock
+    /// (the per-response hot path).
+    request_seconds: Arc<eftq_obs::Histogram>,
+    /// Admission-queue depth gauge: +1 on admit, -1 on worker pickup.
+    queue_depth: Arc<eftq_obs::Gauge>,
+}
+
+/// The bounded route label of a request path — unknown paths collapse
+/// to `-` so a scanning client cannot mint unbounded metric series.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/plan" => "/plan",
+        "/lookup" => "/lookup",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/surfaces" => "/surfaces",
+        "/metrics" => "/metrics",
+        _ => "-",
+    }
 }
 
 impl Engine {
     fn draining(&self) -> bool {
         self.drain.load(Ordering::SeqCst) || sigterm_drain_requested()
+    }
+
+    /// Records one finished response: the per-route/status request
+    /// counter plus the end-to-end latency measured from accept. Every
+    /// path that writes a response calls this exactly once, so the sum
+    /// of `planner_requests_total` always equals the latency
+    /// histogram's `_count`.
+    fn observe(&self, route: &str, status: u16, arrival: Instant) {
+        self.metrics
+            .counter_with(
+                "planner_requests_total",
+                &[("route", route), ("status", &status.to_string())],
+            )
+            .inc();
+        let ns = u64::try_from(arrival.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.request_seconds.observe_ns(ns);
+    }
+
+    /// The `/metrics` body: mirrors the server's own atomic counters
+    /// into the registry (monotone `raise_to`, so a racing scrape never
+    /// sees a series go backwards), stamps the state gauges, and
+    /// renders the whole registry in Prometheus text format.
+    fn metrics_body(&self) -> String {
+        let s = &self.stats;
+        for (name, value) in [
+            ("planner_admitted_total", &s.admitted),
+            ("planner_served_total", &s.served),
+            ("planner_degraded_total", &s.degraded),
+            ("planner_exact_total", &s.exact),
+            ("planner_exact_failures_total", &s.exact_failures),
+            ("planner_shed_total", &s.shed),
+            ("planner_deadline_total", &s.expired),
+            ("planner_rejected_total", &s.rejected),
+            ("planner_inline_total", &s.inline),
+        ] {
+            self.metrics
+                .counter(name)
+                .raise_to(value.load(Ordering::Relaxed));
+        }
+        {
+            let breaker = self.breaker.lock().expect("breaker poisoned");
+            self.metrics
+                .gauge("planner_breaker_state")
+                .set(breaker.state_code(Instant::now()));
+            self.metrics
+                .counter("planner_breaker_trips_total")
+                .raise_to(breaker.trips());
+        }
+        self.metrics
+            .gauge("planner_surfaces_loaded")
+            .set(self.index.len() as i64);
+        self.metrics.render_prometheus()
     }
 
     /// Answers one routed request: `(status, JSONL body)`.
@@ -474,6 +551,9 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
 
     let drain = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    let metrics = eftq_obs::Registry::new();
+    let request_seconds = metrics.histogram("planner_request_seconds");
+    let queue_depth = metrics.gauge("planner_queue_depth");
     let engine = Arc::new(Engine {
         chaos: SeedSequence::new(cfg.seed)
             .derive("planner")
@@ -488,6 +568,9 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
         stats: Arc::clone(&stats),
         drain: Arc::clone(&drain),
         cfg,
+        metrics,
+        request_seconds,
+        queue_depth,
     });
 
     // Accept stage → parse stage: bounded, stamped with arrival.
@@ -524,6 +607,7 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
                             use std::io::Read;
                             let _ = stream.read(&mut sink);
                             let (status, body) = error_response(429, "shed", "accept queue full");
+                            engine.observe("-", status, arrival);
                             let _ = write_response(&mut stream, status, &body);
                         }
                     }
@@ -562,15 +646,19 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
                 Err(reason) => {
                     engine.stats.rejected.fetch_add(1, Ordering::Relaxed);
                     let (status, body) = error_response(400, "bad_request", &reason);
+                    engine.observe("-", status, arrival);
                     let _ = write_response(&mut stream, status, &body);
                     continue;
                 }
             };
+            let route = route_label(&request.path);
             match request.path.as_str() {
-                // Health endpoints bypass admission entirely: they must
-                // answer while the evaluation stage is saturated.
+                // Health and metrics endpoints bypass admission
+                // entirely: observability must answer while the
+                // evaluation stage is saturated.
                 "/healthz" => {
                     engine.stats.inline.fetch_add(1, Ordering::Relaxed);
+                    engine.observe(route, 200, arrival);
                     let _ = write_response(&mut stream, 200, &jsonl(&engine.health_row()));
                 }
                 "/readyz" => {
@@ -582,16 +670,26 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
                     } else {
                         (200, jsonl(&Row::new(HEALTH_LABEL).str("status", "ready")))
                     };
+                    engine.observe(route, status, arrival);
                     let _ = write_response(&mut stream, status, &body);
                 }
                 "/surfaces" => {
                     engine.stats.inline.fetch_add(1, Ordering::Relaxed);
+                    engine.observe(route, 200, arrival);
                     let body: String = engine
                         .index
                         .names()
                         .map(|n| jsonl(&Row::new("planner_surface").str("surface", n)))
                         .collect();
                     let _ = write_response(&mut stream, 200, &body);
+                }
+                "/metrics" => {
+                    engine.stats.inline.fetch_add(1, Ordering::Relaxed);
+                    // Count the scrape before rendering, so the body a
+                    // scraper receives already includes its own request.
+                    engine.observe(route, 200, arrival);
+                    let body = engine.metrics_body();
+                    let _ = write_response_with_type(&mut stream, 200, METRICS_CONTENT_TYPE, &body);
                 }
                 _ => {
                     let job = Job {
@@ -602,16 +700,19 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
                     match work_tx.try_send(job) {
                         Ok(()) => {
                             engine.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                            engine.queue_depth.add(1);
                         }
                         Err(mpsc::TrySendError::Full(mut job)) => {
                             engine.stats.shed.fetch_add(1, Ordering::Relaxed);
                             let (status, body) =
                                 error_response(429, "shed", "admission queue full");
+                            engine.observe(route, status, arrival);
                             let _ = write_response(&mut job.stream, status, &body);
                         }
                         Err(mpsc::TrySendError::Disconnected(mut job)) => {
                             let (status, body) =
                                 error_response(503, "draining", "evaluation stage stopped");
+                            engine.observe(route, status, arrival);
                             let _ = write_response(&mut job.stream, status, &body);
                         }
                     }
@@ -630,6 +731,7 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
             let Ok(mut job) = job else {
                 break; // parse stage gone and queue drained
             };
+            engine.queue_depth.add(-1);
             // An admitted request always gets a response — but one that
             // aged out in the queue gets the structured deadline error,
             // not a stale evaluation.
@@ -651,6 +753,7 @@ pub fn serve(index: SurfaceIndex, cfg: ServerConfig) -> Result<ServerHandle, Str
                 }
                 answered
             };
+            engine.observe(route_label(&job.request.path), status, job.arrival);
             let _ = write_response(&mut job.stream, status, &body);
         }));
     }
@@ -787,6 +890,87 @@ mod tests {
         let (status, _) = get(addr, "/wat");
         assert_eq!(status, 404);
 
+        handle.drain();
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_prometheus_text() {
+        let handle = serve(test_index(), ServerConfig::default()).unwrap();
+        let addr = handle.addr();
+        let _ = get(addr, "/plan?logical_qubits=24&device_qubits=30000");
+        let _ = get(addr, "/plan?logical_qubits=-3&device_qubits=10");
+        let _ = get(addr, "/healthz");
+
+        // Raw request: the content type must be the text exposition
+        // format, not JSONL.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(
+            raw.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{raw}"
+        );
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+
+        assert!(
+            body.contains("# TYPE planner_requests_total counter"),
+            "{body}"
+        );
+        assert!(
+            body.contains(r#"planner_requests_total{route="/plan",status="200"} 1"#),
+            "{body}"
+        );
+        assert!(
+            body.contains(r#"planner_requests_total{route="/plan",status="400"} 1"#),
+            "{body}"
+        );
+        assert!(
+            body.contains(r#"planner_requests_total{route="/metrics",status="200"} 1"#),
+            "the scrape counts itself: {body}"
+        );
+        for series in [
+            "planner_request_seconds_bucket",
+            "planner_request_seconds_sum",
+            "planner_request_seconds_count",
+            "planner_request_seconds_p50_seconds",
+            "planner_request_seconds_p99_seconds",
+            "planner_breaker_state 0",
+            "planner_breaker_trips_total 0",
+            "planner_queue_depth",
+            "planner_surfaces_loaded",
+            "planner_served_total",
+            "planner_shed_total",
+            "planner_deadline_total",
+            "planner_degraded_total",
+        ] {
+            assert!(body.contains(series), "missing {series}: {body}");
+        }
+        // The latency histogram and the request counters agree: every
+        // response was observed exactly once.
+        let count: f64 = body
+            .lines()
+            .find(|l| l.starts_with("planner_request_seconds_count"))
+            .and_then(|l| l.rsplit_once(' '))
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        let by_route: f64 = body
+            .lines()
+            .filter(|l| l.starts_with("planner_requests_total{"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap())
+            .sum();
+        assert_eq!(count, by_route, "{body}");
+        // Every non-comment line parses as `series value`.
+        for line in body.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect(line);
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
         handle.drain();
     }
 

@@ -43,6 +43,7 @@ use crate::runner::{
     SweepReport,
 };
 use crate::spec::{SweepPoint, SweepSpec};
+use crate::trace;
 use crossbeam::thread;
 use eftq_numerics::SeedSequence;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -56,6 +57,13 @@ use std::time::{Duration, Instant};
 /// before its points are re-leased. Generous, because disconnects (the
 /// common failure) re-lease immediately — expiry only catches hangs.
 pub const DEFAULT_LEASE_SECS: f64 = 120.0;
+
+/// Row label of the farm observability snapshot ([`FarmState::stats_row`]),
+/// streamed to stderr on a timer and once at shutdown.
+pub const FARM_STATS_LABEL: &str = "~farm-stats";
+
+/// Seconds between periodic `~farm-stats` emissions while coordinating.
+const STATS_INTERVAL_SECS: f64 = 5.0;
 
 /// A lease never exceeds this many points, however fast they are.
 const MAX_LEASE_POINTS: usize = 32;
@@ -163,6 +171,21 @@ pub struct FarmState {
     failed_attempts: usize,
     /// Points quarantined after exhausting their failure budget.
     quarantined: usize,
+    /// Leases granted so far (including re-leases of requeued points).
+    leases_issued: usize,
+    /// Leases reaped by [`FarmState::expire`].
+    leases_expired: usize,
+    /// Points returned to the queue by an expiry, a disconnect, or a
+    /// failed attempt that stayed under the quarantine budget.
+    points_requeued: usize,
+    /// Completions accepted first-writer-wins ([`Completion::Fresh`]).
+    completions: usize,
+    /// Workers that joined the lease pool (a reconnecting worker gets a
+    /// fresh id, so rejoins count again — this minus the current worker
+    /// count is the churn).
+    worker_joins: usize,
+    /// Worker connections that dropped and had their leases requeued.
+    disconnects: usize,
 }
 
 impl FarmState {
@@ -199,6 +222,12 @@ impl FarmState {
             failure_budget: 1,
             failed_attempts: 0,
             quarantined: 0,
+            leases_issued: 0,
+            leases_expired: 0,
+            points_requeued: 0,
+            completions: 0,
+            worker_joins: 0,
+            disconnects: 0,
         }
     }
 
@@ -280,6 +309,7 @@ impl FarmState {
             FailVerdict::Quarantine { attempts: total }
         } else {
             self.queue.push_back(index);
+            self.points_requeued += 1;
             FailVerdict::Retry
         }
     }
@@ -326,7 +356,9 @@ impl FarmState {
     /// grantable (queue empty: the sweep is done, or every pending point
     /// is leased elsewhere — callers distinguish via [`Self::is_done`]).
     pub fn grant(&mut self, worker: u64, now: f64) -> Option<LeaseGrant> {
-        self.workers.insert(worker);
+        if self.workers.insert(worker) {
+            self.worker_joins += 1;
+        }
         let want = self.batch_size();
         let mut indices = Vec::new();
         while indices.len() < want {
@@ -342,6 +374,7 @@ impl FarmState {
         }
         let lease = self.next_lease;
         self.next_lease += 1;
+        self.leases_issued += 1;
         let expires_at = now + self.lease_secs;
         let points: Vec<usize> = indices.iter().map(|&i| self.point_ids[i]).collect();
         self.leases.insert(
@@ -379,6 +412,7 @@ impl FarmState {
         }
         self.done[index] = true;
         self.remaining -= 1;
+        self.completions += 1;
         self.secs.push(secs);
         // Drop the point from whichever lease currently carries it (the
         // reporting lease, or its re-issue), reaping emptied leases.
@@ -401,6 +435,7 @@ impl FarmState {
         let mut requeued = 0;
         for id in expired {
             let lease = self.leases.remove(&id).expect("expired lease exists");
+            self.leases_expired += 1;
             for index in lease.pending {
                 if !self.done[index] {
                     self.queue.push_back(index);
@@ -408,13 +443,16 @@ impl FarmState {
                 }
             }
         }
+        self.points_requeued += requeued;
         requeued
     }
 
     /// Requeues every lease held by `worker` (its connection dropped);
     /// returns how many points were requeued.
     pub fn disconnect(&mut self, worker: u64) -> usize {
-        self.workers.remove(&worker);
+        if self.workers.remove(&worker) {
+            self.disconnects += 1;
+        }
         let held: Vec<u64> = self
             .leases
             .iter()
@@ -431,7 +469,31 @@ impl FarmState {
                 }
             }
         }
+        self.points_requeued += requeued;
         requeued
+    }
+
+    /// A point-in-time `~farm-stats` snapshot of the lease machine's
+    /// counters, as one JSONL row (the farm's observability surface —
+    /// streamed to stderr on a timer and once at shutdown, and printed
+    /// by workers with `role: "worker"` fields at exit). Every count is
+    /// monotone over the run except `workers` and `points_remaining`.
+    pub fn stats_row(&self, spec_name: &str, elapsed_s: f64) -> Row {
+        Row::new(FARM_STATS_LABEL)
+            .str("spec", spec_name)
+            .str("role", "coordinator")
+            .num("elapsed_s", elapsed_s)
+            .int("workers", self.workers.len() as i64)
+            .int("worker_joins", self.worker_joins as i64)
+            .int("disconnects", self.disconnects as i64)
+            .int("leases_issued", self.leases_issued as i64)
+            .int("leases_expired", self.leases_expired as i64)
+            .int("points_requeued", self.points_requeued as i64)
+            .int("points_remaining", self.remaining as i64)
+            .int("completions_accepted", self.completions as i64)
+            .int("completions_discarded", self.discarded as i64)
+            .int("failed_attempts", self.failed_attempts as i64)
+            .int("points_quarantined", self.quarantined as i64)
     }
 }
 
@@ -540,7 +602,7 @@ where
     // Accepts a completion: validates the row against its grid point
     // (the same contract local evaluation enforces — a malformed remote
     // row must never reach the artifact), then first-writer-wins.
-    let accept = |lease: u64, pid: usize, secs: f64, row: Row| {
+    let accept = |lease: u64, pid: usize, attempt: u32, secs: f64, row: Row| {
         let Some(&slot) = slot_of.get(&pid) else {
             state.lock().expect("farm state poisoned").discarded += 1;
             return;
@@ -557,11 +619,23 @@ where
         // Emit outside the state lock: the artifact flush must not
         // stall lease traffic.
         if verdict == Completion::Fresh {
+            // Only the accepted completion generates trace spans, so a
+            // re-lease race never duplicates a span id.
+            let spans = if opts.trace.is_some() {
+                vec![
+                    trace::point_span(spec.name(), point, "ok", attempt)
+                        .duration_ns(trace::secs_to_ns(secs)),
+                    trace::eval_span(pid, attempt, "ok", None, secs),
+                ]
+            } else {
+                Vec::new()
+            };
             emitter.lock().expect("sweep emitter poisoned").push(
                 slot,
                 row,
                 RowSource::Computed,
                 secs,
+                spans,
             );
         }
     };
@@ -586,11 +660,20 @@ where
                 );
             }
             let row = points[slot].error_row(spec.name(), cause, message, attempts);
+            let spans = if opts.trace.is_some() {
+                vec![
+                    trace::point_span(spec.name(), &points[slot], "quarantined", attempts),
+                    trace::eval_span(pid, attempts, cause, Some((cause, message)), 0.0),
+                ]
+            } else {
+                Vec::new()
+            };
             emitter.lock().expect("sweep emitter poisoned").push(
                 slot,
                 row,
                 RowSource::Computed,
                 0.0,
+                spans,
             );
         }
     };
@@ -708,6 +791,7 @@ where
                 Msg::Done {
                     lease,
                     point,
+                    attempt,
                     secs,
                     data,
                 } => {
@@ -715,7 +799,7 @@ where
                     // artifact line; the point stays pending and is
                     // re-leased on expiry or disconnect.
                     if let Ok(row) = parse_row(&data) {
-                        accept(lease, point, secs, row);
+                        accept(lease, point, attempt, secs, row);
                     } else {
                         state.lock().expect("farm state poisoned").discarded += 1;
                     }
@@ -791,7 +875,7 @@ where
                         match eval_guarded(eval, point, &ctx, opts.point_timeout_secs) {
                             EvalOutcome::Ok { row, secs } => {
                                 check_row_contract(spec, point, &row);
-                                accept(g.lease, pid, secs, row);
+                                accept(g.lease, pid, attempt, secs, row);
                             }
                             EvalOutcome::Failed { cause, message, .. } => {
                                 fail_point(g.lease, pid, worker_id, cause, &message);
@@ -802,26 +886,44 @@ where
             });
         }
         // Acceptor: non-blocking so it can stop once the sweep is done.
-        scope.spawn(|scope| loop {
-            if state.lock().expect("farm state poisoned").is_done() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let worker_id = next_worker.fetch_add(1, Ordering::Relaxed);
-                    let handler = &handle_conn;
-                    scope.spawn(move |_| handler(stream, worker_id));
+        // It doubles as the observability heartbeat: a `~farm-stats`
+        // snapshot streams to stderr every few seconds while the farm
+        // is live (suppressed with the rest of the progress output).
+        scope.spawn(|scope| {
+            let mut last_stats = now();
+            loop {
+                if state.lock().expect("farm state poisoned").is_done() {
+                    break;
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+                if opts.progress && now() - last_stats >= STATS_INTERVAL_SECS {
+                    last_stats = now();
+                    let row = state
+                        .lock()
+                        .expect("farm state poisoned")
+                        .stats_row(spec.name(), last_stats);
+                    eprintln!("{}", row.to_json_row());
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let worker_id = next_worker.fetch_add(1, Ordering::Relaxed);
+                        let handler = &handle_conn;
+                        scope.spawn(move |_| handler(stream, worker_id));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
             }
         });
     })
     .map_err(|_| format!("[{}] farm worker or handler panicked", spec.name()))?;
 
     let st = state.into_inner().expect("farm state poisoned");
+    // Final `~farm-stats` snapshot: the authoritative end-of-run
+    // counters, printed even without --progress so every farm run
+    // leaves one machine-readable observability line on stderr.
+    eprintln!("{}", st.stats_row(spec.name(), now()).to_json_row());
     if opts.progress && st.discarded() > 0 {
         eprintln!(
             "[{}] farm: {} duplicate/stale completions discarded (first writer won)",
@@ -1073,6 +1175,7 @@ where
                                 let msg = Msg::Done {
                                     lease,
                                     point: pid,
+                                    attempt,
                                     secs,
                                     data: row.to_json_row(),
                                 };
@@ -1098,6 +1201,7 @@ where
                                 let msg = Msg::Failed {
                                     lease,
                                     point: pid,
+                                    attempt,
                                     secs,
                                     cause: cause.to_string(),
                                     message,
@@ -1146,12 +1250,28 @@ where
     rows.dedup_by_key(|(pid, _, _)| *pid);
     let point_secs: Vec<f64> = rows.iter().map(|(_, s, _)| *s).collect();
     let computed = rows.len();
+    let failed = failed_attempts.into_inner();
     if opts.progress {
         eprintln!(
             "[{}] worker: done, {computed} points evaluated",
             spec.name()
         );
     }
+    // The worker's side of the `~farm-stats` surface: evaluations,
+    // failures and reconnects as seen from this process (the
+    // coordinator only sees joins, never why a worker rejoined).
+    eprintln!(
+        "{}",
+        Row::new(FARM_STATS_LABEL)
+            .str("spec", spec.name())
+            .str("role", "worker")
+            .str("worker", &worker_name)
+            .num("elapsed_s", started.elapsed().as_secs_f64())
+            .int("points_computed", computed as i64)
+            .int("failed_attempts", failed as i64)
+            .int("reconnects", i64::from(reconnects))
+            .to_json_row()
+    );
     Ok(SweepReport {
         rows: rows.into_iter().map(|(_, _, row)| row).collect(),
         computed,
@@ -1161,7 +1281,7 @@ where
         malformed_lines: 0,
         point_secs,
         elapsed_secs: started.elapsed().as_secs_f64(),
-        failed: failed_attempts.into_inner(),
+        failed,
         retried: 0,
         quarantined: 0,
     })
@@ -1170,6 +1290,49 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_row_tracks_the_lease_machine_counters() {
+        let mut farm = FarmState::new(&[0, 1, 2], 10.0).with_retries(0);
+        let g1 = farm.grant(1, 0.0).unwrap();
+        assert_eq!(
+            farm.complete(g1.lease, g1.points[0], 0.5),
+            Completion::Fresh
+        );
+        assert_eq!(
+            farm.complete(g1.lease, g1.points[0], 0.5),
+            Completion::Duplicate
+        );
+        let g2 = farm.grant(2, 1.0).unwrap();
+        assert_eq!(farm.expire(100.0), 1, "g2 outlived its lease");
+        let g3 = farm.grant(2, 101.0).unwrap();
+        assert!(matches!(
+            farm.fail(g3.lease, g3.points[0], 2, 101.5),
+            FailVerdict::Quarantine { .. }
+        ));
+        farm.disconnect(1);
+        let _ = g2;
+
+        let row = farm.stats_row("toy", 12.5);
+        assert_eq!(row.label(), FARM_STATS_LABEL);
+        assert_eq!(row.get_str("role"), Some("coordinator"));
+        assert_eq!(row.get_num("elapsed_s"), Some(12.5));
+        assert_eq!(row.get_int("workers"), Some(1), "worker 1 disconnected");
+        assert_eq!(row.get_int("worker_joins"), Some(2));
+        assert_eq!(row.get_int("disconnects"), Some(1));
+        assert_eq!(row.get_int("leases_issued"), Some(3));
+        assert_eq!(row.get_int("leases_expired"), Some(1));
+        assert_eq!(row.get_int("points_requeued"), Some(1));
+        assert_eq!(row.get_int("points_remaining"), Some(1));
+        assert_eq!(row.get_int("completions_accepted"), Some(1));
+        assert_eq!(row.get_int("completions_discarded"), Some(1));
+        assert_eq!(row.get_int("failed_attempts"), Some(1));
+        assert_eq!(row.get_int("points_quarantined"), Some(1));
+        // The snapshot is a plain artifact row: it parses back with the
+        // same JSONL parser every other `~` row uses.
+        let back = crate::jsonl::parse_row(&row.to_json_row()).unwrap();
+        assert_eq!(back.label(), FARM_STATS_LABEL);
+    }
 
     #[test]
     fn grants_partition_the_selection() {

@@ -41,6 +41,10 @@
 //!   deterministic [`FaultPlan`] (the `EFT_FAULT_PLAN` variable) that
 //!   plants panics, stalls and disconnects for testing exactly this
 //!   machinery.
+//! * [`trace`] — `--trace <path>` records per-point/per-attempt spans
+//!   (built on `eftq_obs`): deterministic `~span` identity rows stream
+//!   in point order (byte-identical at any `--threads` value), while
+//!   measured durations go to a `<path>.timings` sidecar.
 //!
 //! # Examples
 //!
@@ -72,10 +76,13 @@ pub mod protocol;
 pub mod rows;
 pub mod runner;
 pub mod spec;
+pub mod trace;
 
 pub use cache::ArtifactCache;
 pub use chaos::{FaultKind, FaultPlan};
-pub use farm::{Completion, FailVerdict, FarmState, LeaseGrant, WORKER_ORPHANED_EXIT};
+pub use farm::{
+    Completion, FailVerdict, FarmState, LeaseGrant, FARM_STATS_LABEL, WORKER_ORPHANED_EXIT,
+};
 pub use grid::ArtifactGrid;
 pub use protocol::Msg;
 pub use rows::{json_mode, Row, ERROR_LABEL};
@@ -84,3 +91,4 @@ pub use runner::{
     SweepReport, DEFAULT_SWEEP_SEED,
 };
 pub use spec::{Axis, AxisValue, PointFilter, SweepPoint, SweepSpec};
+pub use trace::TraceWriter;

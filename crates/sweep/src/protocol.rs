@@ -74,6 +74,9 @@ pub enum Msg {
         lease: u64,
         /// Global point id.
         point: usize,
+        /// Which worker-local evaluation attempt succeeded (1-based;
+        /// trace/observability attribution, never gating).
+        attempt: u32,
         /// Evaluation wall-clock seconds (feeds lease batch sizing).
         secs: f64,
         /// The completed row's JSON, exactly as the worker serialized it.
@@ -90,6 +93,8 @@ pub enum Msg {
         lease: u64,
         /// Global point id.
         point: usize,
+        /// Which worker-local evaluation attempt failed (1-based).
+        attempt: u32,
         /// Wall-clock seconds spent on the failed attempt.
         secs: f64,
         /// Failure class: `panic` or `timeout`.
@@ -148,22 +153,26 @@ impl Msg {
             Msg::Done {
                 lease,
                 point,
+                attempt,
                 secs,
                 data,
             } => Row::new(DONE)
                 .int("lease", *lease as i64)
                 .int("point", *point as i64)
+                .int("attempt", i64::from(*attempt))
                 .num("secs", *secs)
                 .str("data", data),
             Msg::Failed {
                 lease,
                 point,
+                attempt,
                 secs,
                 cause,
                 message,
             } => Row::new(FAILED)
                 .int("lease", *lease as i64)
                 .int("point", *point as i64)
+                .int("attempt", i64::from(*attempt))
                 .num("secs", *secs)
                 .str("cause", cause)
                 .str("message", message),
@@ -193,6 +202,14 @@ impl Msg {
             row.get_str(key)
                 .map(str::to_string)
                 .ok_or_else(|| format!("{}: missing string field '{key}'", row.label()))
+        };
+        // Pre-`attempt` peers omit the field; default to the first
+        // attempt so a mixed-version farm keeps working.
+        let attempt = || {
+            row.get_int("attempt")
+                .and_then(|v| u32::try_from(v).ok())
+                .unwrap_or(1)
+                .max(1)
         };
         match row.label() {
             HELLO => Ok(Msg::Hello {
@@ -238,6 +255,7 @@ impl Msg {
                 lease: int("lease")? as u64,
                 point: usize::try_from(int("point")?)
                     .map_err(|_| "~farm-done: negative point id".to_string())?,
+                attempt: attempt(),
                 secs: num("secs")?,
                 data: text("data")?,
             }),
@@ -245,6 +263,7 @@ impl Msg {
                 lease: int("lease")? as u64,
                 point: usize::try_from(int("point")?)
                     .map_err(|_| "~farm-failed: negative point id".to_string())?,
+                attempt: attempt(),
                 secs: num("secs")?,
                 cause: text("cause")?,
                 message: text("message")?,
@@ -296,12 +315,14 @@ mod tests {
         round_trip(Msg::Done {
             lease: 3,
             point: 7,
+            attempt: 1,
             secs: 0.125,
             data: r#"{"row":"fig12","model":"Ising","qubits":16,"gamma":6.83}"#.into(),
         });
         round_trip(Msg::Failed {
             lease: 3,
             point: 7,
+            attempt: 2,
             secs: 0.25,
             cause: "panic".into(),
             message: "chaos: planted panic at point 7".into(),
@@ -309,6 +330,7 @@ mod tests {
         round_trip(Msg::Failed {
             lease: 0,
             point: 0,
+            attempt: 1,
             secs: 60.0,
             cause: "timeout".into(),
             message: "evaluation exceeded the 30s point deadline \"quoted\"".into(),
@@ -325,6 +347,7 @@ mod tests {
         let msg = Msg::Done {
             lease: 1,
             point: 0,
+            attempt: 1,
             secs: 0.0,
             data: inner.to_json_row(),
         };
@@ -334,6 +357,28 @@ mod tests {
         assert_eq!(data, inner.to_json_row());
         let back = crate::jsonl::parse_row(&data).unwrap();
         assert_eq!(back.to_json_row(), inner.to_json_row());
+    }
+
+    #[test]
+    fn pre_attempt_wire_lines_decode_with_attempt_one() {
+        // Lines from a peer built before the `attempt` field existed.
+        let done = r#"{"row":"~farm-done","lease":3,"point":7,"secs":0.125,"data":"{}"}"#;
+        let Msg::Done { attempt, .. } = Msg::decode(done).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(attempt, 1);
+        let failed = r#"{"row":"~farm-failed","lease":3,"point":7,"secs":0.25,"cause":"panic","message":"m"}"#;
+        let Msg::Failed { attempt, .. } = Msg::decode(failed).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(attempt, 1);
+        // A nonsense attempt (negative, zero) clamps to 1 instead of
+        // poisoning the trace attribution.
+        let odd = r#"{"row":"~farm-done","lease":3,"point":7,"attempt":-2,"secs":0.1,"data":"{}"}"#;
+        let Msg::Done { attempt, .. } = Msg::decode(odd).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(attempt, 1);
     }
 
     #[test]

@@ -41,11 +41,13 @@ use crate::chaos::{FaultKind, FaultPlan};
 use crate::jsonl::parse_row;
 use crate::rows::{Row, ERROR_LABEL};
 use crate::spec::{AxisValue, PointFilter, SweepPoint, SweepSpec};
+use crate::trace::{self, TraceWriter};
 use crossbeam::thread;
 use eftq_numerics::SeedSequence;
+use eftq_obs::SpanRecord;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, IsTerminal, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -182,6 +184,12 @@ pub struct SweepOptions {
     /// environment variable under [`SweepOptions::from_env_args`];
     /// injected through `PointCtx::fault`). `None` in production.
     pub fault_plan: Option<FaultPlan>,
+    /// Span-trace artifact path (`--trace PATH`): per-point/per-attempt
+    /// `~span` identity rows stream here in point order (byte-identical
+    /// at any thread count), with measured durations in a
+    /// `PATH.timings` sidecar. See [`crate::trace`]. `None` disables
+    /// tracing.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
@@ -203,6 +211,7 @@ impl Default for SweepOptions {
             retries: 0,
             point_timeout_secs: None,
             fault_plan: None,
+            trace: None,
         }
     }
 }
@@ -212,11 +221,13 @@ impl SweepOptions {
     /// `--threads N`, `--resume PATH`, `--points FILTER`, `--shard k/N`,
     /// `--merge P1,P2,...` (repeatable), `--farm ADDR`, `--worker ADDR`,
     /// `--lease-secs S`, `--max-reconnect-secs S`, `--retries N`,
-    /// `--point-timeout-secs S`, `--summary`, `--json` (all also
-    /// accepted as `--flag=value`). Unrecognized arguments are ignored
-    /// so binaries can add their own flags; progress reporting is
-    /// enabled, `EFT_JSON=1` also turns on JSONL echo, and
-    /// `EFT_FAULT_PLAN` plants a chaos-harness [`FaultPlan`].
+    /// `--point-timeout-secs S`, `--trace PATH`, `--summary`,
+    /// `--progress`, `--json` (all also accepted as `--flag=value`).
+    /// Unrecognized arguments are ignored so binaries can add their own
+    /// flags; progress reporting is enabled when stderr is a terminal
+    /// (force it with `--progress` when piping), `EFT_JSON=1` also
+    /// turns on JSONL echo, and `EFT_FAULT_PLAN` plants a chaos-harness
+    /// [`FaultPlan`].
     ///
     /// # Errors
     ///
@@ -234,8 +245,12 @@ impl SweepOptions {
     ///
     /// Returns a usage message when a flag is malformed.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        // Progress lines are for humans watching a terminal; under a
+        // pipe (CI logs, shell captures) they are noise at best and a
+        // rate bottleneck at worst, so they default off there and come
+        // back with an explicit --progress.
         let mut opts = SweepOptions {
-            progress: true,
+            progress: std::io::stderr().is_terminal(),
             echo_json: crate::rows::json_mode(),
             ..SweepOptions::default()
         };
@@ -254,6 +269,10 @@ impl SweepOptions {
                 opts.echo_json = true;
             } else if arg == "--summary" {
                 opts.summary = true;
+            } else if arg == "--progress" {
+                opts.progress = true;
+            } else if let Some(v) = value_of("--trace", &arg, &mut it) {
+                opts.trace = Some(PathBuf::from(v));
             } else if let Some(v) = value_of("--threads", &arg, &mut it) {
                 opts.threads = v
                     .parse()
@@ -322,6 +341,7 @@ impl SweepOptions {
                 "--max-reconnect-secs",
                 "--retries",
                 "--point-timeout-secs",
+                "--trace",
             ]
             .contains(&arg.as_str())
             {
@@ -349,6 +369,11 @@ impl SweepOptions {
             if !opts.merge.is_empty() {
                 return Err("--worker: --merge does not apply (the coordinator \
                             owns the artifact)"
+                    .into());
+            }
+            if opts.trace.is_some() {
+                return Err("--worker: --trace does not apply (the coordinator \
+                            owns the trace artifact)"
                     .into());
             }
         }
@@ -442,7 +467,8 @@ impl SweepReport {
         if let Some(config) = spec.config() {
             row = row.str("config", config);
         }
-        row.int("points", self.rows.len() as i64)
+        let mut row = row
+            .int("points", self.rows.len() as i64)
             .int("computed", self.computed as i64)
             .int("resumed", self.resumed as i64)
             .int("merged", self.merged as i64)
@@ -454,7 +480,20 @@ impl SweepReport {
             .num("elapsed_s", self.elapsed_secs)
             .num("point_p50_s", quantile(0.5))
             .num("point_p90_s", quantile(0.9))
-            .num("point_max_s", quantile(1.0))
+            .num("point_max_s", quantile(1.0));
+        // Eval-time distribution in log2 buckets: `hist_b{k}` counts the
+        // fresh points whose evaluation took (2^(k-1), 2^k] ns. Only the
+        // non-empty buckets are emitted, so a quantile-flattening
+        // outlier is visible as its own far-right field instead of
+        // hiding inside point_max_s.
+        let hist = eftq_obs::Histogram::new();
+        for &s in &self.point_secs {
+            hist.observe_ns(crate::trace::secs_to_ns(s));
+        }
+        for (bucket, count) in hist.nonzero_buckets() {
+            row = row.int(&format!("hist_b{bucket}"), count as i64);
+        }
+        row
     }
 
     /// The data rows only: every selected point's row except
@@ -703,10 +742,12 @@ where
     // Evaluates point `i` behind the fault guard, retrying up to the
     // `--retries` budget and quarantining on exhaustion; returns false
     // once an artifact write failure makes further evaluation pointless.
+    let tracing = opts.trace.is_some();
     let run_point = |i: usize| -> bool {
         let point = &points[i];
         let seed = root.derive_index(point.id as u64);
         let budget = opts.retries.saturating_add(1);
+        let mut spans: Vec<SpanRecord> = Vec::new();
         for attempt in 1..=budget {
             // Disconnect faults only mean something to a farm worker's
             // connection; local runs skip them so the rows stay
@@ -720,27 +761,55 @@ where
                 attempt,
                 fault,
             };
-            let (row, secs) = match eval_guarded(&eval, point, &ctx, opts.point_timeout_secs) {
-                EvalOutcome::Ok { row, secs } => {
-                    check_row_contract(spec, point, &row);
-                    (row, secs)
-                }
-                EvalOutcome::Failed {
-                    cause,
-                    message,
-                    secs,
-                } => {
-                    failed.fetch_add(1, Ordering::Relaxed);
-                    if attempt < budget {
-                        retried.fetch_add(1, Ordering::Relaxed);
-                        continue;
+            let (row, secs, outcome) =
+                match eval_guarded(&eval, point, &ctx, opts.point_timeout_secs) {
+                    EvalOutcome::Ok { row, secs } => {
+                        check_row_contract(spec, point, &row);
+                        if tracing {
+                            spans.push(trace::eval_span(point.id, attempt, "ok", None, secs));
+                        }
+                        (row, secs, "ok")
                     }
-                    quarantined.fetch_add(1, Ordering::Relaxed);
-                    (point.error_row(spec.name(), cause, &message, attempt), secs)
-                }
-            };
+                    EvalOutcome::Failed {
+                        cause,
+                        message,
+                        secs,
+                    } => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        if tracing {
+                            spans.push(trace::eval_span(
+                                point.id,
+                                attempt,
+                                cause,
+                                Some((cause, &message)),
+                                secs,
+                            ));
+                        }
+                        if attempt < budget {
+                            retried.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        quarantined.fetch_add(1, Ordering::Relaxed);
+                        (
+                            point.error_row(spec.name(), cause, &message, attempt),
+                            secs,
+                            "quarantined",
+                        )
+                    }
+                };
+            if tracing {
+                let root_span = trace::point_span(spec.name(), point, outcome, attempt)
+                    .duration_ns(trace::secs_to_ns(secs));
+                spans.insert(0, root_span);
+            }
             let mut em = emitter.lock().expect("sweep emitter poisoned");
-            em.push(i, row, RowSource::Computed, secs);
+            em.push(
+                i,
+                row,
+                RowSource::Computed,
+                secs,
+                std::mem::take(&mut spans),
+            );
             return !em.write_failed();
         }
         unreachable!("the retry loop always pushes on its final attempt");
@@ -1006,6 +1075,39 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// then stream to the artifact (freshly computed and merged rows — rows
 /// resumed from the artifact itself are already on disk), stdout (under
 /// `--json`) and the progress meter.
+/// Rate limiter for the stderr progress meter: at µs-scale points the
+/// per-point line would otherwise dominate the run (and scroll any
+/// terminal into uselessness), so lines are spaced at least
+/// `min_interval_s` apart — except the final one, which always prints
+/// so the 100% line is never dropped.
+pub(crate) struct ProgressGate {
+    min_interval_s: f64,
+    last_s: Option<f64>,
+}
+
+impl ProgressGate {
+    /// ~5 lines per second at most.
+    pub(crate) fn new() -> Self {
+        ProgressGate {
+            min_interval_s: 0.2,
+            last_s: None,
+        }
+    }
+
+    /// Whether a line at elapsed time `now_s` may print; `is_final`
+    /// bypasses the spacing.
+    pub(crate) fn should_emit(&mut self, now_s: f64, is_final: bool) -> bool {
+        let due = self
+            .last_s
+            .map_or(true, |t| now_s - t >= self.min_interval_s);
+        if is_final || due {
+            self.last_s = Some(now_s);
+            return true;
+        }
+        false
+    }
+}
+
 pub(crate) struct Emitter {
     name: String,
     file: Option<File>,
@@ -1015,10 +1117,14 @@ pub(crate) struct Emitter {
     /// run's `Err`, and the run loops stop evaluating once it is set
     /// (the checkpoint can no longer keep up with the computation).
     write_error: Option<String>,
+    /// `--trace` span streams; trace write failures fold into
+    /// `write_error` like artifact ones.
+    trace: Option<TraceWriter>,
     echo_json: bool,
     progress: bool,
+    gate: ProgressGate,
     next: usize,
-    buffered: BTreeMap<usize, (Row, RowSource)>,
+    buffered: BTreeMap<usize, (Row, RowSource, Vec<SpanRecord>)>,
     done: Vec<Row>,
     point_secs: Vec<f64>,
     fresh_done: usize,
@@ -1071,13 +1177,22 @@ impl Emitter {
             }
             None => None,
         };
+        let trace = match &opts.trace {
+            Some(path) => Some(
+                TraceWriter::create(path)
+                    .map_err(|e| format!("cannot create trace artifact {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
         let mut emitter = Emitter {
             name: spec.name().to_string(),
             file,
             path: opts.artifact.clone(),
             write_error: None,
+            trace,
             echo_json: opts.echo_json,
             progress: opts.progress,
+            gate: ProgressGate::new(),
             next: 0,
             buffered: BTreeMap::new(),
             done: Vec::with_capacity(points.len()),
@@ -1095,17 +1210,35 @@ impl Emitter {
             );
         }
         // Seed the resumed/merged rows so in-order flushing can
-        // interleave them.
+        // interleave them. Under --trace each gets a root span whose
+        // outcome records the provenance (no eval children — nothing
+        // ran), keeping the trace a complete per-point account.
         for (&i, (row, source)) in resumed {
-            emitter.push(i, row.clone(), *source, 0.0);
+            let spans = if emitter.trace.is_some() {
+                let outcome = match source {
+                    RowSource::Merge => "merged",
+                    _ => "resumed",
+                };
+                vec![trace::point_span(&emitter.name, &points[i], outcome, 0)]
+            } else {
+                Vec::new()
+            };
+            emitter.push(i, row.clone(), *source, 0.0, spans);
         }
         Ok(emitter)
     }
 
-    pub(crate) fn push(&mut self, index: usize, row: Row, source: RowSource, secs: f64) {
-        self.buffered.insert(index, (row, source));
-        while let Some((row, source)) = self.buffered.remove(&self.next) {
-            self.flush_one(&row, source);
+    pub(crate) fn push(
+        &mut self,
+        index: usize,
+        row: Row,
+        source: RowSource,
+        secs: f64,
+        spans: Vec<SpanRecord>,
+    ) {
+        self.buffered.insert(index, (row, source, spans));
+        while let Some((row, source, spans)) = self.buffered.remove(&self.next) {
+            self.flush_one(&row, source, &spans);
             self.done.push(row);
             self.next += 1;
         }
@@ -1116,7 +1249,20 @@ impl Emitter {
         }
     }
 
-    fn flush_one(&mut self, row: &Row, source: RowSource) {
+    fn flush_one(&mut self, row: &Row, source: RowSource, spans: &[SpanRecord]) {
+        // Spans flush in point order regardless of completion order —
+        // that (plus identity/timing separation) is what makes the
+        // trace byte-identical across thread counts.
+        if let Some(writer) = &mut self.trace {
+            if let Err(e) = writer.write_spans(spans) {
+                if self.write_error.is_none() {
+                    self.write_error = Some(format!(
+                        "cannot write trace artifact {}: {e}",
+                        writer.path().display()
+                    ));
+                }
+            }
+        }
         if source != RowSource::Artifact && self.write_error.is_none() {
             if let Some(file) = &mut self.file {
                 // Flushed per row: this is the checkpoint a killed run
@@ -1142,11 +1288,15 @@ impl Emitter {
         self.write_error.is_some()
     }
 
-    fn report_progress(&self) {
+    fn report_progress(&mut self) {
         if !self.progress {
             return;
         }
         let elapsed = self.started.elapsed().as_secs_f64();
+        let is_final = self.fresh_done == self.fresh_total;
+        if !self.gate.should_emit(elapsed, is_final) {
+            return;
+        }
         let eta = if self.fresh_done > 0 {
             elapsed / self.fresh_done as f64 * (self.fresh_total - self.fresh_done) as f64
         } else {
@@ -1168,7 +1318,18 @@ impl Emitter {
         );
     }
 
-    fn finish(self) -> Result<(Vec<Row>, Vec<f64>), String> {
+    fn finish(mut self) -> Result<(Vec<Row>, Vec<f64>), String> {
+        if let Some(writer) = self.trace.take() {
+            let path = writer.path().to_path_buf();
+            if let Err(e) = writer.finish() {
+                if self.write_error.is_none() {
+                    self.write_error = Some(format!(
+                        "cannot write trace artifact {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
+        }
         if let Some(e) = self.write_error {
             return Err(format!(
                 "[{}] {e} — completed rows could not be checkpointed; rerun \
@@ -1684,14 +1845,20 @@ mod tests {
             "a.jsonl, b.jsonl",
             "--merge=c.jsonl",
             "--summary",
+            "--trace",
+            "trace.jsonl",
             "--other-binary-flag",
         ]))
         .unwrap();
         assert!(o.echo_json);
-        assert!(o.progress);
+        assert!(
+            !o.progress,
+            "the test harness pipes stderr, so progress defaults off"
+        );
         assert!(o.summary);
         assert_eq!(o.threads, 8);
         assert_eq!(o.artifact.as_deref(), Some(Path::new("out.jsonl")));
+        assert_eq!(o.trace.as_deref(), Some(Path::new("trace.jsonl")));
         assert_eq!(o.filter, Some(PointFilter::parse("n=4|8").unwrap()));
         assert_eq!(o.shard, Some(Shard { index: 1, count: 4 }));
         assert_eq!(
@@ -1709,8 +1876,17 @@ mod tests {
         assert!(!o.summary);
         assert_eq!(o.shard, None);
         assert!(o.merge.is_empty());
+        assert_eq!(o.trace, None);
+
+        // --progress forces the meter on even without a TTY.
+        let o = SweepOptions::from_args(args(&["--progress"])).unwrap();
+        assert!(o.progress);
 
         assert!(SweepOptions::from_args(args(&["--threads"])).is_err());
+        assert!(SweepOptions::from_args(args(&["--trace"])).is_err());
+        let err =
+            SweepOptions::from_args(args(&["--worker", "a:1", "--trace", "t.jsonl"])).unwrap_err();
+        assert!(err.contains("--trace does not apply"), "{err}");
         assert!(SweepOptions::from_args(args(&["--threads", "zero"])).is_err());
         assert!(SweepOptions::from_args(args(&["--threads", "0"])).is_err());
         assert!(SweepOptions::from_args(args(&["--points", "broken"])).is_err());
@@ -2088,8 +2264,10 @@ mod tests {
             file: Some(File::open(&victim).unwrap()), // read-only handle
             path: Some(victim.clone()),
             write_error: None,
+            trace: None,
             echo_json: false,
             progress: false,
+            gate: ProgressGate::new(),
             next: 0,
             buffered: BTreeMap::new(),
             done: Vec::new(),
@@ -2100,12 +2278,190 @@ mod tests {
             total: 2,
             started: Instant::now(),
         };
-        em.push(0, Row::new("toy").int("n", 1), RowSource::Computed, 0.0);
+        em.push(
+            0,
+            Row::new("toy").int("n", 1),
+            RowSource::Computed,
+            0.0,
+            Vec::new(),
+        );
         assert!(em.write_failed());
-        em.push(1, Row::new("toy").int("n", 2), RowSource::Computed, 0.0);
+        em.push(
+            1,
+            Row::new("toy").int("n", 2),
+            RowSource::Computed,
+            0.0,
+            Vec::new(),
+        );
         let err = em.finish().unwrap_err();
         assert!(err.contains("cannot write artifact"), "{err}");
         assert!(err.contains("readonly-artifact.jsonl"), "{err}");
         assert!(err.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn trace_identity_bytes_are_stable_across_thread_counts() {
+        let spec = spec();
+        let base_trace = tmp("trace-t1.jsonl");
+        let base = run_sweep(
+            &spec,
+            &SweepOptions {
+                trace: Some(base_trace.clone()),
+                retries: 1,
+                ..SweepOptions::default()
+            },
+            poisoned_eval,
+        )
+        .unwrap();
+        assert_eq!(base.quarantined, 1);
+        let base_bytes = std::fs::read(&base_trace).unwrap();
+        for threads in [4usize, 8] {
+            let path = tmp(&format!("trace-t{threads}.jsonl"));
+            run_sweep(
+                &spec,
+                &SweepOptions {
+                    trace: Some(path.clone()),
+                    retries: 1,
+                    threads,
+                    ..SweepOptions::default()
+                },
+                poisoned_eval,
+            )
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                base_bytes,
+                "threads {threads}: the identity stream must not depend on scheduling"
+            );
+        }
+        // Shape: one root span per point in id order, eval children
+        // parented beneath, the poisoned point quarantined after its
+        // retry, and no durations in the identity stream.
+        let rows: Vec<Row> = lines(&base_trace)
+            .iter()
+            .map(|l| parse_row(l).unwrap())
+            .collect();
+        assert_eq!(
+            rows.len(),
+            12 + 13,
+            "12 roots + 11 ok evals + 2 failed evals"
+        );
+        let roots: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.get_str("name") == Some("point"))
+            .collect();
+        assert_eq!(roots.len(), 12);
+        let ids: Vec<i64> = roots.iter().map(|r| r.get_int("point").unwrap()).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<i64>>(), "roots in point order");
+        let quarantined: Vec<&&Row> = roots
+            .iter()
+            .filter(|r| r.get_str("outcome") == Some("quarantined"))
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].get_int("attempts"), Some(2));
+        assert!(rows.iter().all(|r| r.get_int("duration_ns").is_none()));
+        let evals: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.get_str("name") == Some("eval"))
+            .collect();
+        assert_eq!(evals.len(), 13);
+        assert!(evals.iter().all(|r| r.get_str("parent").is_some()));
+        // The timing sidecar carries exactly one duration per span, and
+        // is allowed to differ between runs.
+        let timings = std::fs::read_to_string(trace::timing_path(&base_trace)).unwrap();
+        let timing_rows: Vec<Row> = timings.lines().map(|l| parse_row(l).unwrap()).collect();
+        assert_eq!(timing_rows.len(), rows.len());
+        assert!(timing_rows
+            .iter()
+            .all(|r| r.get_int("duration_ns").is_some()));
+    }
+
+    #[test]
+    fn traced_resume_marks_provenance_without_eval_spans() {
+        let spec = spec();
+        let artifact = tmp("trace-resume-artifact.jsonl");
+        let _ = std::fs::remove_file(&artifact);
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(artifact.clone()),
+                ..SweepOptions::default()
+            },
+            eval,
+        )
+        .unwrap();
+        let trace_path = tmp("trace-resume.jsonl");
+        let report = run_sweep(
+            &spec,
+            &SweepOptions {
+                artifact: Some(artifact),
+                trace: Some(trace_path.clone()),
+                ..SweepOptions::default()
+            },
+            |_, _| unreachable!("all resumed"),
+        )
+        .unwrap();
+        assert_eq!(report.resumed, 12);
+        let rows: Vec<Row> = lines(&trace_path)
+            .iter()
+            .map(|l| parse_row(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 12, "root spans only — nothing evaluated");
+        assert!(rows
+            .iter()
+            .all(|r| r.get_str("outcome") == Some("resumed") && r.get_int("attempts") == Some(0)));
+    }
+
+    #[test]
+    fn summary_row_reports_eval_time_histogram_buckets() {
+        let spec = spec();
+        let report = run_sweep(&spec, &SweepOptions::default(), eval).unwrap();
+        let row = report.summary_row(&spec);
+        // Reconstruct the expected buckets from the reported timings.
+        let hist = eftq_obs::Histogram::new();
+        for &s in &report.point_secs {
+            hist.observe_ns(trace::secs_to_ns(s));
+        }
+        let buckets = hist.nonzero_buckets();
+        assert!(!buckets.is_empty());
+        let total: i64 = buckets
+            .iter()
+            .map(|(k, _)| row.get_int(&format!("hist_b{k}")).unwrap())
+            .sum();
+        assert_eq!(total, 12, "every fresh point lands in exactly one bucket");
+        for (k, count) in buckets {
+            assert_eq!(row.get_int(&format!("hist_b{k}")), Some(count as i64));
+        }
+        // No fresh points → no histogram fields.
+        let empty = SweepReport {
+            rows: Vec::new(),
+            computed: 0,
+            resumed: 0,
+            merged: 0,
+            unmatched_lines: 0,
+            malformed_lines: 0,
+            point_secs: Vec::new(),
+            elapsed_secs: 0.0,
+            failed: 0,
+            retried: 0,
+            quarantined: 0,
+        };
+        assert!(!empty.summary_row(&spec).to_json_row().contains("hist_b"));
+    }
+
+    #[test]
+    fn progress_gate_limits_line_rate_but_never_drops_the_final_line() {
+        let mut gate = ProgressGate::new();
+        // 100 points completing 1ms apart: ~5 lines/sec, not 1000.
+        let mut emitted = 0;
+        for i in 0..1000 {
+            if gate.should_emit(i as f64 * 0.001, false) {
+                emitted += 1;
+            }
+        }
+        assert!(emitted <= 6, "{emitted} lines in a simulated second");
+        assert!(emitted >= 1, "the first line prints immediately");
+        // The final line always prints, even right after another.
+        assert!(gate.should_emit(1.0001, true));
     }
 }

@@ -1,0 +1,246 @@
+//! `--trace` artifacts: a deterministic span stream plus a timing sidecar.
+//!
+//! A traced sweep writes two JSONL files. The main file at the
+//! requested path holds `~span` *identity* rows — name, stable id,
+//! parent, axis and outcome fields — emitted in point order, so the
+//! file is byte-identical across `--threads` values and diffs clean
+//! between runs. The sidecar at `<path>.timings` holds `~span-timing`
+//! rows (span id → measured `duration_ns`), the part that genuinely
+//! varies run to run and is excluded from diffs.
+//!
+//! Span ids derive from point ids: the root span of point 3 is `p3`,
+//! its second evaluation attempt is `p3/a2` with parent `p3`. Both
+//! files parse line-by-line with [`crate::jsonl::parse_row`].
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use eftq_obs::SpanRecord;
+
+use crate::spec::{AxisValue, SweepPoint};
+
+/// Suffix appended to the trace path for the timing sidecar.
+pub const TIMING_SUFFIX: &str = ".timings";
+
+/// The timing sidecar path for a trace artifact path.
+pub fn timing_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(TIMING_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// Writes the two trace streams; created (truncating) up front so a
+/// crashed run leaves a diagnosable prefix rather than nothing.
+#[derive(Debug)]
+pub struct TraceWriter {
+    path: PathBuf,
+    main: BufWriter<File>,
+    timings: BufWriter<File>,
+}
+
+impl TraceWriter {
+    /// Creates (truncates) `path` and `path.timings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when either file cannot be
+    /// created.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(TraceWriter {
+            path: path.to_path_buf(),
+            main: BufWriter::new(File::create(path)?),
+            timings: BufWriter::new(File::create(timing_path(path))?),
+        })
+    }
+
+    /// The main (identity) trace path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a batch of spans: identity rows to the main file, one
+    /// timing row per stamped duration to the sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error.
+    pub fn write_spans(&mut self, spans: &[SpanRecord]) -> io::Result<()> {
+        for span in spans {
+            writeln!(self.main, "{}", span.to_json_row())?;
+            if let Some(timing) = span.timing_json_row() {
+                writeln!(self.timings, "{timing}")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes both streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first flush error.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.main.flush()?;
+        self.timings.flush()
+    }
+}
+
+/// The stable span id of a point: `p{id}`.
+pub fn point_span_id(point_id: usize) -> String {
+    format!("p{point_id}")
+}
+
+/// The stable span id of evaluation attempt `attempt` of a point:
+/// `p{id}/a{attempt}`.
+pub fn attempt_span_id(point_id: usize, attempt: u32) -> String {
+    format!("p{point_id}/a{attempt}")
+}
+
+/// The root span of a sweep point: spec, point id, every axis value,
+/// the final `outcome` (`ok`, `quarantined`, `resumed`, `merged`) and
+/// how many evaluation attempts ran. Pure function of its inputs, so
+/// the identity row is byte-identical at any thread count.
+pub fn point_span(spec_name: &str, point: &SweepPoint, outcome: &str, attempts: u32) -> SpanRecord {
+    let mut span = SpanRecord::new("point", &point_span_id(point.id))
+        .str("spec", spec_name)
+        .int("point", point.id as i64);
+    for (name, value) in &point.values {
+        span = match value {
+            AxisValue::Int(i) => span.int(name, *i),
+            AxisValue::Num(x) => span.num(name, *x),
+            AxisValue::Str(s) => span.str(name, s),
+        };
+    }
+    span.str("outcome", outcome)
+        .int("attempts", i64::from(attempts))
+}
+
+/// One evaluation attempt of a point, parented under its root span.
+/// `failure` carries `(cause, message)` for `panic`/`timeout`
+/// outcomes; `secs` is stamped as the (sidecar-only) duration.
+pub fn eval_span(
+    point_id: usize,
+    attempt: u32,
+    outcome: &str,
+    failure: Option<(&str, &str)>,
+    secs: f64,
+) -> SpanRecord {
+    let mut span = SpanRecord::new("eval", &attempt_span_id(point_id, attempt))
+        .parent(&point_span_id(point_id))
+        .int("attempt", i64::from(attempt))
+        .str("outcome", outcome);
+    if let Some((cause, message)) = failure {
+        span = span.str("cause", cause).str("message", message);
+    }
+    span.duration_ns(secs_to_ns(secs))
+}
+
+/// Converts a non-negative duration in seconds to whole nanoseconds.
+pub fn secs_to_ns(secs: f64) -> u64 {
+    if secs.is_finite() && secs > 0.0 {
+        (secs * 1e9).round().min(u64::MAX as f64) as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::parse_row;
+    use crate::spec::SweepSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eftq-trace-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("trace.jsonl")
+    }
+
+    fn demo_point() -> (SweepSpec, SweepPoint) {
+        let spec = SweepSpec::new("toy")
+            .axis_strs("model", ["A", "B"])
+            .axis_ints("n", [4, 8])
+            .axis_nums("p", [0.0, 1.0]);
+        let point = spec.point(5);
+        (spec, point)
+    }
+
+    #[test]
+    fn span_rows_parse_with_the_artifact_parser() {
+        let (spec, point) = demo_point();
+        let root = point_span(spec.name(), &point, "ok", 1);
+        let row = parse_row(&root.to_json_row()).unwrap();
+        assert_eq!(row.label(), eftq_obs::SPAN_LABEL);
+        assert_eq!(row.get_str("id"), Some("p5"));
+        assert_eq!(row.get_str("name"), Some("point"));
+        assert_eq!(row.get_str("spec"), Some("toy"));
+        assert_eq!(row.get_int("point"), Some(5));
+        assert_eq!(row.get_str("outcome"), Some("ok"));
+        assert_eq!(row.get_int("attempts"), Some(1));
+
+        let eval = eval_span(5, 2, "panic", Some(("panic", "poison: bad point")), 0.25);
+        let row = parse_row(&eval.to_json_row()).unwrap();
+        assert_eq!(row.get_str("id"), Some("p5/a2"));
+        assert_eq!(row.get_str("parent"), Some("p5"));
+        assert_eq!(row.get_str("cause"), Some("panic"));
+        assert!(
+            row.get_str("duration_ns").is_none() && row.get_int("duration_ns").is_none(),
+            "durations never leak into identity rows"
+        );
+        let timing = parse_row(&eval.timing_json_row().unwrap()).unwrap();
+        assert_eq!(timing.label(), eftq_obs::SPAN_TIMING_LABEL);
+        assert_eq!(timing.get_int("duration_ns"), Some(250_000_000));
+    }
+
+    #[test]
+    fn point_spans_carry_every_axis_value() {
+        let (spec, point) = demo_point();
+        let row =
+            parse_row(&point_span(spec.name(), &point, "quarantined", 3).to_json_row()).unwrap();
+        assert_eq!(row.get_str("model"), Some("B"));
+        assert_eq!(row.get_int("n"), Some(4));
+        assert_eq!(row.get_num("p"), Some(1.0));
+    }
+
+    #[test]
+    fn writer_splits_identity_and_timing_streams() {
+        let path = tmp("split");
+        let (spec, point) = demo_point();
+        let mut writer = TraceWriter::create(&path).unwrap();
+        writer
+            .write_spans(&[
+                point_span(spec.name(), &point, "ok", 1).duration_ns(10),
+                eval_span(5, 1, "ok", None, 0.001),
+                point_span(spec.name(), &point, "resumed", 0),
+            ])
+            .unwrap();
+        writer.finish().unwrap();
+
+        let main = std::fs::read_to_string(&path).unwrap();
+        let main_rows: Vec<_> = main.lines().map(|l| parse_row(l).unwrap()).collect();
+        assert_eq!(main_rows.len(), 3);
+        assert!(main_rows.iter().all(|r| r.label() == eftq_obs::SPAN_LABEL));
+
+        let timings = std::fs::read_to_string(timing_path(&path)).unwrap();
+        let timing_rows: Vec<_> = timings.lines().map(|l| parse_row(l).unwrap()).collect();
+        assert_eq!(timing_rows.len(), 2, "the unstamped span has no timing row");
+        assert!(timing_rows
+            .iter()
+            .all(|r| r.label() == eftq_obs::SPAN_TIMING_LABEL));
+        assert_eq!(timing_rows[1].get_int("duration_ns"), Some(1_000_000));
+    }
+
+    #[test]
+    fn second_create_truncates_both_files() {
+        let path = tmp("truncate");
+        let mut writer = TraceWriter::create(&path).unwrap();
+        writer
+            .write_spans(&[eval_span(0, 1, "ok", None, 1.0)])
+            .unwrap();
+        writer.finish().unwrap();
+        TraceWriter::create(&path).unwrap().finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        assert_eq!(std::fs::read_to_string(timing_path(&path)).unwrap(), "");
+    }
+}

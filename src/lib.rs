@@ -18,8 +18,8 @@
 //! # Layering
 //!
 //! ```text
-//! numerics → {pauli, sweep} → {circuit, stabilizer, statesim}
-//!          → {qec → layout} → optim → core (eft_vqa) → {bench, planner}
+//! {obs, numerics} → {pauli, sweep} → {circuit, stabilizer, statesim}
+//!                 → {qec → layout} → optim → core (eft_vqa) → {bench, planner}
 //! ```
 //!
 //! The [`sweep`] layer is the resumable, parallel sweep engine every
@@ -47,6 +47,7 @@ pub use eftq_bench as bench;
 pub use eftq_circuit as circuit;
 pub use eftq_layout as layout;
 pub use eftq_numerics as numerics;
+pub use eftq_obs as obs;
 pub use eftq_optim as optim;
 pub use eftq_pauli as pauli;
 pub use eftq_planner as planner;

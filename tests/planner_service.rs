@@ -14,6 +14,7 @@
 use eft_vqa_repro::planner::{serve, ServerConfig, SurfaceIndex};
 use eft_vqa_repro::sweep::jsonl::parse_row;
 use eft_vqa_repro::sweep::FaultPlan;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
@@ -278,6 +279,213 @@ fn overload_sheds_with_clean_429s_and_health_stays_live() {
         shed + expired > 0,
         "burst past a full queue must shed or expire, got {statuses:?}"
     );
+    handle.drain();
+}
+
+/// Parses a Prometheus text exposition body into `series → value`,
+/// panicking on any line that is not a `#` comment or a well-formed
+/// `name value` sample. (`/metrics` bodies are text, not JSONL, so
+/// they deliberately bypass `assert_clean`.)
+fn parse_metrics(body: &str, context: &str) -> BTreeMap<String, f64> {
+    assert!(!body.is_empty(), "{context}: empty metrics body");
+    let mut series = BTreeMap::new();
+    for line in body.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("{context}: malformed metrics line {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("{context}: bad sample value in {line:?}: {e}"));
+        assert!(!value.is_nan(), "{context}: NaN sample in {line:?}");
+        assert!(
+            series.insert(name.to_string(), value).is_none(),
+            "{context}: duplicate series {name:?}"
+        );
+    }
+    series
+}
+
+/// Counter-style series (`_total` / `_count` / `_sum` / `_bucket`) must
+/// never move backwards — or disappear — between two scrapes of the
+/// same server.
+fn assert_metrics_monotonic(
+    earlier: &BTreeMap<String, f64>,
+    later: &BTreeMap<String, f64>,
+    context: &str,
+) {
+    for (key, &before) in earlier {
+        let base = key.split('{').next().unwrap();
+        if !(base.ends_with("_total")
+            || base.ends_with("_count")
+            || base.ends_with("_sum")
+            || base.ends_with("_bucket"))
+        {
+            continue;
+        }
+        let after = *later
+            .get(key)
+            .unwrap_or_else(|| panic!("{context}: counter series {key:?} disappeared"));
+        assert!(
+            after >= before,
+            "{context}: {key} went backwards: {before} -> {after}"
+        );
+    }
+}
+
+/// Satellite to the chaos soak: `/metrics` scraped while the poisoned,
+/// overloaded server is being hammered must stay parseable with
+/// monotonic counters, and once the load quiesces the shed / deadline /
+/// degraded series must equal exactly what the clients observed on the
+/// wire, with the latency histogram counting every response once.
+#[test]
+fn metrics_scrapes_stay_consistent_under_chaos() {
+    let cfg = ServerConfig {
+        deadline: Duration::from_millis(250),
+        queue: 8,
+        workers: 2,
+        parsers: 2,
+        exact_budget: Duration::from_millis(5),
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(50),
+        fault_plan: Some(FaultPlan::parse("panic~0.4x9,stall~0.2x9").unwrap()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(advisor_index(), cfg).unwrap();
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 5;
+    const PER_CLIENT: usize = 24;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let (mut shed, mut expired, mut degraded) = (0u64, 0u64, 0u64);
+                for i in 0..PER_CLIENT {
+                    let k = c * PER_CLIENT + i;
+                    let (status, body) = match k % 3 {
+                        // The poisoned exact path.
+                        0 => raw_get(
+                            addr,
+                            &format!(
+                                "/plan?logical_qubits={}&device_qubits=25000&exact=1",
+                                8 + k % 40
+                            ),
+                        ),
+                        // Off-grid: degrades with `extrapolated`.
+                        1 => raw_get(addr, "/plan?logical_qubits=900&device_qubits=200"),
+                        _ => raw_get(addr, "/plan?logical_qubits=24&device_qubits=30000"),
+                    }
+                    .unwrap_or_else(|e| panic!("metrics soak client {c} request {i}: {e}"));
+                    assert_clean(
+                        status,
+                        &body,
+                        &format!("metrics soak client {c} request {i}"),
+                    );
+                    match status {
+                        429 => shed += 1,
+                        504 => expired += 1,
+                        200 => {
+                            for line in body.lines() {
+                                if parse_row(line).unwrap().get_int("degraded") == Some(1) {
+                                    degraded += 1;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                (shed, expired, degraded)
+            })
+        })
+        .collect();
+
+    // Mid-soak scrapes: each body must parse, and no counter may move
+    // backwards between consecutive scrapes.
+    let mut previous: Option<BTreeMap<String, f64>> = None;
+    for scrape in 0..4 {
+        std::thread::sleep(Duration::from_millis(40));
+        let (status, body) =
+            raw_get(addr, "/metrics").unwrap_or_else(|e| panic!("mid-soak scrape {scrape}: {e}"));
+        assert_eq!(status, 200, "mid-soak scrape {scrape}: {body}");
+        let series = parse_metrics(&body, &format!("mid-soak scrape {scrape}"));
+        if let Some(earlier) = &previous {
+            assert_metrics_monotonic(earlier, &series, &format!("mid-soak scrape {scrape}"));
+        }
+        previous = Some(series);
+    }
+
+    // Quiesce: every client response is counted before it is written,
+    // so once the threads join the final scrape sees all of them.
+    let (mut shed, mut expired, mut degraded) = (0u64, 0u64, 0u64);
+    for t in clients {
+        let (s, e, d) = t.join().unwrap();
+        shed += s;
+        expired += e;
+        degraded += d;
+    }
+    let (status, body) = raw_get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200, "final scrape: {body}");
+    let series = parse_metrics(&body, "final scrape");
+    assert_metrics_monotonic(previous.as_ref().unwrap(), &series, "final scrape");
+
+    // The shed / deadline / degraded counters are exact mirrors of what
+    // the clients saw on the wire.
+    assert!(degraded > 0, "chaos soak produced no degraded answers");
+    assert_eq!(series["planner_shed_total"] as u64, shed, "{body}");
+    assert_eq!(series["planner_deadline_total"] as u64, expired, "{body}");
+    assert_eq!(series["planner_degraded_total"] as u64, degraded, "{body}");
+
+    // Histogram-sum consistency: every response — including the scrape
+    // answering this assertion — was timed exactly once, and the
+    // cumulative buckets account for every observation.
+    let requests: f64 = series
+        .iter()
+        .filter(|(k, _)| k.starts_with("planner_requests_total{"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(
+        requests, series["planner_request_seconds_count"],
+        "per-route counts must sum to the latency histogram count: {body}"
+    );
+    assert_eq!(
+        series["planner_request_seconds_bucket{le=\"+Inf\"}"],
+        series["planner_request_seconds_count"],
+        "{body}"
+    );
+
+    // The full cataloged surface is present after a real soak, and the
+    // queue has drained back to empty.
+    for name in [
+        "planner_requests_total{",
+        "planner_request_seconds_bucket{",
+        "planner_request_seconds_sum",
+        "planner_request_seconds_count",
+        "planner_request_seconds_p50_seconds",
+        "planner_request_seconds_p99_seconds",
+        "planner_admitted_total",
+        "planner_served_total",
+        "planner_degraded_total",
+        "planner_exact_total",
+        "planner_exact_failures_total",
+        "planner_shed_total",
+        "planner_deadline_total",
+        "planner_rejected_total",
+        "planner_inline_total",
+        "planner_breaker_state",
+        "planner_breaker_trips_total",
+        "planner_queue_depth",
+        "planner_surfaces_loaded",
+    ] {
+        assert!(
+            series.keys().any(|k| k.starts_with(name)),
+            "cataloged series {name:?} missing from final scrape: {body}"
+        );
+    }
+    assert_eq!(series["planner_queue_depth"], 0.0, "{body}");
+    assert!(series["planner_surfaces_loaded"] > 0.0, "{body}");
+
     handle.drain();
 }
 

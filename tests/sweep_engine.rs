@@ -5,6 +5,7 @@
 //! (reduced) physics workloads.
 
 use eft_vqa_repro::prelude::*;
+use eft_vqa_repro::sweep::jsonl::parse_row;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -464,6 +465,65 @@ fn table1_driver_rows_reproduce_the_paper_table_shape() {
         assert!(mean("Intermediate") <= mean("Fast") + 1e-9, "{ansatz}");
         assert!(mean("Fast") <= mean("Grid") + 1e-9, "{ansatz}");
     }
+}
+
+/// Acceptance for the tracing tentpole: a fig12 sweep traced at
+/// `--threads 1` and `--threads 8` writes byte-identical `--trace`
+/// artifacts. Span identity (stable ids, axes, outcomes, attempt
+/// counts) lives in the diffable main file; wall-clock durations live
+/// only in the `<path>.timings` sidecar, which is *not* compared.
+#[test]
+fn fig12_trace_artifact_is_byte_identical_across_thread_counts() {
+    let spec = Fig12Driver::spec(false);
+    let driver = Fig12Driver::new(false);
+    // One qubit rung keeps the VQE budget small; the filter still
+    // leaves 6 points (2 models × 3 couplings) to shuffle across
+    // worker threads.
+    let filter = PointFilter::parse("qubits=16").unwrap();
+    let mut traces = Vec::new();
+    for threads in [1usize, 8] {
+        let path = tmp(&format!("fig12-trace-{threads}.jsonl"));
+        let timings_path = eft_vqa_repro::sweep::trace::timing_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&timings_path);
+        let report = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads,
+                filter: Some(filter.clone()),
+                trace: Some(path.clone()),
+                ..SweepOptions::default()
+            },
+            |p, _| driver.eval(p),
+        )
+        .unwrap();
+        assert_eq!(report.rows.len(), 6, "threads = {threads}");
+
+        let trace = file_lines(&path);
+        // One root span + one successful eval span per point.
+        assert_eq!(trace.len(), 12, "threads = {threads}: {trace:?}");
+        for line in &trace {
+            let row = parse_row(line).unwrap();
+            assert_eq!(row.get_str("outcome"), Some("ok"), "{line}");
+            assert!(
+                matches!(row.get_str("name"), Some("point" | "eval")),
+                "{line}"
+            );
+        }
+        // The sidecar carries exactly one timing row per span; its
+        // durations are machine-dependent, so only its shape is
+        // checked.
+        let timings = file_lines(&timings_path);
+        assert_eq!(timings.len(), trace.len(), "threads = {threads}");
+        for line in &timings {
+            parse_row(line).unwrap();
+        }
+        traces.push(trace);
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "trace identity must not depend on thread count"
+    );
 }
 
 #[test]

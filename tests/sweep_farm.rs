@@ -422,6 +422,7 @@ fn hostile_wire_traffic_cannot_corrupt_the_artifact() {
                     Msg::Done {
                         lease: 999,
                         point: 424242,
+                        attempt: 1,
                         secs: 0.1,
                         data: "{\"row\":\"fig12\"}".into(),
                     }
@@ -435,6 +436,7 @@ fn hostile_wire_traffic_cannot_corrupt_the_artifact() {
                     Msg::Done {
                         lease: 999,
                         point: 0,
+                        attempt: 1,
                         secs: 0.1,
                         data: "{not a row".into(),
                     }
@@ -452,6 +454,7 @@ fn hostile_wire_traffic_cannot_corrupt_the_artifact() {
                     Msg::Done {
                         lease: 999,
                         point: 0,
+                        attempt: 1,
                         secs: 0.1,
                         data: wrong,
                     }
@@ -468,6 +471,7 @@ fn hostile_wire_traffic_cannot_corrupt_the_artifact() {
                     let done = Msg::Done {
                         lease,
                         point: points[0],
+                        attempt: 1,
                         secs: 0.1,
                         data: row,
                     }
@@ -561,6 +565,7 @@ proptest! {
         let valid = Msg::Done {
             lease: 3,
             point: 7,
+            attempt: 1,
             secs: 0.125,
             data: "{\"row\":\"fig12\",\"j\":0.25,\"s\":\"a\\\"b\"}".into(),
         }
@@ -596,7 +601,7 @@ proptest! {
             Msg::Reject { reason: data.clone() },
             Msg::Grant { lease, points: pts.clone(), expires_s: secs },
             Msg::Wait { retry_s: secs },
-            Msg::Done { lease, point, secs, data: data.clone() },
+            Msg::Done { lease, point, attempt: 1, secs, data: data.clone() },
         ] {
             let line = msg.encode();
             prop_assert_eq!(Msg::decode(&line).unwrap(), msg, "{}", line);
