@@ -62,23 +62,37 @@ pub fn parse_bench_json(text: &str) -> Result<BTreeMap<String, i64>, String> {
 pub enum Verdict {
     /// Within tolerance (ratio = new / reference).
     Ok {
+        /// Benchmark id from the artifact.
         id: String,
+        /// `new_ns / ref_ns`.
         ratio: f64,
+        /// Fresh timing from the smoke run.
         new_ns: i64,
+        /// Checked-in reference median.
         ref_ns: i64,
     },
     /// Timing regressed past the tolerance.
     Regressed {
+        /// Benchmark id from the artifact.
         id: String,
+        /// `new_ns / ref_ns`.
         ratio: f64,
+        /// Fresh timing from the smoke run.
         new_ns: i64,
+        /// Checked-in reference median.
         ref_ns: i64,
     },
     /// Present in the references but absent from the fresh artifact — a
     /// silently dropped bench is treated like a regression.
-    Missing { id: String },
+    Missing {
+        /// Benchmark id of the dropped routine.
+        id: String,
+    },
     /// New bench with no reference yet (advisory only).
-    New { id: String },
+    New {
+        /// Benchmark id with no checked-in reference.
+        id: String,
+    },
 }
 
 impl Verdict {

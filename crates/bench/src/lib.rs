@@ -10,6 +10,8 @@
 //! layout sweep). Pass `--json` (or `EFT_JSON=1`) to also emit each data
 //! point as a JSONL [`Row`] for diffing and plotting.
 
+#![deny(missing_docs)]
+
 /// Machine-readable rows now live in the sweep engine (the runner both
 /// writes and re-parses them); re-exported here so the binaries and any
 /// downstream `eftq_bench::Row` users keep working unchanged.

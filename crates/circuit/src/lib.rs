@@ -27,6 +27,8 @@
 //! assert!(bound.counts().cx == 4 * 3 / 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod ansatz;
 pub mod circuit;
 pub mod gate;

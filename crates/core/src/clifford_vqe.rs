@@ -14,8 +14,8 @@ use eftq_numerics::SeedSequence;
 use eftq_optim::genetic::{minimize_genetic, GeneticConfig};
 use eftq_pauli::PauliSum;
 use eftq_stabilizer::{
-    estimate_energy, estimate_energy_program, estimate_energy_threaded, NoiseTemplate,
-    StabilizerNoise,
+    estimate_energy, estimate_energy_program_grouped, estimate_energy_threaded, GroupedObservable,
+    NoiseTemplate, StabilizerNoise,
 };
 
 /// Configuration of a Clifford VQE run.
@@ -109,12 +109,17 @@ pub fn clifford_vqe_with_template(
         ..config.ga
     };
     let shots = config.shots.max(1);
+    // Compile the QWC grouping once: every fitness evaluation shares it
+    // (like the noise template), and the grouped kernel is bit-identical
+    // to the per-term `estimate_energy_program` path it replaces.
+    let grouped = GroupedObservable::compile(observable);
     let result = minimize_genetic(ansatz.num_params(), &ga, |genome| {
         let circuit = ansatz.bind_clifford(genome);
         let program = template.bind_clifford(genome);
-        estimate_energy_program(
+        estimate_energy_program_grouped(
             &circuit,
             observable,
+            &grouped,
             &program,
             template.meas_flip(),
             shots,

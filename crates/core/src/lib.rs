@@ -47,6 +47,8 @@
 //! assert!(pqec.fidelity > nisq);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod advisor;
 pub mod clifford_vqe;
 pub mod crossover;

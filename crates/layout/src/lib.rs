@@ -22,6 +22,8 @@
 //! assert_eq!(ours.kind(), LayoutKind::Proposed);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod grid;
 pub mod layouts;
 pub mod schedule;

@@ -163,6 +163,140 @@ impl BernoulliWords {
         }
     }
 
+    /// Clears `out` and fills it with `(word, lane-mask)` pairs describing
+    /// every firing trial in `span`: pair `(w, m)` means the trials
+    /// `64w + lane` fired for each set bit `lane` of `m`. Pairs are emitted
+    /// in ascending word order and words with no hits are skipped, so a
+    /// sparse sampler returns an *empty* list at `O(1)` cost instead of a
+    /// zeroed mask the caller must scan.
+    ///
+    /// Consumes exactly the RNG draws [`BernoulliWords::fill_mask`] would
+    /// for the same `span` — callers may mix the two representations
+    /// within one stream without perturbing downstream draws. This is the
+    /// sparse fast path of `eftq_stabilizer`'s compiled noise programs:
+    /// at NISQ rates most injection sites have no hits in a 256-shot
+    /// batch, and the hit-list form makes those sites cost cursor
+    /// bookkeeping only.
+    #[inline]
+    pub fn hit_words<R: Rng + ?Sized>(
+        &mut self,
+        span: usize,
+        rng: &mut R,
+        out: &mut Vec<(u32, u64)>,
+    ) {
+        out.clear();
+        // Hot path: the pending geometric gap already covers the whole
+        // span, so no trial fires and no RNG draw is consumed — the
+        // common case for a sparse site visiting a modest shot batch.
+        if let Mode::Geometric { gap: Some(gap), .. } = &mut self.mode {
+            if *gap >= span as u64 {
+                *gap -= span as u64;
+                return;
+            }
+        }
+        self.for_each_hit(span, rng, |s| {
+            let w = (s / WORD_BITS) as u32;
+            let bit = 1u64 << (s % WORD_BITS);
+            match out.last_mut() {
+                Some(last) if last.0 == w => last.1 |= bit,
+                _ => out.push((w, bit)),
+            }
+        });
+    }
+
+    /// Walks `count` consecutive *sites* of `span` trials each — one
+    /// flat `count × span` stretch of the trial stream — and calls
+    /// `flush(site, hits, rng)` for every site with at least one firing
+    /// trial, where `hits` is the site's `(word, lane-mask)` list in
+    /// [`BernoulliWords::hit_words`] format.
+    ///
+    /// Consumes **exactly** the RNG draws that `count` sequential
+    /// [`BernoulliWords::hit_words`] calls would, and produces the same
+    /// per-site hit lists in the same order — the two forms are
+    /// interchangeable mid-stream. The payoff is the sparse fast path:
+    /// a pending geometric gap covering the whole run retires all
+    /// `count` sites with *one* comparison, instead of one cursor
+    /// update per site. Compiled noise programs use this to fuse runs
+    /// of same-class injection sites (a layer's idle qubits, a layer's
+    /// two-qubit gates) into a single visit.
+    ///
+    /// `rng` is threaded through to `flush` so callers can draw
+    /// per-site error letters *between* sites, exactly as they would
+    /// in the sequential form (a site's letter draws happen after its
+    /// last gap draw and before the next site's first).
+    ///
+    /// `buf` is caller-provided scratch (contents are ignored and
+    /// clobbered).
+    pub fn hit_site_runs<R, F>(
+        &mut self,
+        span: usize,
+        count: usize,
+        rng: &mut R,
+        buf: &mut Vec<(u32, u64)>,
+        mut flush: F,
+    ) where
+        R: Rng + ?Sized,
+        F: FnMut(usize, &[(u32, u64)], &mut R),
+    {
+        match self.mode {
+            Mode::Never => {}
+            Mode::Geometric { ln_q, ref mut gap } => {
+                if count == 0 {
+                    return;
+                }
+                let span64 = span as u64;
+                // `pos` is the cursor measured from the start of `site`'s
+                // span — the same site-local coordinate the sequential
+                // form uses, so saturating-add clamping lands on the
+                // identical values.
+                let mut site = 0usize;
+                let mut pos = gap.take().unwrap_or_else(|| geometric_gap(ln_q, rng));
+                buf.clear();
+                while site < count {
+                    while pos < span64 {
+                        let lane = pos as usize;
+                        let w = (lane / WORD_BITS) as u32;
+                        let bit = 1u64 << (lane % WORD_BITS);
+                        match buf.last_mut() {
+                            Some(last) if last.0 == w => last.1 |= bit,
+                            _ => buf.push((w, bit)),
+                        }
+                        pos = pos
+                            .saturating_add(1)
+                            .saturating_add(geometric_gap(ln_q, rng));
+                    }
+                    if !buf.is_empty() {
+                        flush(site, buf, rng);
+                        buf.clear();
+                    }
+                    // The cursor cleared this site: retire every fully
+                    // skipped site with one division (≡ the sequential
+                    // per-site `gap -= span` fast path).
+                    let skip = (pos / span64) as usize;
+                    let remaining = count - site;
+                    if skip >= remaining {
+                        pos -= remaining as u64 * span64;
+                        site = count;
+                    } else {
+                        pos -= skip as u64 * span64;
+                        site += skip;
+                    }
+                }
+                *gap = Some(pos);
+            }
+            // Dense modes have no cross-site fast path; the sequential
+            // form *is* the stream definition.
+            _ => {
+                for s in 0..count {
+                    self.hit_words(span, rng, buf);
+                    if !buf.is_empty() {
+                        flush(s, buf, rng);
+                    }
+                }
+            }
+        }
+    }
+
     /// Overwrites `words` with a flip mask for `span` trials: bit `i` of
     /// the grid (lane `i % 64` of word `i / 64`) is set iff trial `i`
     /// fired. Bits at and beyond `span` are left clear.
@@ -322,6 +456,79 @@ mod tests {
             let mut from_hits = [0u64; 3];
             b.for_each_hit(span, &mut rng_b, |s| from_hits[s / 64] |= 1 << (s % 64));
             assert_eq!(mask, from_hits, "p={p}");
+        }
+    }
+
+    #[test]
+    fn hit_words_matches_fill_mask_and_rng_stream() {
+        // Same bits, and — crucially — the same number of RNG draws, so
+        // the two representations are interchangeable mid-stream.
+        for p in [0.0, 0.004, 0.04, 0.3, 1.0] {
+            let mut a = BernoulliWords::new(p);
+            let mut b = a.clone();
+            let mut rng_a = StdRng::seed_from_u64(23);
+            let mut rng_b = StdRng::seed_from_u64(23);
+            for span in [130usize, 64, 1, 256, 7] {
+                let mut mask = vec![0u64; span.div_ceil(64)];
+                a.fill_mask(&mut mask, span, &mut rng_a);
+                let mut hits = Vec::new();
+                b.hit_words(span, &mut rng_b, &mut hits);
+                let mut from_hits = vec![0u64; span.div_ceil(64)];
+                for &(w, m) in &hits {
+                    from_hits[w as usize] |= m;
+                }
+                assert_eq!(mask, from_hits, "p={p} span={span}");
+                assert!(hits.iter().all(|&(_, m)| m != 0), "p={p}");
+                assert!(hits.windows(2).all(|h| h[0].0 < h[1].0), "p={p}");
+            }
+            // Streams still aligned: next draws agree.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "p={p}");
+        }
+    }
+
+    /// (site index, flushed hit words, post-flush letter draw) — one
+    /// entry per non-empty site.
+    type FlushLog = Vec<(usize, Vec<(u32, u64)>, u64)>;
+
+    #[test]
+    fn hit_site_runs_matches_sequential_hit_words() {
+        // The fused run walk must consume the exact RNG draws and
+        // produce the exact per-site hit lists of `count` sequential
+        // `hit_words` calls — including interleaved per-site "letter"
+        // draws made by the flush callback, which is how noise programs
+        // draw error letters between sites.
+        for p in [0.0, 1e-6, 0.004, 0.04, 0.3, 1.0] {
+            for (span, count) in [(256usize, 97usize), (16, 300), (1, 50), (130, 4)] {
+                let mut a = BernoulliWords::new(p);
+                let mut b = a.clone();
+                let mut rng_a = StdRng::seed_from_u64(31);
+                let mut rng_b = StdRng::seed_from_u64(31);
+                // Sequential reference: per-site hit_words + letter draw.
+                let mut seq: FlushLog = Vec::new();
+                let mut hits = Vec::new();
+                for s in 0..count {
+                    a.hit_words(span, &mut rng_a, &mut hits);
+                    if !hits.is_empty() {
+                        seq.push((s, hits.clone(), rng_a.gen::<u64>()));
+                    }
+                }
+                // Fused form.
+                let mut run: FlushLog = Vec::new();
+                let mut buf = Vec::new();
+                b.hit_site_runs(span, count, &mut rng_b, &mut buf, |s, h, rng| {
+                    run.push((s, h.to_vec(), rng.gen::<u64>()));
+                });
+                assert_eq!(seq, run, "p={p} span={span} count={count}");
+                // Cursors and streams still aligned: one more joint call
+                // agrees, and so do the next raw draws.
+                a.hit_words(span, &mut rng_a, &mut hits);
+                let mut tail = Vec::new();
+                b.hit_site_runs(span, 1, &mut rng_b, &mut buf, |_, h, _| {
+                    tail = h.to_vec();
+                });
+                assert_eq!(hits, tail, "p={p} span={span} count={count}");
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "p={p}");
+            }
         }
     }
 

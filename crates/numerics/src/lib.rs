@@ -34,12 +34,15 @@
 //! assert_eq!(Complex::I * Complex::I, -Complex::ONE);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod bernoulli;
 pub mod complex;
 pub mod lanczos;
 pub mod mat;
 pub mod rng;
 pub mod stats;
+pub mod words;
 
 pub use bernoulli::BernoulliWords;
 pub use complex::Complex;

@@ -6,7 +6,7 @@
 //!   log2 [`Histogram`]s, handed out as cached `Arc`s by a name-keyed
 //!   [`Registry`] that renders the whole set in Prometheus text
 //!   exposition format (the `/metrics` wire format).
-//! * [`span`] — lightweight span records ([`SpanRecord`] built directly
+//! * [`mod@span`] — lightweight span records ([`SpanRecord`] built directly
 //!   or via the [`SpanGuard`] / [`span!`] RAII style) that serialize to
 //!   the same flat one-object-per-line JSON the sweep artifacts use, so
 //!   trace files are parseable by the existing JSONL tooling.
@@ -33,7 +33,7 @@
 //! assert!(text.contains("# TYPE latency_seconds histogram"));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod metrics;
 pub mod span;

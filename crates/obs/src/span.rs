@@ -17,7 +17,7 @@
 //!   stream that carries wall-clock truth and is expected to differ
 //!   run to run.
 //!
-//! For code that wants RAII timing, [`SpanGuard`] (or the [`span!`]
+//! For code that wants RAII timing, [`SpanGuard`] (or the [`crate::span!`]
 //! macro) stamps the duration on drop and hands the record to a shared
 //! [`SpanCollector`].
 

@@ -24,6 +24,8 @@
 //! assert!(r.best_value < 1e-6);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod coordinate;
 pub mod genetic;
 pub mod nelder_mead;

@@ -29,6 +29,8 @@
 //! assert_eq!(prod.pauli_at(0), Pauli::Z); // X·Y = iZ
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod grouping;
 pub mod pauli;
 pub mod string;

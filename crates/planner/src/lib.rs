@@ -29,6 +29,8 @@
 //! degrades, but never hangs, never corrupts a response, and never
 //! drops a request it admitted.
 
+#![deny(missing_docs)]
+
 pub mod breaker;
 pub mod http;
 pub mod index;

@@ -28,6 +28,8 @@
 //! assert!(code.logical_error_rate() > 5e-8);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cultivation;
 pub mod device;
 pub mod factory;

@@ -19,10 +19,26 @@
 use crate::noise::StabilizerNoise;
 use crate::tableau::quarter_turns;
 use eftq_circuit::{Angle, Circuit, Gate};
+use eftq_numerics::words;
 use eftq_pauli::{Pauli, PauliString};
 use rand::Rng;
 
 const WORD_BITS: usize = 64;
+
+/// `v[dst·words + w] ^= v[src·words + w]` for two distinct columns of a
+/// column-major plane, borrow-split so the word kernel applies.
+#[inline]
+fn xor_col(v: &mut [u64], src: usize, dst: usize, cwords: usize) {
+    debug_assert_ne!(src, dst);
+    let (sb, db) = (src * cwords, dst * cwords);
+    if sb < db {
+        let (head, tail) = v.split_at_mut(db);
+        words::xor_into(&mut tail[..cwords], &head[sb..sb + cwords]);
+    } else {
+        let (head, tail) = v.split_at_mut(sb);
+        words::xor_into(&mut head[db..db + cwords], &tail[..cwords]);
+    }
+}
 
 /// A batch of Pauli frames: one (x, z) Pauli per qubit per shot, packed
 /// 64 shots to the `u64` lane.
@@ -68,6 +84,19 @@ impl PauliFrames {
         self.shots
     }
 
+    /// The X flip-plane of qubit `q`: bit `s` set ⇔ shot `s`'s frame has
+    /// an X (or Y) component on `q`.
+    #[inline]
+    pub(crate) fn fx_col(&self, q: usize) -> &[u64] {
+        &self.fx[q * self.words..(q + 1) * self.words]
+    }
+
+    /// The Z flip-plane of qubit `q` (set ⇔ Z or Y component on `q`).
+    #[inline]
+    pub(crate) fn fz_col(&self, q: usize) -> &[u64] {
+        &self.fz[q * self.words..(q + 1) * self.words]
+    }
+
     /// Propagates the frames through one Clifford gate (conjugation,
     /// signs dropped). Measurements are ignored; Paulis commute with the
     /// frame up to sign and are no-ops.
@@ -107,39 +136,31 @@ impl PauliFrames {
     #[inline]
     pub(crate) fn kernel_hadamard(&mut self, q: usize) {
         let b = q * self.words;
-        for w in 0..self.words {
-            std::mem::swap(&mut self.fx[b + w], &mut self.fz[b + w]);
-        }
+        words::swap(
+            &mut self.fx[b..b + self.words],
+            &mut self.fz[b..b + self.words],
+        );
     }
 
     /// S/S†-conjugation kernel: `fz ^= fx` on `q` (also odd `Rz`).
     #[inline]
     pub(crate) fn kernel_phase(&mut self, q: usize) {
         let b = q * self.words;
-        for w in 0..self.words {
-            self.fz[b + w] ^= self.fx[b + w];
-        }
+        words::xor_into(&mut self.fz[b..b + self.words], &self.fx[b..b + self.words]);
     }
 
     /// √X-conjugation kernel: `fx ^= fz` on `q` (odd `Rx`).
     #[inline]
     pub(crate) fn kernel_sqrt_x(&mut self, q: usize) {
         let b = q * self.words;
-        for w in 0..self.words {
-            self.fx[b + w] ^= self.fz[b + w];
-        }
+        words::xor_into(&mut self.fx[b..b + self.words], &self.fz[b..b + self.words]);
     }
 
     /// CX-conjugation kernel.
     #[inline]
     pub(crate) fn kernel_cx(&mut self, c: usize, t: usize) {
-        let (bc, bt) = (c * self.words, t * self.words);
-        for w in 0..self.words {
-            let xc = self.fx[bc + w];
-            let zt = self.fz[bt + w];
-            self.fx[bt + w] ^= xc;
-            self.fz[bc + w] ^= zt;
-        }
+        xor_col(&mut self.fx, c, t, self.words);
+        xor_col(&mut self.fz, t, c, self.words);
     }
 
     /// CZ-conjugation kernel.
@@ -157,11 +178,11 @@ impl PauliFrames {
     /// SWAP kernel: exchanges both planes of `a` and `b`.
     #[inline]
     pub(crate) fn kernel_swap(&mut self, a: usize, b: usize) {
-        let (ba, bb) = (a * self.words, b * self.words);
-        for w in 0..self.words {
-            self.fx.swap(ba + w, bb + w);
-            self.fz.swap(ba + w, bb + w);
-        }
+        let (lo, hi) = (a.min(b) * self.words, a.max(b) * self.words);
+        let (head, tail) = self.fx.split_at_mut(hi);
+        words::swap(&mut head[lo..lo + self.words], &mut tail[..self.words]);
+        let (head, tail) = self.fz.split_at_mut(hi);
+        words::swap(&mut head[lo..lo + self.words], &mut tail[..self.words]);
     }
 
     /// Copies another frame batch into this one at `word_offset` lane
@@ -294,6 +315,119 @@ impl PauliFrames {
         }
     }
 
+    /// Hit-list form of [`PauliFrames::inject_depolarizing_masked`]: each
+    /// `(word, lane-mask)` pair receives word-parallel uniform X/Y/Z
+    /// letters. Pairs must arrive in ascending word order with non-empty
+    /// masks — the shape [`eftq_numerics::BernoulliWords::hit_words`]
+    /// produces — and then the RNG draws match the masked variant exactly,
+    /// so the two forms are interchangeable mid-stream. An empty list
+    /// costs nothing; that is the point: at sparse noise rates most
+    /// injection sites have no hits, and this path skips the mask
+    /// materialization and scan the masked form pays per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair's word index is out of range.
+    pub fn inject_depolarizing_hits<R: Rng + ?Sized>(
+        &mut self,
+        q: usize,
+        hits: &[(u32, u64)],
+        rng: &mut R,
+    ) {
+        let b = q * self.words;
+        for &(w, h) in hits {
+            let w = w as usize;
+            assert!(w < self.words, "hit word {w} out of range");
+            let (x, z) = uniform_nonzero_pair(h, rng);
+            self.fx[b + w] ^= x;
+            self.fz[b + w] ^= z;
+        }
+    }
+
+    /// Hit-list form of [`PauliFrames::inject_depolarizing_2q_masked`]
+    /// (uniform non-identity two-qubit Pauli per hit lane). Same contract
+    /// and RNG-stream equivalence as
+    /// [`PauliFrames::inject_depolarizing_hits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair's word index is out of range.
+    pub fn inject_depolarizing_2q_hits<R: Rng + ?Sized>(
+        &mut self,
+        a: usize,
+        b: usize,
+        hits: &[(u32, u64)],
+        rng: &mut R,
+    ) {
+        let (ba, bb) = (a * self.words, b * self.words);
+        for &(w, h) in hits {
+            let w = w as usize;
+            assert!(w < self.words, "hit word {w} out of range");
+            let mut xa = rng.gen::<u64>() & h;
+            let mut za = rng.gen::<u64>() & h;
+            let mut xb = rng.gen::<u64>() & h;
+            let mut zb = rng.gen::<u64>() & h;
+            let mut bad = h & !(xa | za | xb | zb);
+            while bad != 0 {
+                xa |= bad & rng.gen::<u64>();
+                za |= bad & rng.gen::<u64>();
+                xb |= bad & rng.gen::<u64>();
+                zb |= bad & rng.gen::<u64>();
+                bad &= !(xa | za | xb | zb);
+            }
+            self.fx[ba + w] ^= xa;
+            self.fz[ba + w] ^= za;
+            self.fx[bb + w] ^= xb;
+            self.fz[bb + w] ^= zb;
+        }
+    }
+
+    /// Hit-list form of [`PauliFrames::inject_idle_masked`] (one
+    /// ladder-conditional letter per hit lane, drawn in ascending shot
+    /// order). Same contract and RNG-stream equivalence as
+    /// [`PauliFrames::inject_depolarizing_hits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair's word index is out of range.
+    pub fn inject_idle_hits<R: Rng + ?Sized>(
+        &mut self,
+        q: usize,
+        hits: &[(u32, u64)],
+        ladder: &crate::noise::IdleLadder,
+        rng: &mut R,
+    ) {
+        for &(w, h) in hits {
+            let w = w as usize;
+            assert!(w < self.words, "hit word {w} out of range");
+            let mut bits = h;
+            while bits != 0 {
+                let s = w * WORD_BITS + bits.trailing_zeros() as usize;
+                self.inject(q, s, ladder.conditional_letter(rng));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Fills the Z planes of every qubit with uniform random bits (X
+    /// planes untouched, padding lanes kept clear). On `|0…0⟩` a Z error
+    /// acts trivially, so prepending this to a frame batch leaves every
+    /// *expectation* untouched — but after propagation the random Z's
+    /// flip exactly the measurement outcomes that are genuinely random,
+    /// which is what lets one deterministic reference sample stand in for
+    /// per-shot collapse in the grouped sampling path (Stim's frame
+    /// randomization; see [`crate::GroupedObservable`]).
+    pub fn randomize_z<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let tail = lo_mask_tail(self.shots, self.words);
+        for q in 0..self.n {
+            let b = q * self.words;
+            for w in 0..self.words {
+                self.fz[b + w] = rng.gen::<u64>();
+            }
+            self.fz[b + self.words - 1] &= tail;
+        }
+    }
+
     /// Samples single-qubit depolarizing noise on `q` independently per
     /// shot: with probability `p` a uniform X/Y/Z hits the shot's frame.
     /// The letter draw is shared with the per-shot tableau path. This is
@@ -413,6 +547,18 @@ impl PauliFrames {
                 self.fz[q * self.words + w] >> b & 1 == 1,
             )
         }))
+    }
+}
+
+/// Mask of the valid (sub-`shots`) lanes of the last of `words` lane
+/// words.
+#[inline]
+pub(crate) fn lo_mask_tail(shots: usize, words: usize) -> u64 {
+    let used = shots - (words - 1) * WORD_BITS;
+    if used == WORD_BITS {
+        !0
+    } else {
+        (1u64 << used) - 1
     }
 }
 

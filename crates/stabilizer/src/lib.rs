@@ -49,12 +49,16 @@
 //! assert_eq!(t.expectation(&"ZII".parse().unwrap()), 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod frame;
+pub mod grouped;
 pub mod noise;
 pub mod program;
 pub mod tableau;
 
 pub use frame::{run_noisy_frames, run_noisy_frames_percall, PauliFrames};
+pub use grouped::{estimate_energy_program_grouped, sample_energy_grouped, GroupedObservable};
 pub use noise::{
     estimate_energy, estimate_energy_program, estimate_energy_tableau, estimate_energy_threaded,
     NoisyCliffordRun, StabilizerNoise,

@@ -16,7 +16,15 @@
 //!   **hit** rather than one RNG draw per trial;
 //! * a site's hits arrive as whole flip-mask words that are XORed into
 //!   the frame planes, with error letters drawn word-parallel (see
-//!   [`PauliFrames::inject_depolarizing_masked`]).
+//!   [`PauliFrames::inject_depolarizing_masked`]);
+//! * consecutive same-class sites are fused at compile time into **site
+//!   runs** executed by [`BernoulliWords::hit_site_runs`]: within a
+//!   layer, gate kernels are emitted before injection sites (legal
+//!   because a layer's gates act on disjoint qubits, so kernels and
+//!   other gates' sites commute; site order — and therefore the RNG
+//!   stream — is unchanged), which makes a layer's two-qubit sites and
+//!   its idle sites contiguous. A run the geometric cursor skips
+//!   entirely costs one division instead of one cursor update per site.
 //!
 //! # Batching and seeding
 //!
@@ -34,6 +42,7 @@ use crate::noise::{IdleLadder, StabilizerNoise};
 use crossbeam::thread;
 use eftq_circuit::{Circuit, Gate};
 use eftq_numerics::{BernoulliWords, SeedSequence};
+use std::sync::Arc;
 
 /// Shots per batch: the unit of seed derivation and thread scheduling
 /// (four 64-shot lane words).
@@ -42,33 +51,48 @@ pub const BATCH_SHOTS: usize = 256;
 const WORD_BITS: usize = 64;
 const BATCH_WORDS: usize = BATCH_SHOTS / WORD_BITS;
 
-/// One compiled instruction: a frame kernel or an injection site.
+/// One compiled instruction: a frame kernel or a run of injection sites.
 ///
 /// Gates are pre-classified into their conjugation kernels at compile
 /// time — rotation angles resolve to quarter-turn parities *once*, so the
 /// per-batch walk never touches floating point or re-matches `Gate`
 /// variants, and frame-identity gates (Paulis, even rotations) compile
-/// away entirely.
+/// away entirely. Injection sites are fused into runs of `len`
+/// consecutive same-kind, same-class sites; a run's per-site qubit
+/// arguments live in the side table `site_args[start .. start + len]`.
+///
+/// Fields are `u32` (qubit counts and site counts both fit comfortably)
+/// so an op is 16 bytes and the per-batch walk stays cache-resident.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Op {
     /// Swap the X/Z planes of `q` (H, odd `Ry`).
-    Hadamard { q: usize },
+    Hadamard { q: u32 },
     /// `fz ^= fx` on `q` (S, S†, odd `Rz`).
-    Phase { q: usize },
+    Phase { q: u32 },
     /// `fx ^= fz` on `q` (odd `Rx`).
-    SqrtX { q: usize },
+    SqrtX { q: u32 },
     /// CX conjugation.
-    Cx { c: usize, t: usize },
+    Cx { c: u32, t: u32 },
     /// CZ conjugation.
-    Cz { a: usize, b: usize },
+    Cz { a: u32, b: u32 },
     /// SWAP conjugation.
-    Swap { a: usize, b: usize },
-    /// Single-qubit depolarizing site (uniform X/Y/Z letter per hit).
-    Depol1 { q: usize, class: u32 },
-    /// Two-qubit depolarizing site (uniform non-identity pair per hit).
-    Depol2 { a: usize, b: usize, class: u32 },
-    /// Twirled-idle site (ladder-conditional letter per hit).
-    Idle { q: usize, class: u32 },
+    Swap { a: u32, b: u32 },
+    /// Run of single-qubit depolarizing sites (uniform X/Y/Z letter per
+    /// hit).
+    Depol1Run { class: u32, start: u32, len: u32 },
+    /// Run of two-qubit depolarizing sites (uniform non-identity pair
+    /// per hit).
+    Depol2Run { class: u32, start: u32, len: u32 },
+    /// Run of twirled-idle sites (ladder-conditional letter per hit).
+    IdleRun { class: u32, start: u32, len: u32 },
+}
+
+/// Site flavour, used only while fusing a layer's sites into runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SiteKind {
+    Depol1,
+    Depol2,
+    Idle,
 }
 
 /// Rotation axis of a symbolic (parameterized) rotation gate.
@@ -79,28 +103,19 @@ enum RotAxis {
     Z,
 }
 
-impl RotAxis {
-    /// The frame kernel of an *odd*-quarter-turn rotation about this
-    /// axis (even quarter turns act trivially on sign-free frames).
-    fn odd_kernel(self, q: usize) -> Op {
-        match self {
-            RotAxis::Z => Op::Phase { q },
-            RotAxis::X => Op::SqrtX { q },
-            RotAxis::Y => Op::Hadamard { q },
-        }
-    }
-}
-
 /// One template instruction: either an already-resolved [`Op`], or a
 /// symbolic rotation whose kernel depends on the genome bound later.
+///
+/// `Rot` stays in the instruction stream after binding — the bound
+/// program carries a per-parameter odd-parity bitmask and the batch walk
+/// tests one bit per rotation. That keeps [`NoiseTemplate::bind_clifford`]
+/// allocation-free on the op list (an `Arc` bump instead of a filtered
+/// copy), which matters in genome loops that bind thousands of programs
+/// per second.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum TemplateOp {
     Fixed(Op),
-    Rot {
-        q: usize,
-        param: usize,
-        axis: RotAxis,
-    },
+    Rot { q: u32, param: u32, axis: RotAxis },
 }
 
 /// Classifies one bound gate into its frame kernel (`None` when the gate
@@ -116,17 +131,38 @@ fn compile_gate(g: &Gate) -> Option<TemplateOp> {
     use crate::tableau::quarter_turns;
     use eftq_circuit::Angle;
     let odd = |v: f64| quarter_turns(v, g) % 2 == 1;
-    let rot = |q, param, axis| Some(TemplateOp::Rot { q, param, axis });
+    let rot = |q: usize, param: usize, axis| {
+        Some(TemplateOp::Rot {
+            q: q as u32,
+            param: param as u32,
+            axis,
+        })
+    };
     match *g {
-        Gate::H(q) => Some(TemplateOp::Fixed(Op::Hadamard { q })),
-        Gate::S(q) | Gate::Sdg(q) => Some(TemplateOp::Fixed(Op::Phase { q })),
+        Gate::H(q) => Some(TemplateOp::Fixed(Op::Hadamard { q: q as u32 })),
+        Gate::S(q) | Gate::Sdg(q) => Some(TemplateOp::Fixed(Op::Phase { q: q as u32 })),
         Gate::X(_) | Gate::Y(_) | Gate::Z(_) | Gate::Measure(_) => None,
-        Gate::Cx(c, t) => Some(TemplateOp::Fixed(Op::Cx { c, t })),
-        Gate::Cz(a, b) => Some(TemplateOp::Fixed(Op::Cz { a, b })),
-        Gate::Swap(a, b) => Some(TemplateOp::Fixed(Op::Swap { a, b })),
-        Gate::Rz(q, Angle::Value(v)) => odd(v).then_some(TemplateOp::Fixed(Op::Phase { q })),
-        Gate::Rx(q, Angle::Value(v)) => odd(v).then_some(TemplateOp::Fixed(Op::SqrtX { q })),
-        Gate::Ry(q, Angle::Value(v)) => odd(v).then_some(TemplateOp::Fixed(Op::Hadamard { q })),
+        Gate::Cx(c, t) => Some(TemplateOp::Fixed(Op::Cx {
+            c: c as u32,
+            t: t as u32,
+        })),
+        Gate::Cz(a, b) => Some(TemplateOp::Fixed(Op::Cz {
+            a: a as u32,
+            b: b as u32,
+        })),
+        Gate::Swap(a, b) => Some(TemplateOp::Fixed(Op::Swap {
+            a: a as u32,
+            b: b as u32,
+        })),
+        Gate::Rz(q, Angle::Value(v)) => {
+            odd(v).then_some(TemplateOp::Fixed(Op::Phase { q: q as u32 }))
+        }
+        Gate::Rx(q, Angle::Value(v)) => {
+            odd(v).then_some(TemplateOp::Fixed(Op::SqrtX { q: q as u32 }))
+        }
+        Gate::Ry(q, Angle::Value(v)) => {
+            odd(v).then_some(TemplateOp::Fixed(Op::Hadamard { q: q as u32 }))
+        }
         Gate::Rz(q, Angle::Param(i)) => rot(q, i, RotAxis::Z),
         Gate::Rx(q, Angle::Param(i)) => rot(q, i, RotAxis::X),
         Gate::Ry(q, Angle::Param(i)) => rot(q, i, RotAxis::Y),
@@ -158,9 +194,16 @@ fn compile_gate(g: &Gate) -> Option<TemplateOp> {
 #[derive(Clone, Debug)]
 pub struct NoiseProgram {
     n: usize,
-    ops: Vec<Op>,
-    /// Distinct site probabilities; `Op::*.class` indexes this table.
-    classes: Vec<f64>,
+    /// Shared with the template that bound this program: binding is an
+    /// `Arc` bump, not an op-list copy.
+    ops: Arc<Vec<TemplateOp>>,
+    /// Per-site qubit arguments for site-run ops (shared likewise).
+    site_args: Arc<Vec<[u32; 2]>>,
+    /// Bit `p` set ⇔ genome entry `p` is an odd quarter turn; consulted
+    /// by the batch walk at each symbolic rotation.
+    odd: Vec<u64>,
+    /// Distinct site probabilities; site-run ops index this table.
+    classes: Arc<Vec<f64>>,
     /// Precomputed cumulative idle ladder (satisfies every idle site).
     idle: IdleLadder,
     sites: usize,
@@ -199,9 +242,11 @@ pub struct NoiseProgram {
 #[derive(Clone, Debug)]
 pub struct NoiseTemplate {
     n: usize,
-    ops: Vec<TemplateOp>,
-    /// Distinct site probabilities; site ops index this table.
-    classes: Vec<f64>,
+    ops: Arc<Vec<TemplateOp>>,
+    /// Per-site qubit arguments for site-run ops.
+    site_args: Arc<Vec<[u32; 2]>>,
+    /// Distinct site probabilities; site-run ops index this table.
+    classes: Arc<Vec<f64>>,
     /// Precomputed cumulative idle ladder (satisfies every idle site).
     idle: IdleLadder,
     sites: usize,
@@ -216,12 +261,20 @@ impl NoiseTemplate {
     /// idle, matching the per-shot executor
     /// [`crate::noise::run_noisy_shot`].
     ///
+    /// Within each layer, all gate kernels are emitted before all
+    /// injection sites. A layer's gates act on disjoint qubits, so this
+    /// reorder leaves the propagated frames bit-identical; and because it
+    /// preserves the *relative* order of sites, the sampling RNG stream
+    /// is unchanged too. Its purpose is fusion: a layer's same-class
+    /// sites become contiguous and compile into single site-run ops.
+    ///
     /// # Panics
     ///
     /// Panics on non-Clifford bound rotations.
     pub fn compile(circuit: &Circuit, noise: &StabilizerNoise) -> Self {
         let n = circuit.num_qubits();
-        let mut ops = Vec::new();
+        let mut ops: Vec<TemplateOp> = Vec::new();
+        let mut site_args: Vec<[u32; 2]> = Vec::new();
         let mut classes: Vec<f64> = Vec::new();
         let mut sites = 0usize;
         let class_of = |p: f64, classes: &mut Vec<f64>| -> Option<u32> {
@@ -237,8 +290,10 @@ impl NoiseTemplate {
         let idle = noise.idle.ladder();
         ops.reserve(2 * circuit.len());
         let mut busy = vec![false; n];
+        let mut pending: Vec<(SiteKind, u32, u32, u32)> = Vec::new();
         for layer in circuit.layers() {
             busy.fill(false);
+            pending.clear();
             for g in &layer {
                 if g.is_measurement() {
                     continue;
@@ -252,23 +307,18 @@ impl NoiseTemplate {
                 }
                 let site = match *g {
                     Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => {
-                        class_of(noise.depol_2q, &mut classes).map(|class| Op::Depol2 {
-                            a,
-                            b,
-                            class,
-                        })
+                        class_of(noise.depol_2q, &mut classes)
+                            .map(|class| (SiteKind::Depol2, class, a as u32, b as u32))
                     }
-                    Gate::Rz(q, _) => {
-                        class_of(noise.depol_rz, &mut classes).map(|class| Op::Depol1 { q, class })
-                    }
+                    Gate::Rz(q, _) => class_of(noise.depol_rz, &mut classes)
+                        .map(|class| (SiteKind::Depol1, class, q as u32, 0)),
                     Gate::Rx(q, _) | Gate::Ry(q, _) => class_of(noise.depol_rot_xy, &mut classes)
-                        .map(|class| Op::Depol1 { q, class }),
+                        .map(|class| (SiteKind::Depol1, class, q as u32, 0)),
                     _ => class_of(noise.depol_1q, &mut classes)
-                        .map(|class| Op::Depol1 { q: qs[0], class }),
+                        .map(|class| (SiteKind::Depol1, class, qs[0] as u32, 0)),
                 };
                 if let Some(site) = site {
-                    ops.push(TemplateOp::Fixed(site));
-                    sites += 1;
+                    pending.push(site);
                 }
             }
             if idle.total() > 0.0 {
@@ -276,16 +326,73 @@ impl NoiseTemplate {
                     if !b {
                         let class = class_of(idle.total(), &mut classes)
                             .expect("positive idle total has a class");
-                        ops.push(TemplateOp::Fixed(Op::Idle { q, class }));
-                        sites += 1;
+                        pending.push((SiteKind::Idle, class, q as u32, 0));
                     }
+                }
+            }
+            // Fuse the layer's sites — in their original relative order —
+            // into maximal same-kind, same-class runs. Runs may even
+            // absorb the previous layer's tail when no kernel intervened
+            // (e.g. measurement-only layers); correctness only needs the
+            // site sequence, which fusion preserves.
+            for &(kind, class, a, b) in &pending {
+                let idx = site_args.len() as u32;
+                site_args.push([a, b]);
+                sites += 1;
+                let extended = match ops.last_mut() {
+                    Some(TemplateOp::Fixed(Op::Depol1Run {
+                        class: c,
+                        start,
+                        len,
+                    })) if kind == SiteKind::Depol1 && *c == class && *start + *len == idx => {
+                        *len += 1;
+                        true
+                    }
+                    Some(TemplateOp::Fixed(Op::Depol2Run {
+                        class: c,
+                        start,
+                        len,
+                    })) if kind == SiteKind::Depol2 && *c == class && *start + *len == idx => {
+                        *len += 1;
+                        true
+                    }
+                    Some(TemplateOp::Fixed(Op::IdleRun {
+                        class: c,
+                        start,
+                        len,
+                    })) if kind == SiteKind::Idle && *c == class && *start + *len == idx => {
+                        *len += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if !extended {
+                    let run = match kind {
+                        SiteKind::Depol1 => Op::Depol1Run {
+                            class,
+                            start: idx,
+                            len: 1,
+                        },
+                        SiteKind::Depol2 => Op::Depol2Run {
+                            class,
+                            start: idx,
+                            len: 1,
+                        },
+                        SiteKind::Idle => Op::IdleRun {
+                            class,
+                            start: idx,
+                            len: 1,
+                        },
+                    };
+                    ops.push(TemplateOp::Fixed(run));
                 }
             }
         }
         NoiseTemplate {
             n,
-            ops,
-            classes,
+            ops: Arc::new(ops),
+            site_args: Arc::new(site_args),
+            classes: Arc::new(classes),
             idle,
             sites,
             meas_flip: noise.meas_flip,
@@ -294,10 +401,14 @@ impl NoiseTemplate {
     }
 
     /// Resolves the symbolic rotations against a Clifford genome (entry
-    /// `k` means the angle `k·π/2`): odd quarter turns become their
-    /// kernel, even ones compile away, exactly as
+    /// `k` means the angle `k·π/2`): odd quarter turns enable their
+    /// kernel, even ones act trivially, exactly as
     /// [`NoiseProgram::compile`] would on [`eftq_circuit::Ansatz::bind_clifford`]'s
     /// output.
+    ///
+    /// Binding is *zero-copy* on the instruction stream: the bound
+    /// program shares this template's op list and site table, and only a
+    /// `⌈num_params / 64⌉`-word parity bitmask is computed per genome.
     ///
     /// # Panics
     ///
@@ -309,20 +420,18 @@ impl NoiseTemplate {
             self.num_params,
             ks.len()
         );
-        let ops = self
-            .ops
-            .iter()
-            .filter_map(|op| match *op {
-                TemplateOp::Fixed(op) => Some(op),
-                TemplateOp::Rot { q, param, axis } => {
-                    (ks[param] % 2 == 1).then(|| axis.odd_kernel(q))
-                }
-            })
-            .collect();
+        let mut odd = vec![0u64; self.num_params.div_ceil(64)];
+        for (p, &k) in ks[..self.num_params].iter().enumerate() {
+            if k % 2 == 1 {
+                odd[p / 64] |= 1u64 << (p % 64);
+            }
+        }
         NoiseProgram {
             n: self.n,
-            ops,
-            classes: self.classes.clone(),
+            ops: Arc::clone(&self.ops),
+            site_args: Arc::clone(&self.site_args),
+            odd,
+            classes: Arc::clone(&self.classes),
             idle: self.idle,
             sites: self.sites,
         }
@@ -464,16 +573,45 @@ impl NoiseProgram {
     ///
     /// Panics if `shots == 0` or a worker panics.
     pub fn run_threaded(&self, shots: usize, seed: SeedSequence, threads: usize) -> PauliFrames {
+        self.run_inner(shots, seed, threads, false)
+    }
+
+    /// [`NoiseProgram::run_threaded`] with Stim-style *outcome
+    /// randomization*: before the circuit walk, every batch fills its Z
+    /// frame planes with uniform random bits. On `|0…0⟩` a Z error acts
+    /// trivially, so expectations are untouched — but the propagated
+    /// randomness flips exactly the measurement outcomes that are
+    /// genuinely random, which is what the grouped sampling estimator
+    /// (see [`crate::sample_energy_grouped`]) needs to turn one
+    /// deterministic reference sample into correctly-distributed
+    /// per-shot outcomes. A separate entry point so the plain
+    /// [`NoiseProgram::run`] RNG stream (and every artifact derived from
+    /// it) stays byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0` or a worker panics.
+    pub fn run_randomized(&self, shots: usize, seed: SeedSequence, threads: usize) -> PauliFrames {
+        self.run_inner(shots, seed, threads, true)
+    }
+
+    fn run_inner(
+        &self,
+        shots: usize,
+        seed: SeedSequence,
+        threads: usize,
+        randomize: bool,
+    ) -> PauliFrames {
         assert!(shots > 0, "at least one shot required");
         let batches = shots.div_ceil(BATCH_SHOTS);
         let batch_shots = |b: usize| (shots - b * BATCH_SHOTS).min(BATCH_SHOTS);
         if batches == 1 {
-            return self.run_batch(shots, seed.derive_index(0));
+            return self.run_batch(shots, seed.derive_index(0), randomize);
         }
         let mut out = PauliFrames::new(self.n, shots);
         if threads <= 1 {
             for b in 0..batches {
-                let f = self.run_batch(batch_shots(b), seed.derive_index(b as u64));
+                let f = self.run_batch(batch_shots(b), seed.derive_index(b as u64), randomize);
                 out.splice_words(b * BATCH_WORDS, &f);
             }
             return out;
@@ -487,7 +625,13 @@ impl NoiseProgram {
                     let hi = (lo + chunk).min(batches);
                     scope.spawn(move |_| {
                         (lo..hi)
-                            .map(|b| self.run_batch(batch_shots(b), seed.derive_index(b as u64)))
+                            .map(|b| {
+                                self.run_batch(
+                                    batch_shots(b),
+                                    seed.derive_index(b as u64),
+                                    randomize,
+                                )
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -504,7 +648,14 @@ impl NoiseProgram {
     }
 
     /// Evaluates one batch: fresh samplers, fresh RNG, one circuit walk.
-    fn run_batch(&self, shots: usize, seed: SeedSequence) -> PauliFrames {
+    ///
+    /// Site runs go through the [`BernoulliWords::hit_site_runs`]
+    /// hit-list path: it consumes the exact RNG draws the per-site
+    /// flip-mask path would (so results are bit-identical to the
+    /// pre-hit-list engine), but a run with no hits in the batch — the
+    /// overwhelmingly common case at NISQ rates — costs one division
+    /// instead of a mask fill and scan per site.
+    fn run_batch(&self, shots: usize, seed: SeedSequence, randomize: bool) -> PauliFrames {
         let mut rng = seed.rng();
         let mut samplers: Vec<BernoulliWords> = self
             .classes
@@ -512,27 +663,68 @@ impl NoiseProgram {
             .map(|&p| BernoulliWords::new(p))
             .collect();
         let mut frames = PauliFrames::new(self.n, shots);
-        let mut mask = [0u64; BATCH_WORDS];
-        let mask = &mut mask[..shots.div_ceil(WORD_BITS)];
-        for op in &self.ops {
-            match *op {
-                Op::Hadamard { q } => frames.kernel_hadamard(q),
-                Op::Phase { q } => frames.kernel_phase(q),
-                Op::SqrtX { q } => frames.kernel_sqrt_x(q),
-                Op::Cx { c, t } => frames.kernel_cx(c, t),
-                Op::Cz { a, b } => frames.kernel_cz(a, b),
-                Op::Swap { a, b } => frames.kernel_swap(a, b),
-                Op::Depol1 { q, class } => {
-                    samplers[class as usize].fill_mask(mask, shots, &mut rng);
-                    frames.inject_depolarizing_masked(q, mask, &mut rng);
+        if randomize {
+            frames.randomize_z(&mut rng);
+        }
+        let mut hits: Vec<(u32, u64)> = Vec::with_capacity(BATCH_WORDS);
+        for op in self.ops.iter() {
+            let op = match *op {
+                TemplateOp::Fixed(op) => op,
+                TemplateOp::Rot { q, param, axis } => {
+                    if self.odd[param as usize / 64] >> (param as usize % 64) & 1 == 1 {
+                        match axis {
+                            RotAxis::Z => frames.kernel_phase(q as usize),
+                            RotAxis::X => frames.kernel_sqrt_x(q as usize),
+                            RotAxis::Y => frames.kernel_hadamard(q as usize),
+                        }
+                    }
+                    continue;
                 }
-                Op::Depol2 { a, b, class } => {
-                    samplers[class as usize].fill_mask(mask, shots, &mut rng);
-                    frames.inject_depolarizing_2q_masked(a, b, mask, &mut rng);
+            };
+            match op {
+                Op::Hadamard { q } => frames.kernel_hadamard(q as usize),
+                Op::Phase { q } => frames.kernel_phase(q as usize),
+                Op::SqrtX { q } => frames.kernel_sqrt_x(q as usize),
+                Op::Cx { c, t } => frames.kernel_cx(c as usize, t as usize),
+                Op::Cz { a, b } => frames.kernel_cz(a as usize, b as usize),
+                Op::Swap { a, b } => frames.kernel_swap(a as usize, b as usize),
+                Op::Depol1Run { class, start, len } => {
+                    let args = &self.site_args[start as usize..(start + len) as usize];
+                    samplers[class as usize].hit_site_runs(
+                        shots,
+                        len as usize,
+                        &mut rng,
+                        &mut hits,
+                        |s, h, rng| frames.inject_depolarizing_hits(args[s][0] as usize, h, rng),
+                    );
                 }
-                Op::Idle { q, class } => {
-                    samplers[class as usize].fill_mask(mask, shots, &mut rng);
-                    frames.inject_idle_masked(q, mask, &self.idle, &mut rng);
+                Op::Depol2Run { class, start, len } => {
+                    let args = &self.site_args[start as usize..(start + len) as usize];
+                    samplers[class as usize].hit_site_runs(
+                        shots,
+                        len as usize,
+                        &mut rng,
+                        &mut hits,
+                        |s, h, rng| {
+                            frames.inject_depolarizing_2q_hits(
+                                args[s][0] as usize,
+                                args[s][1] as usize,
+                                h,
+                                rng,
+                            )
+                        },
+                    );
+                }
+                Op::IdleRun { class, start, len } => {
+                    let args = &self.site_args[start as usize..(start + len) as usize];
+                    let ladder = &self.idle;
+                    samplers[class as usize].hit_site_runs(
+                        shots,
+                        len as usize,
+                        &mut rng,
+                        &mut hits,
+                        |s, h, rng| frames.inject_idle_hits(args[s][0] as usize, h, ladder, rng),
+                    );
                 }
             }
         }

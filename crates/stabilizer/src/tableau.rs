@@ -8,11 +8,28 @@
 //! popcount/prefix-XOR word arithmetic rather than per-qubit scans.
 
 use eftq_circuit::{Angle, Circuit, Gate};
+use eftq_numerics::words;
 use eftq_pauli::PauliString;
 use rand::Rng;
 use std::f64::consts::FRAC_PI_2;
 
 const WORD_BITS: usize = 64;
+
+/// Disjoint mutable views of bit-columns `a` and `b` of a qubit-major
+/// plane (`a != b`), for the two-qubit word kernels.
+#[inline]
+fn two_cols(plane: &mut [u64], rwords: usize, a: usize, b: usize) -> (&mut [u64], &mut [u64]) {
+    debug_assert_ne!(a, b);
+    let (lo, hi) = (a.min(b), a.max(b));
+    let (head, tail) = plane.split_at_mut(hi * rwords);
+    let first = &mut head[lo * rwords..(lo + 1) * rwords];
+    let second = &mut tail[..rwords];
+    if a < b {
+        (first, second)
+    } else {
+        (second, first)
+    }
+}
 
 /// A stabilizer state of `n` qubits, represented by `n` destabilizer and
 /// `n` stabilizer generators with sign tracking.
@@ -42,7 +59,7 @@ pub struct Tableau {
 
 /// Mask of the bits in word `w` whose global bit index is `< bound`.
 #[inline]
-fn lo_mask(bound: usize, w: usize) -> u64 {
+pub(crate) fn lo_mask(bound: usize, w: usize) -> u64 {
     let base = w * WORD_BITS;
     if bound >= base + WORD_BITS {
         !0
@@ -122,13 +139,34 @@ impl Tableau {
     }
 
     #[inline]
-    fn xcol(&self, q: usize) -> &[u64] {
+    pub(crate) fn xcol(&self, q: usize) -> &[u64] {
         &self.x[q * self.rwords..(q + 1) * self.rwords]
     }
 
     #[inline]
-    fn zcol(&self, q: usize) -> &[u64] {
+    pub(crate) fn zcol(&self, q: usize) -> &[u64] {
         &self.z[q * self.rwords..(q + 1) * self.rwords]
+    }
+
+    /// Words per bit-column (⌈2n/64⌉).
+    #[inline]
+    pub(crate) fn row_words(&self) -> usize {
+        self.rwords
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing the existing
+    /// allocations (unlike the derived `clone`, which reallocates). The
+    /// grouped-expectation kernel uses this to reset its scratch tableau
+    /// once per group without churning the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub(crate) fn copy_from(&mut self, other: &Tableau) {
+        assert_eq!(self.n, other.n, "tableau size mismatch");
+        self.x.clone_from(&other.x);
+        self.z.clone_from(&other.z);
+        self.sgn.clone_from(&other.sgn);
     }
 
     // --- gates -------------------------------------------------------------
@@ -137,35 +175,33 @@ impl Tableau {
     pub fn h(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
         let b = q * self.rwords;
-        for w in 0..self.rwords {
-            let xv = self.x[b + w];
-            let zv = self.z[b + w];
-            self.sgn[w] ^= xv & zv;
-            self.x[b + w] = zv;
-            self.z[b + w] = xv;
-        }
+        words::hadamard(
+            &mut self.x[b..b + self.rwords],
+            &mut self.z[b..b + self.rwords],
+            &mut self.sgn,
+        );
     }
 
     /// Phase gate S on `q`: X → Y, Y → −X.
     pub fn s(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
         let b = q * self.rwords;
-        for w in 0..self.rwords {
-            let xv = self.x[b + w];
-            self.sgn[w] ^= xv & self.z[b + w];
-            self.z[b + w] ^= xv;
-        }
+        words::phase_s(
+            &self.x[b..b + self.rwords],
+            &mut self.z[b..b + self.rwords],
+            &mut self.sgn,
+        );
     }
 
     /// Inverse phase gate S†: X → −Y, Y → X.
     pub fn sdg(&mut self, q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
         let b = q * self.rwords;
-        for w in 0..self.rwords {
-            let xv = self.x[b + w];
-            self.sgn[w] ^= xv & !self.z[b + w];
-            self.z[b + w] ^= xv;
-        }
+        words::phase_sdg(
+            &self.x[b..b + self.rwords],
+            &mut self.z[b..b + self.rwords],
+            &mut self.sgn,
+        );
     }
 
     /// Pauli X on `q` (sign update only).
@@ -198,39 +234,29 @@ impl Tableau {
     /// CNOT with `control` and `target`.
     pub fn cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n && target < self.n && control != target);
-        let (bc, bt) = (control * self.rwords, target * self.rwords);
-        for w in 0..self.rwords {
-            let xc = self.x[bc + w];
-            let zc = self.z[bc + w];
-            let xt = self.x[bt + w];
-            let zt = self.z[bt + w];
-            self.sgn[w] ^= xc & zt & !(xt ^ zc);
-            self.x[bt + w] = xt ^ xc;
-            self.z[bc + w] = zc ^ zt;
-        }
+        let rw = self.rwords;
+        let (xc, xt) = two_cols(&mut self.x, rw, control, target);
+        let (zc, zt) = two_cols(&mut self.z, rw, control, target);
+        words::cx(xc, zc, xt, zt, &mut self.sgn);
     }
 
     /// CZ between `a` and `b`.
     pub fn cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n && a != b);
-        let (ba, bb) = (a * self.rwords, b * self.rwords);
-        for w in 0..self.rwords {
-            let xa = self.x[ba + w];
-            let xb = self.x[bb + w];
-            self.sgn[w] ^= xa & xb & (self.z[ba + w] ^ self.z[bb + w]);
-            self.z[ba + w] ^= xb;
-            self.z[bb + w] ^= xa;
-        }
+        let rw = self.rwords;
+        let (xa, xb) = two_cols(&mut self.x, rw, a, b);
+        let (za, zb) = two_cols(&mut self.z, rw, a, b);
+        words::cz(xa, xb, za, zb, &mut self.sgn);
     }
 
     /// SWAP of `a` and `b`.
     pub fn swap(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n && a != b);
-        let (ba, bb) = (a * self.rwords, b * self.rwords);
-        for w in 0..self.rwords {
-            self.x.swap(ba + w, bb + w);
-            self.z.swap(ba + w, bb + w);
-        }
+        let rw = self.rwords;
+        let (xa, xb) = two_cols(&mut self.x, rw, a, b);
+        words::swap(xa, xb);
+        let (za, zb) = two_cols(&mut self.z, rw, a, b);
+        words::swap(za, zb);
     }
 
     /// Applies one Clifford gate (rotations must be at multiples of π/2;

@@ -38,6 +38,8 @@
 //! assert!((psi.expectation(&h) - 2.0).abs() < 1e-12);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod channels;
 pub mod density;
 pub mod noise;

@@ -331,7 +331,7 @@ impl FarmState {
     /// The next lease's batch size: `target / p50` of the observed
     /// per-point seconds (slow points → small leases, so an expiry
     /// orphans little work), where `target` keeps a batch well under the
-    /// lease duration; capped at [`MAX_LEASE_POINTS`] and at a fair
+    /// lease duration; capped at `MAX_LEASE_POINTS` and at a fair
     /// share of the queue so one fast worker cannot starve the rest.
     /// With no timings yet (sweep start), batches are 1 — the first
     /// completions calibrate the scheduler.

@@ -8,7 +8,7 @@
 //! regression diffs — need the inverse of the emitter: match every row
 //! back to its [`SweepSpec`] point and lay the metrics out densely.
 //! [`ArtifactGrid`] is that inverse, with the same matching rules the
-//! resume scanner uses ([`AxisValue::loosely_equals`] promotion, config
+//! resume scanner uses ([`crate::spec::AxisValue::loosely_equals`] promotion, config
 //! stamp verification) and hard errors where resume is lenient: a
 //! missing, duplicated or quarantined point is a broken grid here, not
 //! work to redo.

@@ -67,6 +67,8 @@
 //! assert_eq!(report.rows[3].get_num("value"), Some(3.6));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod chaos;
 pub mod farm;

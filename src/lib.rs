@@ -40,7 +40,7 @@
 //! assert!(pqec.fidelity > nisq_fidelity(&w, 1e-3));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use eft_vqa as core;
 pub use eftq_bench as bench;

@@ -13,8 +13,9 @@ use eftq_circuit::Circuit;
 use eftq_numerics::{BernoulliWords, SeedSequence};
 use eftq_pauli::PauliSum;
 use eftq_stabilizer::{
-    estimate_energy, estimate_energy_threaded, run_noisy_frames, run_noisy_frames_percall,
-    NoiseProgram, PauliFrames, StabilizerNoise,
+    estimate_energy, estimate_energy_program, estimate_energy_threaded, run_noisy_frames,
+    run_noisy_frames_percall, sample_energy_grouped, GroupedObservable, NoiseProgram, PauliFrames,
+    StabilizerNoise,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -200,4 +201,99 @@ fn sparse_path_energy_matches_percall_model() {
         "batched {} vs percall {percall_energy}",
         batched.energy
     );
+}
+
+/// The group-level shot sampler applies readout error physically (bit
+/// flips on shared outcome words) where the damping estimator folds it
+/// into per-term `(1-2p)^w` factors — different mechanisms, same
+/// expectation value. Both estimators run over the same compiled
+/// program and must agree within a 5σ band of their combined standard
+/// errors, on a Hamiltonian whose terms span dense (collapse) and
+/// sparse (direct) groups.
+#[test]
+fn grouped_sampling_matches_damping_estimator() {
+    let n = 6;
+    let c = ghz_chain(n);
+    let mut h = PauliSum::new(n);
+    // TFIM-style Z/X groups plus a dense Y-basis group.
+    for q in 0..n - 1 {
+        let mut s = vec!['I'; n];
+        s[q] = 'Z';
+        s[q + 1] = 'Z';
+        h.push_str(-1.0, &s.iter().collect::<String>());
+    }
+    for q in 0..n {
+        let mut s = vec!['I'; n];
+        s[q] = 'X';
+        h.push_str(-0.5, &s.iter().collect::<String>());
+    }
+    h.push_str(0.25, &"Y".repeat(n));
+    let noise = nisq_like();
+    let program = NoiseProgram::compile(&c, &noise);
+    let grouped = GroupedObservable::compile(&h);
+    let shots = 30_000;
+    let damped = estimate_energy_program(
+        &c,
+        &h,
+        &program,
+        noise.meas_flip,
+        shots,
+        SeedSequence::new(41),
+        1,
+    );
+    let sampled = sample_energy_grouped(
+        &c,
+        &grouped,
+        &program,
+        noise.meas_flip,
+        shots,
+        SeedSequence::new(42),
+        1,
+    );
+    let sigma = (damped.std_error.powi(2) + sampled.std_error.powi(2))
+        .sqrt()
+        .max(1e-4);
+    assert!(
+        (damped.energy - sampled.energy).abs() < 5.0 * sigma,
+        "damped {} ± {} vs sampled {} ± {}",
+        damped.energy,
+        damped.std_error,
+        sampled.energy,
+        sampled.std_error
+    );
+}
+
+/// `sample_energy_grouped` must be deterministic in its seed and
+/// invisible to thread count, like every other estimator in the crate.
+#[test]
+fn grouped_sampling_is_seed_deterministic_and_thread_invariant() {
+    let n = 5;
+    let c = ghz_chain(n);
+    let mut h = PauliSum::new(n);
+    h.push_str(1.0, "ZZZZZ");
+    h.push_str(-0.5, "XXXXX");
+    h.push_str(0.25, "ZIIIZ");
+    let noise = nisq_like();
+    let program = NoiseProgram::compile(&c, &noise);
+    let grouped = GroupedObservable::compile(&h);
+    let seed = SeedSequence::new(7);
+    let base = sample_energy_grouped(&c, &grouped, &program, noise.meas_flip, 900, seed, 1);
+    for threads in [2usize, 8] {
+        let t = sample_energy_grouped(&c, &grouped, &program, noise.meas_flip, 900, seed, threads);
+        assert_eq!(base, t, "threads {threads}");
+    }
+    let reseeded = sample_energy_grouped(
+        &c,
+        &grouped,
+        &program,
+        noise.meas_flip,
+        900,
+        SeedSequence::new(8),
+        1,
+    );
+    assert_ne!(
+        base, reseeded,
+        "different seeds must give different shot noise"
+    );
+    assert!(base.energy.is_finite() && base.std_error >= 0.0);
 }
